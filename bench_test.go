@@ -1,0 +1,299 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (§6), plus the §8 future-work comparisons, the ablations,
+// and pure-algorithm microbenchmarks of schedule() itself.
+//
+// Macro benchmarks run a scaled-down simulation per iteration and report
+// the paper's metric through b.ReportMetric; cmd/sweep runs the same
+// experiments at full paper scale. Shapes — who wins, by how much, where
+// the crossover falls — are the reproduction target, not absolute numbers.
+package elsc_test
+
+import (
+	"fmt"
+	"testing"
+
+	"elsc/internal/experiments"
+	"elsc/internal/kernel"
+	"elsc/internal/sched"
+	"elsc/internal/sched/elsc"
+	"elsc/internal/sched/vanilla"
+	"elsc/internal/sim"
+	"elsc/internal/task"
+	"elsc/internal/workload/kbuild"
+	"elsc/internal/workload/volano"
+	"elsc/internal/workload/webserver"
+)
+
+// benchScale is the per-iteration workload size for macro benchmarks.
+func benchScale() experiments.Scale {
+	return experiments.Scale{Messages: 10, Seed: 42, HorizonSeconds: 600}
+}
+
+// BenchmarkTable2_KernelCompile regenerates Table 2: light-load compile
+// times under each scheduler on UP and 2P. Metric: virtual seconds to
+// finish the build (lower is better; the paper's claim is near-equality).
+func BenchmarkTable2_KernelCompile(b *testing.B) {
+	cfg := kbuild.Config{Units: 48, MeanCompile: 40_000_000}
+	for _, label := range []string{"UP", "2P"} {
+		for _, policy := range []string{experiments.Reg, experiments.ELSC} {
+			b.Run(fmt.Sprintf("%s/%s", policy, label), func(b *testing.B) {
+				var secs float64
+				for i := 0; i < b.N; i++ {
+					r := experiments.RunKBuild(experiments.SpecByLabel(label), policy, cfg, benchScale())
+					secs = r.Result.Seconds
+				}
+				b.ReportMetric(secs, "virt-sec")
+			})
+		}
+	}
+}
+
+// benchVolano runs one VolanoMark cell per iteration and reports the
+// requested metrics.
+func benchVolano(b *testing.B, policy, label string, rooms int, report func(b *testing.B, r experiments.VolanoRun)) {
+	b.Helper()
+	var last experiments.VolanoRun
+	for i := 0; i < b.N; i++ {
+		last = experiments.RunVolano(experiments.SpecByLabel(label), policy, rooms, benchScale())
+	}
+	report(b, last)
+}
+
+// BenchmarkFig2_RecalcEntries regenerates Figure 2: recalculation-loop
+// entries per run (log-scale contrast between schedulers).
+func BenchmarkFig2_RecalcEntries(b *testing.B) {
+	for _, label := range []string{"UP", "4P"} {
+		for _, policy := range []string{experiments.Reg, experiments.ELSC} {
+			b.Run(fmt.Sprintf("%s/%s", policy, label), func(b *testing.B) {
+				benchVolano(b, policy, label, 5, func(b *testing.B, r experiments.VolanoRun) {
+					b.ReportMetric(float64(r.Stats.Recalcs), "recalcs")
+				})
+			})
+		}
+	}
+}
+
+// BenchmarkFig3_Throughput regenerates Figure 3: message throughput by
+// room count. The reg series should fall with rooms; elsc should not.
+func BenchmarkFig3_Throughput(b *testing.B) {
+	for _, label := range []string{"UP", "1P", "4P"} {
+		for _, rooms := range []int{5, 20} {
+			for _, policy := range []string{experiments.Reg, experiments.ELSC} {
+				b.Run(fmt.Sprintf("%s/%s/rooms%d", policy, label, rooms), func(b *testing.B) {
+					benchVolano(b, policy, label, rooms, func(b *testing.B, r experiments.VolanoRun) {
+						b.ReportMetric(r.Result.Throughput, "msgs/sec")
+					})
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkFig4_ScalingFactor regenerates Figure 4: 20-room/5-room
+// throughput ratio (1.0 = perfect scaling with thread count).
+func BenchmarkFig4_ScalingFactor(b *testing.B) {
+	for _, label := range []string{"UP", "4P"} {
+		for _, policy := range []string{experiments.Reg, experiments.ELSC} {
+			b.Run(fmt.Sprintf("%s/%s", policy, label), func(b *testing.B) {
+				var factor float64
+				for i := 0; i < b.N; i++ {
+					lo := experiments.RunVolano(experiments.SpecByLabel(label), policy, 5, benchScale())
+					hi := experiments.RunVolano(experiments.SpecByLabel(label), policy, 20, benchScale())
+					factor = hi.Result.Throughput / lo.Result.Throughput
+				}
+				b.ReportMetric(factor, "scaling")
+			})
+		}
+	}
+}
+
+// BenchmarkFig5_ScheduleCost regenerates Figure 5: cycles per schedule()
+// and tasks examined per call.
+func BenchmarkFig5_ScheduleCost(b *testing.B) {
+	for _, label := range []string{"UP", "4P"} {
+		for _, policy := range []string{experiments.Reg, experiments.ELSC} {
+			b.Run(fmt.Sprintf("%s/%s", policy, label), func(b *testing.B) {
+				benchVolano(b, policy, label, 10, func(b *testing.B, r experiments.VolanoRun) {
+					b.ReportMetric(r.Stats.CyclesPerSchedule(), "cyc/sched")
+					b.ReportMetric(r.Stats.ExaminedPerSchedule(), "examined")
+				})
+			})
+		}
+	}
+}
+
+// BenchmarkFig6_CallsAndMigrations regenerates Figure 6: schedule() call
+// totals and tasks dispatched on a new processor (10-room runs).
+func BenchmarkFig6_CallsAndMigrations(b *testing.B) {
+	for _, label := range []string{"UP", "2P", "4P"} {
+		for _, policy := range []string{experiments.Reg, experiments.ELSC} {
+			b.Run(fmt.Sprintf("%s/%s", policy, label), func(b *testing.B) {
+				benchVolano(b, policy, label, 10, func(b *testing.B, r experiments.VolanoRun) {
+					b.ReportMetric(float64(r.Stats.SchedCalls), "sched-calls")
+					b.ReportMetric(float64(r.Stats.Migrations), "migrations")
+				})
+			})
+		}
+	}
+}
+
+// BenchmarkProfile_SchedulerShare regenerates the §4 kernel-profile claim:
+// the stock scheduler burns 37-55% of kernel time under VolanoMark.
+func BenchmarkProfile_SchedulerShare(b *testing.B) {
+	for _, policy := range []string{experiments.Reg, experiments.ELSC} {
+		b.Run(policy, func(b *testing.B) {
+			benchVolano(b, policy, "UP", 20, func(b *testing.B, r experiments.VolanoRun) {
+				b.ReportMetric(100*r.Stats.SchedulerShareOfKernel(), "sched-%kernel")
+			})
+		})
+	}
+}
+
+// BenchmarkAlt_FutureWorkSchedulers compares the §8 alternative designs
+// on the 4P stress configuration.
+func BenchmarkAlt_FutureWorkSchedulers(b *testing.B) {
+	for _, policy := range []string{experiments.Reg, experiments.ELSC, experiments.Heap, experiments.MQ} {
+		b.Run(policy, func(b *testing.B) {
+			benchVolano(b, policy, "4P", 10, func(b *testing.B, r experiments.VolanoRun) {
+				b.ReportMetric(r.Result.Throughput, "msgs/sec")
+				b.ReportMetric(r.Stats.CyclesPerSchedule(), "cyc/sched")
+			})
+		})
+	}
+}
+
+// BenchmarkFutureWork_Webserver regenerates the §8 Apache question:
+// throughput and latency under each scheduler.
+func BenchmarkFutureWork_Webserver(b *testing.B) {
+	cfg := webserver.Config{Workers: 32, Requests: 4000}
+	for _, policy := range []string{experiments.Reg, experiments.ELSC} {
+		b.Run(policy, func(b *testing.B) {
+			var r experiments.WebRun
+			for i := 0; i < b.N; i++ {
+				r = experiments.RunWeb(experiments.SpecByLabel("2P"), policy, cfg, benchScale())
+			}
+			b.ReportMetric(r.Result.Throughput, "req/sec")
+			b.ReportMetric(r.Result.MeanLatMS, "mean-lat-ms")
+			b.ReportMetric(r.Result.MaxLatMS, "max-lat-ms")
+		})
+	}
+}
+
+// BenchmarkAblation_SearchLimit sweeps ELSC's per-list examination cap
+// around the paper's ncpu/2+5 choice.
+func BenchmarkAblation_SearchLimit(b *testing.B) {
+	for _, limit := range []int{1, 7, 40} {
+		b.Run(fmt.Sprintf("limit%d", limit), func(b *testing.B) {
+			var thr float64
+			for i := 0; i < b.N; i++ {
+				m := kernel.NewMachine(kernel.Config{
+					CPUs: 4, SMP: true, Seed: 42,
+					NewScheduler: func(env *sched.Env) sched.Scheduler {
+						return elsc.NewWithConfig(env, elsc.Config{SearchLimit: limit})
+					},
+					MaxCycles: 600 * kernel.DefaultHz,
+				})
+				res := volano.Build(m, volano.Config{Rooms: 10, MessagesPerUser: 10}).Run()
+				thr = res.Throughput
+			}
+			b.ReportMetric(thr, "msgs/sec")
+		})
+	}
+}
+
+// BenchmarkAblation_UPShortcut measures the uniprocessor mm-match early
+// exit (§5.2), the mechanism behind ELSC's Table 2 edge on UP.
+func BenchmarkAblation_UPShortcut(b *testing.B) {
+	for _, disable := range []bool{false, true} {
+		name := "on"
+		if disable {
+			name = "off"
+		}
+		b.Run(name, func(b *testing.B) {
+			var thr float64
+			for i := 0; i < b.N; i++ {
+				m := kernel.NewMachine(kernel.Config{
+					CPUs: 1, SMP: false, Seed: 42,
+					NewScheduler: func(env *sched.Env) sched.Scheduler {
+						return elsc.NewWithConfig(env, elsc.Config{DisableUPShortcut: disable})
+					},
+					MaxCycles: 600 * kernel.DefaultHz,
+				})
+				res := volano.Build(m, volano.Config{Rooms: 5, MessagesPerUser: 10}).Run()
+				thr = res.Throughput
+			}
+			b.ReportMetric(thr, "msgs/sec")
+		})
+	}
+}
+
+// BenchmarkMicro_Schedule measures one schedule() decision in isolation on
+// a prepopulated run queue — the pure O(n) scan versus the table lookup,
+// in real nanoseconds and simulated cycles.
+func BenchmarkMicro_Schedule(b *testing.B) {
+	for _, n := range []int{16, 128, 1024} {
+		for _, policy := range []string{"reg", "elsc"} {
+			b.Run(fmt.Sprintf("%s/tasks%d", policy, n), func(b *testing.B) {
+				env := sched.NewEnv(1, false, func() int { return n })
+				var s sched.Scheduler
+				if policy == "reg" {
+					s = vanilla.New(env)
+				} else {
+					s = elsc.New(env)
+				}
+				rng := sim.NewRNG(1)
+				tasks := make([]*task.Task, n)
+				for i := range tasks {
+					t := task.New(i+1, "t", nil, env.Epoch)
+					t.Priority = 1 + rng.Intn(40)
+					t.SetCounter(env.Epoch, 1+rng.Intn(2*t.Priority))
+					tasks[i] = t
+					s.AddToRunqueue(t)
+				}
+				idle := task.New(-1, "idle", nil, nil)
+				idle.IsIdle = true
+
+				var cycles uint64
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					res := s.Schedule(0, idle)
+					cycles += res.Cycles
+					if res.Next != nil {
+						// Put it back so the queue size is stable.
+						next := res.Next
+						s.DelFromRunqueue(next)
+						s.AddToRunqueue(next)
+					}
+				}
+				b.ReportMetric(float64(cycles)/float64(b.N), "sim-cycles/op")
+			})
+		}
+	}
+}
+
+// BenchmarkMicro_RunqueueOps measures add/del churn, where ELSC pays its
+// table-indexing overhead.
+func BenchmarkMicro_RunqueueOps(b *testing.B) {
+	for _, policy := range []string{"reg", "elsc"} {
+		b.Run(policy, func(b *testing.B) {
+			env := sched.NewEnv(1, false, func() int { return 256 })
+			var s sched.Scheduler
+			if policy == "reg" {
+				s = vanilla.New(env)
+			} else {
+				s = elsc.New(env)
+			}
+			tasks := make([]*task.Task, 256)
+			for i := range tasks {
+				tasks[i] = task.New(i+1, "t", nil, env.Epoch)
+				s.AddToRunqueue(tasks[i])
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				t := tasks[i%len(tasks)]
+				s.DelFromRunqueue(t)
+				s.AddToRunqueue(t)
+			}
+		})
+	}
+}

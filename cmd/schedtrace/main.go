@@ -1,0 +1,92 @@
+// Command schedtrace runs a small scenario and prints every schedule()
+// decision: which task was running, which was chosen, how many tasks the
+// scheduler examined, and what it cost. A teaching and debugging tool for
+// comparing the stock scan against ELSC's table search side by side.
+//
+// Usage:
+//
+//	schedtrace -sched reg -tasks 6 -n 40
+//	schedtrace -sched elsc -tasks 6 -n 40
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"elsc/internal/experiments"
+	"elsc/internal/kernel"
+	"elsc/internal/sched/elsc"
+)
+
+func main() {
+	var (
+		schedName = flag.String("sched", "elsc", "scheduler: reg, elsc, heap, mq")
+		cpus      = flag.Int("cpus", 1, "number of processors")
+		tasks     = flag.Int("tasks", 6, "interactive tasks to simulate")
+		n         = flag.Int("n", 40, "decisions to print")
+		seed      = flag.Int64("seed", 42, "simulation seed")
+		showTable = flag.Bool("table", false, "dump the ELSC table (Figure 1b view) at the end")
+	)
+	flag.Parse()
+
+	printed := 0
+	var m *kernel.Machine
+	m = kernel.NewMachine(kernel.Config{
+		CPUs:         *cpus,
+		SMP:          *cpus > 1,
+		Seed:         *seed,
+		NewScheduler: experiments.Factory(*schedName),
+		MaxCycles:    100 * kernel.DefaultHz,
+		Trace: func(ev kernel.TraceEvent) {
+			if printed >= *n {
+				return
+			}
+			printed++
+			next := "idle"
+			if ev.Next != nil {
+				next = ev.Next.String()
+			}
+			extra := ""
+			if ev.Recalcs > 0 {
+				extra = fmt.Sprintf("  RECALC x%d", ev.Recalcs)
+			}
+			if ev.Spin > 0 {
+				extra += fmt.Sprintf("  spin=%d", ev.Spin)
+			}
+			fmt.Printf("t=%-12d cpu%d  %-18s -> %-18s examined=%-3d cycles=%-6d%s\n",
+				ev.Now, ev.CPU, ev.Prev.String(), next, ev.Examined, ev.Cycles, extra)
+		},
+	})
+
+	for i := 0; i < *tasks; i++ {
+		steps := 0
+		rng := m.RNG().Fork()
+		m.Spawn(fmt.Sprintf("worker%d", i), nil, kernel.ProgramFunc(func(p *kernel.Proc) kernel.Action {
+			if steps >= 30 {
+				return kernel.Exit{}
+			}
+			steps++
+			switch steps % 3 {
+			case 0:
+				return kernel.Yield{}
+			case 1:
+				return kernel.Compute{Cycles: rng.Range(10_000, 80_000)}
+			default:
+				return kernel.Sleep{Cycles: rng.Range(20_000, 100_000)}
+			}
+		}))
+	}
+	m.Run(func() bool { return printed >= *n || m.Alive() == 0 })
+
+	s := m.Stats()
+	fmt.Printf("\n%s totals: %d schedule() calls, %.0f cycles/call, %.1f examined/call, %d recalcs\n",
+		m.Scheduler().Name(), s.SchedCalls, s.CyclesPerSchedule(), s.ExaminedPerSchedule(), s.Recalcs)
+	if *showTable {
+		if es, ok := m.Scheduler().(*elsc.Sched); ok {
+			fmt.Println()
+			fmt.Print(es.Dump())
+		} else {
+			fmt.Println("(-table requires -sched elsc)")
+		}
+	}
+}

@@ -1,0 +1,119 @@
+// Command sweep regenerates every table and figure from the paper's
+// evaluation section, plus the future-work comparisons and this
+// reproduction's ablation studies.
+//
+// Usage:
+//
+//	sweep                 # everything at paper scale (takes a few minutes)
+//	sweep -exp fig3       # one experiment
+//	sweep -quick          # reduced scale for a fast look
+//
+// Experiments: table2, fig2, fig3, fig4, fig5, fig6, profile, alt, web,
+// ablate, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"elsc/internal/experiments"
+	"elsc/internal/workload/kbuild"
+	"elsc/internal/workload/webserver"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment to run (table2 fig2 fig3 fig4 fig5 fig6 profile alt web latency ablate all)")
+		quick    = flag.Bool("quick", false, "reduced message counts for a fast pass")
+		messages = flag.Int("messages", 0, "override messages per user")
+		seed     = flag.Int64("seed", 42, "simulation seed")
+		parallel = flag.Int("parallel", 0, "concurrent runs (default GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	sc := experiments.DefaultScale()
+	if *quick {
+		sc = experiments.QuickScale()
+		sc.Messages = 30
+	}
+	if *messages > 0 {
+		sc.Messages = *messages
+	}
+	sc.Seed = *seed
+	sc.Parallel = *parallel
+
+	want := func(name string) bool { return *exp == "all" || *exp == name }
+	t0 := time.Now()
+
+	// The VolanoMark matrix feeds figures 2-6 and the profile table.
+	var runs []experiments.VolanoRun
+	needMatrix := want("fig2") || want("fig3") || want("fig4") || want("fig5") ||
+		want("fig6") || want("profile")
+	if needMatrix {
+		fmt.Fprintf(os.Stderr, "running VolanoMark matrix (%d messages/user, rooms %v)...\n",
+			sc.Messages, experiments.PaperRooms)
+		runs = experiments.RunVolanoMatrix(
+			[]string{experiments.Reg, experiments.ELSC},
+			experiments.PaperSpecs, experiments.PaperRooms, sc)
+	}
+
+	section := func(t interface{ Render() string }) {
+		fmt.Println(t.Render())
+	}
+
+	if want("table2") {
+		kcfg := kbuild.Config{}
+		if *quick {
+			kcfg = kbuild.Config{Units: 48, MeanCompile: 40_000_000}
+		}
+		section(experiments.Table2(sc, kcfg))
+	}
+	if want("fig2") {
+		section(experiments.Fig2(runs, 10))
+	}
+	if want("fig3") {
+		section(experiments.Fig3(runs, experiments.PaperRooms))
+	}
+	if want("fig4") {
+		section(experiments.Fig4(runs, 5, 20))
+	}
+	if want("fig5") {
+		section(experiments.Fig5(runs, 10))
+	}
+	if want("fig6") {
+		section(experiments.Fig6(runs, 10))
+	}
+	if want("profile") {
+		section(experiments.Profile(runs, experiments.PaperRooms))
+	}
+	if want("alt") {
+		section(experiments.AltSchedulers(experiments.SpecByLabel("4P"), 10, sc))
+	}
+	if want("web") {
+		wcfg := webserver.Config{}
+		if *quick {
+			wcfg = webserver.Config{Requests: 4000}
+		}
+		section(experiments.Webserver(experiments.SpecByLabel("2P"), wcfg, sc))
+	}
+	if want("latency") {
+		section(experiments.WakeLatency(experiments.SpecByLabel("UP"),
+			[]int{4, 16, 64, 256}, sc))
+	}
+	if want("ablate") {
+		section(experiments.AblateSearchLimit(experiments.SpecByLabel("4P"), 10,
+			[]int{1, 3, 7, 15, 40}, sc))
+		section(experiments.AblateTableSize(experiments.SpecByLabel("1P"), 10,
+			[]int{15, 30, 60}, sc))
+		section(experiments.AblateUPShortcut(10, sc))
+	}
+
+	if !strings.Contains("table2 fig2 fig3 fig4 fig5 fig6 profile alt web latency ablate all", *exp) {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+	fmt.Fprintf(os.Stderr, "done in %.1fs\n", time.Since(t0).Seconds())
+}

@@ -1,0 +1,33 @@
+// Command websim runs the paper's future-work Apache experiment (§8):
+// an open-loop web workload under each scheduler, reporting throughput
+// and latency so the paper's question — does ELSC help more with
+// throughput or latency here? — can be answered with data.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"elsc/internal/experiments"
+	"elsc/internal/workload/webserver"
+)
+
+func main() {
+	var (
+		spec     = flag.String("machine", "2P", "machine spec: UP, 1P, 2P, 4P")
+		workers  = flag.Int("workers", 64, "httpd worker processes")
+		requests = flag.Int("requests", 20000, "requests to serve")
+		period   = flag.Uint64("arrival", 40_000, "mean cycles between arrivals")
+		seed     = flag.Int64("seed", 42, "simulation seed")
+	)
+	flag.Parse()
+
+	sc := experiments.DefaultScale()
+	sc.Seed = *seed
+	tab := experiments.Webserver(experiments.SpecByLabel(*spec), webserver.Config{
+		Workers:       *workers,
+		Requests:      *requests,
+		ArrivalPeriod: *period,
+	}, sc)
+	fmt.Print(tab.Render())
+}

@@ -1,0 +1,28 @@
+// Package elsc is a full reproduction of "Scalable Linux Scheduling"
+// (Stephen Molloy and Peter Honeyman, CITI Technical Report 01-7 /
+// FREENIX 2001): the ELSC table-based scheduler, the stock Linux
+// 2.3.99-pre4 scheduler it improves on, and a deterministic discrete-event
+// kernel simulator to run them in — per-CPU dispatch, timer ticks and
+// quanta, wait queues with wake-up preemption, the global run-queue
+// spinlock, and a cache-affinity cost model.
+//
+// The package exposes three layers:
+//
+//   - Machine: build a simulated SMP machine with a chosen scheduler, spawn
+//     tasks with programmed behavior, run, and read /proc-style statistics.
+//   - Workloads: VolanoMark (the paper's stress benchmark), a kernel
+//     compile (its light-load control), and an Apache-style web server
+//     (its future-work question).
+//   - Experiments: regenerate every table and figure from the paper's
+//     evaluation section.
+//
+// # Quick start
+//
+//	m := elsc.NewMachine(elsc.MachineConfig{CPUs: 4, SMP: true, Scheduler: elsc.ELSC})
+//	res := m.RunVolanoMark(elsc.VolanoConfig{Rooms: 10})
+//	fmt.Printf("%.0f messages/second\n", res.Throughput)
+//	fmt.Println(m.Stats().Summary())
+//
+// Determinism: a machine's Seed fixes every random draw; the same
+// configuration reproduces a run cycle-for-cycle.
+package elsc

@@ -1,0 +1,210 @@
+package elsc
+
+import (
+	"elsc/internal/kernel"
+	"elsc/internal/sched"
+	"elsc/internal/sched/elsc"
+	"elsc/internal/sched/heapsched"
+	"elsc/internal/sched/mq"
+	"elsc/internal/sched/vanilla"
+	"elsc/internal/task"
+)
+
+// SchedulerKind selects the scheduling policy for a Machine.
+type SchedulerKind string
+
+// The available policies.
+const (
+	// Vanilla is the stock Linux 2.3.99-pre4 scheduler — the paper's
+	// baseline ("reg" in its figures): a single unsorted run queue
+	// scanned in full on every schedule().
+	Vanilla SchedulerKind = "reg"
+	// ELSC is the paper's contribution: a run queue kept sorted by
+	// static goodness in a table of 30 lists.
+	ELSC SchedulerKind = "elsc"
+	// Heap is the future-work alternative (§8) that keeps per-processor
+	// max-heaps of static goodness.
+	Heap SchedulerKind = "heap"
+	// MultiQueue is the future-work alternative (§8) with one run queue
+	// and one lock per processor — the direction Linux later took.
+	MultiQueue SchedulerKind = "mq"
+)
+
+// CostModel re-exports the simulator's cycle-cost model for tuning.
+type CostModel = sched.CostModel
+
+// DefaultCostModel returns the calibrated 400 MHz Pentium II-class model.
+func DefaultCostModel() CostModel { return sched.DefaultCostModel() }
+
+// ELSCConfig re-exports the ELSC knobs (table size, search limit, UP
+// shortcut) for ablation studies.
+type ELSCConfig = elsc.Config
+
+// MachineConfig describes the simulated machine.
+type MachineConfig struct {
+	// CPUs is the processor count (default 1).
+	CPUs int
+	// SMP selects an SMP kernel build. The paper's "UP" is CPUs=1 with
+	// SMP false; "1P" is CPUs=1 with SMP true.
+	SMP bool
+	// Scheduler picks the policy (default ELSC).
+	Scheduler SchedulerKind
+	// ELSC optionally tunes the ELSC policy; ignored for other kinds.
+	ELSC *ELSCConfig
+	// Seed drives all randomness (default 1).
+	Seed int64
+	// MaxSeconds bounds virtual run time (default 3000 virtual seconds).
+	MaxSeconds uint64
+	// Cost overrides the default cost model.
+	Cost *CostModel
+	// UniformSpawnCounter disables fork-style quantum inheritance; see
+	// the kernel documentation. Tests use it; realistic runs should not.
+	UniformSpawnCounter bool
+}
+
+// Machine is a simulated multiprocessor ready to run tasks or workloads.
+type Machine struct {
+	m *kernel.Machine
+}
+
+// NewMachine builds and boots a machine.
+func NewMachine(cfg MachineConfig) *Machine {
+	if cfg.CPUs == 0 {
+		cfg.CPUs = 1
+	}
+	if cfg.Scheduler == "" {
+		cfg.Scheduler = ELSC
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.MaxSeconds == 0 {
+		cfg.MaxSeconds = 3000
+	}
+	factory := factoryFor(cfg.Scheduler, cfg.ELSC)
+	m := kernel.NewMachine(kernel.Config{
+		CPUs:                cfg.CPUs,
+		SMP:                 cfg.SMP,
+		Seed:                cfg.Seed,
+		NewScheduler:        factory,
+		Cost:                cfg.Cost,
+		MaxCycles:           cfg.MaxSeconds * kernel.DefaultHz,
+		UniformSpawnCounter: cfg.UniformSpawnCounter,
+	})
+	return &Machine{m: m}
+}
+
+func factoryFor(kind SchedulerKind, ecfg *ELSCConfig) kernel.SchedulerFactory {
+	switch kind {
+	case Vanilla:
+		return func(env *sched.Env) sched.Scheduler { return vanilla.New(env) }
+	case ELSC:
+		return func(env *sched.Env) sched.Scheduler {
+			if ecfg != nil {
+				return elsc.NewWithConfig(env, *ecfg)
+			}
+			return elsc.New(env)
+		}
+	case Heap:
+		return func(env *sched.Env) sched.Scheduler { return heapsched.New(env) }
+	case MultiQueue:
+		return func(env *sched.Env) sched.Scheduler { return mq.New(env) }
+	default:
+		panic("elsc: unknown scheduler kind " + string(kind))
+	}
+}
+
+// Kernel exposes the underlying simulator for advanced use (custom
+// workloads, IPC construction, engine events).
+func (m *Machine) Kernel() *kernel.Machine { return m.m }
+
+// Spawn creates a task executing prog in address space mm (nil for a
+// kernel thread) and makes it runnable.
+func (m *Machine) Spawn(name string, mm *AddressSpace, prog Program) *Task {
+	return &Task{p: m.m.Spawn(name, mm, prog)}
+}
+
+// SpawnRT creates a real-time (SCHED_FIFO or SCHED_RR) task.
+func (m *Machine) SpawnRT(name string, policy RTPolicy, rtprio int, prog Program) *Task {
+	return &Task{p: m.m.SpawnRT(name, task.Policy(policy), rtprio, prog)}
+}
+
+// NewAddressSpace allocates an mm that tasks can share; the scheduler's
+// one-point goodness bonus applies between tasks of the same space.
+func (m *Machine) NewAddressSpace(name string) *AddressSpace {
+	return m.m.NewMM(name)
+}
+
+// Run drives the simulation until stop returns true, no work remains, or
+// the MaxSeconds horizon passes. A nil stop runs until idle/horizon.
+func (m *Machine) Run(stop func() bool) {
+	m.m.Run(stop)
+}
+
+// RunUntilAllExit runs until every spawned task has exited.
+func (m *Machine) RunUntilAllExit() {
+	m.m.Run(func() bool { return m.m.Alive() == 0 })
+}
+
+// Seconds returns elapsed virtual time in seconds.
+func (m *Machine) Seconds() float64 { return m.m.Seconds() }
+
+// Stats returns the machine-wide scheduler statistics (the paper's
+// instrumentation).
+func (m *Machine) Stats() *Stats { return m.m.Stats() }
+
+// ProcStat renders the statistics as a /proc-style text block, as the
+// paper exposed its counters through the proc filesystem.
+func (m *Machine) ProcStat() string { return m.m.Stats().Registry().Render() }
+
+// SchedulerName reports the active policy's label ("reg", "elsc", ...).
+func (m *Machine) SchedulerName() string { return m.m.Scheduler().Name() }
+
+// Task wraps a spawned task.
+type Task struct {
+	p *kernel.Proc
+}
+
+// Exited reports whether the task has terminated.
+func (t *Task) Exited() bool { return t.p.Exited() }
+
+// Name returns the task's name.
+func (t *Task) Name() string { return t.p.Task.Name }
+
+// UserCycles returns CPU cycles of task-level work executed.
+func (t *Task) UserCycles() uint64 { return t.p.Task.UserCycles }
+
+// SystemCycles returns CPU cycles of kernel work charged to the task.
+func (t *Task) SystemCycles() uint64 { return t.p.Task.SystemCycles }
+
+// Migrations returns how many times the task was dispatched on a CPU other
+// than its previous one.
+func (t *Task) Migrations() uint64 { return t.p.Task.Migrations }
+
+// SetPriority adjusts the task's static priority (1..40, default 20).
+func (m *Machine) SetPriority(t *Task, prio int) { m.m.SetPriority(t.p, prio) }
+
+// SetAffinity pins the task to the CPUs in mask (bit i allows CPU i; zero
+// allows all) — the kernel's cpus_allowed.
+func (m *Machine) SetAffinity(t *Task, mask uint64) { m.m.SetAffinity(t.p, mask) }
+
+// SetPolicy is sched_setscheduler: move the task between SCHED_OTHER
+// (policy Other) and the real-time classes at run time.
+func (m *Machine) SetPolicy(t *Task, policy RTPolicy, rtprio int) {
+	m.m.SetPolicy(t.p, task.Policy(policy), rtprio)
+}
+
+// Other demotes a task back to the timesharing class via SetPolicy.
+const Other = RTPolicy(task.Other)
+
+// PS renders a ps/top-style table of every task in the system.
+func (m *Machine) PS() string { return m.m.PS() }
+
+// RTPolicy selects the real-time class for SpawnRT.
+type RTPolicy task.Policy
+
+// Real-time policies.
+const (
+	FIFO = RTPolicy(task.FIFO) // SCHED_FIFO: runs until it blocks or yields
+	RR   = RTPolicy(task.RR)   // SCHED_RR: round robin among equals
+)

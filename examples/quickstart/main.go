@@ -1,0 +1,35 @@
+// Quickstart: build a 4-processor machine running the ELSC scheduler, run
+// a 10-room VolanoMark, and print the paper's headline statistics.
+package main
+
+import (
+	"fmt"
+
+	"elsc"
+)
+
+func main() {
+	m := elsc.NewMachine(elsc.MachineConfig{
+		CPUs:      4,
+		SMP:       true,
+		Scheduler: elsc.ELSC,
+		Seed:      42,
+	})
+
+	res := m.RunVolanoMark(elsc.VolanoConfig{
+		Rooms:           10,
+		UsersPerRoom:    20,
+		MessagesPerUser: 30,
+	})
+
+	fmt.Printf("VolanoMark on %s: %d threads, %d deliveries in %.2f virtual seconds\n",
+		m.SchedulerName(), res.Threads, res.Deliveries, res.Seconds)
+	fmt.Printf("throughput: %.0f messages/second\n\n", res.Throughput)
+
+	s := m.Stats()
+	fmt.Printf("schedule() was called %d times\n", s.SchedCalls)
+	fmt.Printf("mean cost: %.0f cycles and %.1f tasks examined per call\n",
+		s.CyclesPerSchedule(), s.ExaminedPerSchedule())
+	fmt.Printf("counter recalculations: %d\n", s.Recalcs)
+	fmt.Printf("cross-CPU migrations: %d\n", s.Migrations)
+}

@@ -1,0 +1,35 @@
+// Webserver: the paper's future-work question (§8) through the public
+// API — run an Apache-style workload under the stock and ELSC schedulers
+// and compare throughput and latency.
+package main
+
+import (
+	"fmt"
+
+	"elsc"
+)
+
+func main() {
+	fmt.Println("Apache-style workload, 2 CPUs, 64 workers, open-loop arrivals")
+	fmt.Println()
+	fmt.Printf("%-8s %10s %14s %14s\n", "sched", "req/s", "mean lat (ms)", "max lat (ms)")
+	for _, kind := range []elsc.SchedulerKind{elsc.Vanilla, elsc.ELSC} {
+		m := elsc.NewMachine(elsc.MachineConfig{
+			CPUs:      2,
+			SMP:       true,
+			Scheduler: kind,
+			Seed:      42,
+		})
+		res := m.RunWebServer(elsc.WebServerConfig{
+			Workers:  64,
+			Requests: 8000,
+		})
+		fmt.Printf("%-8s %10.0f %14.2f %14.2f\n",
+			kind, res.Throughput, res.MeanLatMS, res.MaxLatMS)
+	}
+	fmt.Println()
+	fmt.Println("The paper asked whether ELSC would raise throughput or cut latency")
+	fmt.Println("here. With one task per request and no yield storms, the scheduler")
+	fmt.Println("is a small cost either way — the gains are far smaller than")
+	fmt.Println("VolanoMark's, mostly visible in tail latency under load spikes.")
+}

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+
+	"elsc/internal/kernel"
+	"elsc/internal/sched"
+	"elsc/internal/sched/elsc"
+	"elsc/internal/stats"
+	"elsc/internal/workload/volano"
+)
+
+// Ablations quantify the ELSC design choices the paper discusses but does
+// not measure separately:
+//
+//   - the per-list search limit ("half the number of processors plus
+//     five"),
+//   - the table size (30 lists),
+//   - the uniprocessor memory-map shortcut (§5.2).
+
+// runELSCVariant measures VolanoMark throughput under a configured ELSC.
+func runELSCVariant(spec MachineSpec, cfg elsc.Config, rooms int, sc Scale) (volano.Result, kernel.Stats) {
+	m := kernel.NewMachine(kernel.Config{
+		CPUs: spec.CPUs,
+		SMP:  spec.SMP,
+		Seed: sc.Seed,
+		NewScheduler: func(env *sched.Env) sched.Scheduler {
+			return elsc.NewWithConfig(env, cfg)
+		},
+		MaxCycles: sc.HorizonSeconds * kernel.DefaultHz,
+	})
+	b := volano.Build(m, volano.Config{Rooms: rooms, MessagesPerUser: sc.Messages})
+	return b.Run(), *m.Stats()
+}
+
+// AblateSearchLimit sweeps the per-list examination cap.
+func AblateSearchLimit(spec MachineSpec, rooms int, limits []int, sc Scale) *stats.Table {
+	t := stats.NewTable(
+		fmt.Sprintf("Ablation: ELSC search limit (%s, %d rooms; paper uses ncpu/2+5 = %d)",
+			spec.Label, rooms, spec.CPUs/2+5),
+		"Limit", "Throughput", "cyc/sched", "examined", "migrations")
+	for _, lim := range limits {
+		res, st := runELSCVariant(spec, elsc.Config{SearchLimit: lim}, rooms, sc)
+		t.AddRow(lim, int(res.Throughput), int(st.CyclesPerSchedule()),
+			st.ExaminedPerSchedule(), st.Migrations)
+	}
+	return t
+}
+
+// AblateTableSize sweeps the number of lists in the table.
+func AblateTableSize(spec MachineSpec, rooms int, sizes []int, sc Scale) *stats.Table {
+	t := stats.NewTable(
+		fmt.Sprintf("Ablation: ELSC table size (%s, %d rooms; paper uses 30)", spec.Label, rooms),
+		"Lists", "Throughput", "cyc/sched", "examined")
+	for _, size := range sizes {
+		res, st := runELSCVariant(spec, elsc.Config{TableSize: size}, rooms, sc)
+		t.AddRow(size, int(res.Throughput), int(st.CyclesPerSchedule()),
+			st.ExaminedPerSchedule())
+	}
+	return t
+}
+
+// AblateUPShortcut measures the uniprocessor mm-match early exit.
+func AblateUPShortcut(rooms int, sc Scale) *stats.Table {
+	t := stats.NewTable(
+		fmt.Sprintf("Ablation: ELSC UP shortcut (UP, %d rooms)", rooms),
+		"Shortcut", "Throughput", "cyc/sched", "examined")
+	spec := SpecByLabel("UP")
+	for _, off := range []bool{false, true} {
+		res, st := runELSCVariant(spec, elsc.Config{DisableUPShortcut: off}, rooms, sc)
+		label := "on (paper)"
+		if off {
+			label = "off"
+		}
+		t.AddRow(label, int(res.Throughput), int(st.CyclesPerSchedule()),
+			st.ExaminedPerSchedule())
+	}
+	return t
+}

@@ -1,0 +1,213 @@
+// Package experiments regenerates every table and figure in the paper's
+// evaluation (§6), plus the future-work comparisons (§8) and our ablation
+// studies. Each experiment builds fresh machines, runs the appropriate
+// workload per configuration, and renders the same rows/series the paper
+// reports. Independent runs execute in parallel on the host.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"elsc/internal/kernel"
+	"elsc/internal/sched"
+	"elsc/internal/sched/elsc"
+	"elsc/internal/sched/heapsched"
+	"elsc/internal/sched/mq"
+	"elsc/internal/sched/vanilla"
+	"elsc/internal/workload/kbuild"
+	"elsc/internal/workload/volano"
+	"elsc/internal/workload/webserver"
+)
+
+// Policy names, as the paper's figures label them.
+const (
+	Reg  = "reg"
+	ELSC = "elsc"
+	Heap = "heap"
+	MQ   = "mq"
+)
+
+// Factory returns the scheduler factory for a policy name.
+func Factory(name string) kernel.SchedulerFactory {
+	switch name {
+	case Reg:
+		return func(env *sched.Env) sched.Scheduler { return vanilla.New(env) }
+	case ELSC:
+		return func(env *sched.Env) sched.Scheduler { return elsc.New(env) }
+	case Heap:
+		return func(env *sched.Env) sched.Scheduler { return heapsched.New(env) }
+	case MQ:
+		return func(env *sched.Env) sched.Scheduler { return mq.New(env) }
+	default:
+		panic("experiments: unknown scheduler " + name)
+	}
+}
+
+// MachineSpec is one hardware configuration from the paper: UP is a
+// non-SMP build on one processor, 1P an SMP build on one processor, 2P and
+// 4P SMP builds on two and four.
+type MachineSpec struct {
+	Label string
+	CPUs  int
+	SMP   bool
+}
+
+// PaperSpecs are the four configurations of §6.
+var PaperSpecs = []MachineSpec{
+	{Label: "UP", CPUs: 1, SMP: false},
+	{Label: "1P", CPUs: 1, SMP: true},
+	{Label: "2P", CPUs: 2, SMP: true},
+	{Label: "4P", CPUs: 4, SMP: true},
+}
+
+// SpecByLabel returns the named spec.
+func SpecByLabel(label string) MachineSpec {
+	for _, s := range PaperSpecs {
+		if s.Label == label {
+			return s
+		}
+	}
+	panic("experiments: unknown machine spec " + label)
+}
+
+// PaperRooms is the room sweep of Figure 3.
+var PaperRooms = []int{5, 10, 15, 20}
+
+// Scale controls how much work each run performs, so tests and benchmarks
+// can shrink the experiments while cmd/sweep runs them at paper scale.
+type Scale struct {
+	// Messages per user (paper: 100).
+	Messages int
+	// Seed for the deterministic run.
+	Seed int64
+	// HorizonSeconds bounds each run's virtual time.
+	HorizonSeconds uint64
+	// Parallel is the number of concurrent runs (0 = GOMAXPROCS).
+	Parallel int
+}
+
+// DefaultScale reproduces the paper's parameters.
+func DefaultScale() Scale {
+	return Scale{Messages: 100, Seed: 42, HorizonSeconds: 3000}
+}
+
+// QuickScale is a reduced configuration for tests and benchmarks.
+func QuickScale() Scale {
+	return Scale{Messages: 10, Seed: 42, HorizonSeconds: 600}
+}
+
+func (s Scale) workers() int {
+	if s.Parallel > 0 {
+		return s.Parallel
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// NewMachine builds a machine for a spec and policy.
+func NewMachine(spec MachineSpec, policy string, sc Scale) *kernel.Machine {
+	return kernel.NewMachine(kernel.Config{
+		CPUs:         spec.CPUs,
+		SMP:          spec.SMP,
+		Seed:         sc.Seed,
+		NewScheduler: Factory(policy),
+		MaxCycles:    sc.HorizonSeconds * kernel.DefaultHz,
+	})
+}
+
+// VolanoRun is one VolanoMark measurement.
+type VolanoRun struct {
+	Spec   MachineSpec
+	Policy string
+	Rooms  int
+	Result volano.Result
+	Stats  kernel.Stats
+}
+
+// Key renders "elsc-4P@20" style identifiers.
+func (r VolanoRun) Key() string {
+	return fmt.Sprintf("%s-%s@%d", r.Policy, r.Spec.Label, r.Rooms)
+}
+
+// RunVolano executes one VolanoMark configuration.
+func RunVolano(spec MachineSpec, policy string, rooms int, sc Scale) VolanoRun {
+	m := NewMachine(spec, policy, sc)
+	b := volano.Build(m, volano.Config{Rooms: rooms, MessagesPerUser: sc.Messages})
+	res := b.Run()
+	return VolanoRun{Spec: spec, Policy: policy, Rooms: rooms, Result: res, Stats: *m.Stats()}
+}
+
+// matrixJob identifies one cell of a sweep.
+type matrixJob struct {
+	spec   MachineSpec
+	policy string
+	rooms  int
+}
+
+// RunVolanoMatrix sweeps policies × specs × rooms, running cells in
+// parallel, and returns results in deterministic (input) order.
+func RunVolanoMatrix(policies []string, specs []MachineSpec, rooms []int, sc Scale) []VolanoRun {
+	var jobs []matrixJob
+	for _, p := range policies {
+		for _, spec := range specs {
+			for _, r := range rooms {
+				jobs = append(jobs, matrixJob{spec: spec, policy: p, rooms: r})
+			}
+		}
+	}
+	out := make([]VolanoRun, len(jobs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, sc.workers())
+	for i, j := range jobs {
+		wg.Add(1)
+		go func(i int, j matrixJob) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			out[i] = RunVolano(j.spec, j.policy, j.rooms, sc)
+		}(i, j)
+	}
+	wg.Wait()
+	return out
+}
+
+// Find returns the run matching the key parameters, or panics; matrices
+// are small and a missing cell is a harness bug.
+func Find(runs []VolanoRun, policy, label string, rooms int) VolanoRun {
+	for _, r := range runs {
+		if r.Policy == policy && r.Spec.Label == label && r.Rooms == rooms {
+			return r
+		}
+	}
+	panic(fmt.Sprintf("experiments: no run %s-%s@%d", policy, label, rooms))
+}
+
+// KBuildRun is one Table 2 measurement.
+type KBuildRun struct {
+	Spec   MachineSpec
+	Policy string
+	Result kbuild.Result
+}
+
+// RunKBuild executes one kernel-compile configuration.
+func RunKBuild(spec MachineSpec, policy string, cfg kbuild.Config, sc Scale) KBuildRun {
+	m := NewMachine(spec, policy, sc)
+	b := kbuild.New(m, cfg)
+	return KBuildRun{Spec: spec, Policy: policy, Result: b.Run()}
+}
+
+// WebRun is one future-work webserver measurement.
+type WebRun struct {
+	Spec   MachineSpec
+	Policy string
+	Result webserver.Result
+	Stats  kernel.Stats
+}
+
+// RunWeb executes one webserver configuration.
+func RunWeb(spec MachineSpec, policy string, cfg webserver.Config, sc Scale) WebRun {
+	m := NewMachine(spec, policy, sc)
+	s := webserver.New(m, cfg)
+	return WebRun{Spec: spec, Policy: policy, Result: s.Run(), Stats: *m.Stats()}
+}

@@ -1,0 +1,184 @@
+package experiments
+
+import (
+	"fmt"
+
+	"elsc/internal/stats"
+	"elsc/internal/workload/kbuild"
+	"elsc/internal/workload/latency"
+	"elsc/internal/workload/webserver"
+)
+
+// Table2 reproduces the paper's Table 2: average time to complete a full
+// kernel compile under both schedulers, on UP and 2P machines.
+func Table2(sc Scale, cfg kbuild.Config) *stats.Table {
+	t := stats.NewTable("Table 2: time to complete kernel compilation (make -j4)",
+		"Scheduler", "Time", "Seconds")
+	for _, spec := range []MachineSpec{SpecByLabel("UP"), SpecByLabel("2P")} {
+		for _, policy := range []string{Reg, ELSC} {
+			name := map[string]string{Reg: "Current", ELSC: "ELSC"}[policy]
+			r := RunKBuild(spec, policy, cfg, sc)
+			t.AddRow(fmt.Sprintf("%s - %s", name, spec.Label), r.Result.Formatted, r.Result.Seconds)
+		}
+	}
+	return t
+}
+
+// Fig2 reproduces Figure 2: counter-recalculation loop entries per
+// VolanoMark run (log-scale contrast), per machine configuration.
+func Fig2(runs []VolanoRun, rooms int) *stats.Table {
+	t := stats.NewTable(
+		fmt.Sprintf("Figure 2: recalculate-loop entries (VolanoMark, %d rooms)", rooms),
+		"Config", "elsc", "reg", "reg/elsc")
+	for _, spec := range PaperSpecs {
+		e := Find(runs, ELSC, spec.Label, rooms).Stats.Recalcs
+		r := Find(runs, Reg, spec.Label, rooms).Stats.Recalcs
+		ratio := "inf"
+		if e > 0 {
+			ratio = fmt.Sprintf("%.1f", float64(r)/float64(e))
+		}
+		t.AddRow(spec.Label, e, r, ratio)
+	}
+	return t
+}
+
+// Fig3 reproduces Figure 3: message throughput versus room count. The
+// paper splits it into a UP/1P panel and a 4P panel; this renders all four
+// configurations as series.
+func Fig3(runs []VolanoRun, rooms []int) *stats.Table {
+	t := stats.NewTable("Figure 3: VolanoMark throughput (messages/second)",
+		"Rooms", "elsc-up", "reg-up", "elsc-1p", "reg-1p", "elsc-2p", "reg-2p", "elsc-4p", "reg-4p")
+	for _, r := range rooms {
+		t.AddRow(r,
+			int(Find(runs, ELSC, "UP", r).Result.Throughput),
+			int(Find(runs, Reg, "UP", r).Result.Throughput),
+			int(Find(runs, ELSC, "1P", r).Result.Throughput),
+			int(Find(runs, Reg, "1P", r).Result.Throughput),
+			int(Find(runs, ELSC, "2P", r).Result.Throughput),
+			int(Find(runs, Reg, "2P", r).Result.Throughput),
+			int(Find(runs, ELSC, "4P", r).Result.Throughput),
+			int(Find(runs, Reg, "4P", r).Result.Throughput),
+		)
+	}
+	return t
+}
+
+// Fig4 reproduces Figure 4: the scaling factor, throughput at the largest
+// room count divided by throughput at the smallest.
+func Fig4(runs []VolanoRun, loRooms, hiRooms int) *stats.Table {
+	t := stats.NewTable(
+		fmt.Sprintf("Figure 4: scaling factor (%d-room / %d-room throughput)", hiRooms, loRooms),
+		"Config", "elsc", "reg")
+	for _, spec := range PaperSpecs {
+		e := Find(runs, ELSC, spec.Label, hiRooms).Result.Throughput /
+			Find(runs, ELSC, spec.Label, loRooms).Result.Throughput
+		r := Find(runs, Reg, spec.Label, hiRooms).Result.Throughput /
+			Find(runs, Reg, spec.Label, loRooms).Result.Throughput
+		t.AddRow(spec.Label, e, r)
+	}
+	return t
+}
+
+// Fig5 reproduces Figure 5: cycles per schedule() entry and tasks examined
+// per entry.
+func Fig5(runs []VolanoRun, rooms int) *stats.Table {
+	t := stats.NewTable(
+		fmt.Sprintf("Figure 5: schedule() cost (VolanoMark, %d rooms)", rooms),
+		"Config", "elsc cyc/call", "reg cyc/call", "elsc examined", "reg examined")
+	for _, spec := range PaperSpecs {
+		e := Find(runs, ELSC, spec.Label, rooms).Stats
+		r := Find(runs, Reg, spec.Label, rooms).Stats
+		t.AddRow(spec.Label,
+			int(e.CyclesPerSchedule()), int(r.CyclesPerSchedule()),
+			e.ExaminedPerSchedule(), r.ExaminedPerSchedule())
+	}
+	return t
+}
+
+// Fig6 reproduces Figure 6: total calls to schedule() (thousands) and
+// tasks scheduled on a processor other than their last, both for the
+// 10-room runs the paper uses.
+func Fig6(runs []VolanoRun, rooms int) *stats.Table {
+	t := stats.NewTable(
+		fmt.Sprintf("Figure 6: schedule() calls and migrations (VolanoMark, %d rooms)", rooms),
+		"Config", "elsc calls(k)", "reg calls(k)", "elsc new-cpu", "reg new-cpu")
+	for _, spec := range PaperSpecs {
+		e := Find(runs, ELSC, spec.Label, rooms).Stats
+		r := Find(runs, Reg, spec.Label, rooms).Stats
+		t.AddRow(spec.Label,
+			int(e.SchedCalls/1000), int(r.SchedCalls/1000),
+			e.Migrations, r.Migrations)
+	}
+	return t
+}
+
+// Profile reproduces the §4 claim that 37-55% of kernel time goes to the
+// scheduler under the stock scheduler, and contrasts ELSC.
+func Profile(runs []VolanoRun, rooms []int) *stats.Table {
+	t := stats.NewTable("§4 profile: scheduler share of kernel time (UP)",
+		"Rooms", "reg %", "elsc %")
+	for _, r := range rooms {
+		regStats := Find(runs, Reg, "UP", r).Stats
+		elscStats := Find(runs, ELSC, "UP", r).Stats
+		t.AddRow(r,
+			100*regStats.SchedulerShareOfKernel(),
+			100*elscStats.SchedulerShareOfKernel())
+	}
+	return t
+}
+
+// AltSchedulers compares the future-work designs (§8) against ELSC and the
+// stock scheduler on one VolanoMark configuration.
+func AltSchedulers(spec MachineSpec, rooms int, sc Scale) *stats.Table {
+	t := stats.NewTable(
+		fmt.Sprintf("§8 alternatives: VolanoMark %d rooms on %s", rooms, spec.Label),
+		"Scheduler", "Throughput", "cyc/sched", "examined", "recalcs", "migrations")
+	for _, policy := range []string{Reg, ELSC, Heap, MQ} {
+		r := RunVolano(spec, policy, rooms, sc)
+		t.AddRow(policy,
+			int(r.Result.Throughput),
+			int(r.Stats.CyclesPerSchedule()),
+			r.Stats.ExaminedPerSchedule(),
+			r.Stats.Recalcs,
+			r.Stats.Migrations)
+	}
+	return t
+}
+
+// WakeLatency measures wake-to-dispatch latency versus background load —
+// an extension along the related-work axis (§2): the stock scheduler's
+// O(n) scan sits on the wake path, so its latency grows with the run
+// queue.
+func WakeLatency(spec MachineSpec, hogCounts []int, sc Scale) *stats.Table {
+	t := stats.NewTable(
+		fmt.Sprintf("Extension: wake-to-dispatch latency on %s (us)", spec.Label),
+		"Hogs", "reg mean", "reg p99", "reg max", "elsc mean", "elsc p99", "elsc max")
+	for _, hogs := range hogCounts {
+		row := make(map[string]latency.Result, 2)
+		for _, policy := range []string{Reg, ELSC} {
+			m := NewMachine(spec, policy, sc)
+			row[policy] = latency.New(m, latency.Config{Hogs: hogs}).Run()
+		}
+		t.AddRow(hogs,
+			row[Reg].MeanUS, row[Reg].P99US, row[Reg].MaxUS,
+			row[ELSC].MeanUS, row[ELSC].P99US, row[ELSC].MaxUS)
+	}
+	return t
+}
+
+// Webserver runs the §8 Apache question: throughput and latency under
+// both schedulers at a given machine spec.
+func Webserver(spec MachineSpec, cfg webserver.Config, sc Scale) *stats.Table {
+	t := stats.NewTable(
+		fmt.Sprintf("§8 future work: Apache-style webserver on %s", spec.Label),
+		"Scheduler", "req/s", "mean lat (ms)", "max lat (ms)", "cyc/sched")
+	for _, policy := range []string{Reg, ELSC} {
+		r := RunWeb(spec, policy, cfg, sc)
+		t.AddRow(policy,
+			int(r.Result.Throughput),
+			r.Result.MeanLatMS,
+			r.Result.MaxLatMS,
+			int(r.Stats.CyclesPerSchedule()))
+	}
+	return t
+}

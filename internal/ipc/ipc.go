@@ -1,0 +1,336 @@
+// Package ipc provides blocking inter-task communication on top of the
+// kernel substrate: bounded and unbounded FIFO message queues (which stand
+// in for the loopback socket connections VolanoMark uses), and a
+// yield-spinning mutex that models the user-level locking of IBM's JDK
+// 1.1.7 — the behavior that makes VolanoMark hammer sys_sched_yield and,
+// on the stock scheduler, detonate the counter-recalculation loop
+// (Figure 2).
+package ipc
+
+import (
+	"elsc/internal/kernel"
+	"elsc/internal/sim"
+)
+
+// Msg is one message in flight. Payload identity is up to the workload.
+type Msg struct {
+	From    int   // sender's connection/user id
+	Seq     int   // sender-local sequence number
+	Payload int64 // opaque
+}
+
+// Queue is a FIFO of messages with blocking Recv and (for bounded queues)
+// blocking Send. Cap == 0 means unbounded. It stands in for one direction
+// of a socket: the paper's loopback VolanoMark runs put four threads on
+// each connection precisely because Java lacked non-blocking I/O.
+type Queue struct {
+	Name string
+	Cap  int
+
+	// Serial, when set, serializes every operation on this queue
+	// through a machine-global resource for SerialHold cycles — the
+	// 2.3.x-era big-kernel-lock behavior of the socket path. Loopback
+	// sockets should share one SerialResource; cheap in-process queues
+	// may use a smaller hold or none.
+	Serial     *kernel.SerialResource
+	SerialHold uint64
+
+	// DeliverLatency delays a sent message's visibility to receivers,
+	// modeling 2.3.x loopback delivery through netif_rx and the
+	// net bottom-half: data written to a loopback socket is readable on
+	// a later softirq run, not instantly. These gaps are where the
+	// benchmark's spin-pollers end up yielding as the only runnable
+	// task — the paper's recalculation trigger.
+	DeliverLatency uint64
+
+	buf       []Msg
+	inFlight  int
+	readers   *kernel.WaitQueue
+	writers   *kernel.WaitQueue
+	delivered uint64
+	sent      uint64
+}
+
+// NewQueue returns a queue with the given capacity (0 = unbounded).
+func NewQueue(name string, capacity int) *Queue {
+	return &Queue{
+		Name:    name,
+		Cap:     capacity,
+		readers: kernel.NewWaitQueue(name + ".readers"),
+		writers: kernel.NewWaitQueue(name + ".writers"),
+	}
+}
+
+// Len returns the number of queued messages.
+func (q *Queue) Len() int { return len(q.buf) }
+
+// Sent returns the number of successful Send completions.
+func (q *Queue) Sent() uint64 { return q.sent }
+
+// Delivered returns the number of successful Recv completions.
+func (q *Queue) Delivered() uint64 { return q.delivered }
+
+// full reports whether a bounded queue has no room, counting in-flight
+// (sent but not yet delivered) messages against the capacity.
+func (q *Queue) full() bool { return q.Cap > 0 && len(q.buf)+q.inFlight >= q.Cap }
+
+// deposit makes m visible to receivers now or after the delivery latency.
+func (q *Queue) deposit(p *kernel.Proc, m Msg) {
+	if q.DeliverLatency == 0 {
+		q.buf = append(q.buf, m)
+		p.M.WakeOne(q.readers)
+		return
+	}
+	q.inFlight++
+	p.M.Engine().After(q.DeliverLatency, q.Name+".deliver", func(sim.Time) {
+		q.inFlight--
+		q.buf = append(q.buf, m)
+		p.M.WakeOne(q.readers)
+	})
+}
+
+// serialGate reserves the queue's serialized resource once per syscall
+// instance. It returns a non-nil delay outcome when the caller must spin
+// for its turn first.
+func (q *Queue) serialGate(now sim.Time, reserved *bool) (kernel.Outcome, bool) {
+	if q.Serial == nil || *reserved {
+		return kernel.Outcome{}, false
+	}
+	*reserved = true
+	if wait := q.Serial.Reserve(now, q.SerialHold); wait > 0 {
+		return kernel.DelayFor(wait), true
+	}
+	return kernel.Outcome{}, false
+}
+
+// Send returns a syscall action that enqueues m, blocking while the queue
+// is full. cost is the simulated in-kernel work of the write path
+// (socket buffer copy, protocol processing).
+func (q *Queue) Send(cost uint64, m Msg) kernel.Action {
+	reserved := false
+	return kernel.Syscall{
+		Name: q.Name + ".send",
+		Cost: cost,
+		Fn: func(p *kernel.Proc, now sim.Time) kernel.Outcome {
+			if out, wait := q.serialGate(now, &reserved); wait {
+				return out
+			}
+			if q.full() {
+				return kernel.BlockOn(q.writers)
+			}
+			q.sent++
+			q.deposit(p, m)
+			return kernel.Done()
+		},
+	}
+}
+
+// SendFunc is like Send but computes the message at completion time, for
+// messages whose content depends on state mutated by earlier actions.
+func (q *Queue) SendFunc(cost uint64, f func() Msg) kernel.Action {
+	reserved := false
+	return kernel.Syscall{
+		Name: q.Name + ".send",
+		Cost: cost,
+		Fn: func(p *kernel.Proc, now sim.Time) kernel.Outcome {
+			if out, wait := q.serialGate(now, &reserved); wait {
+				return out
+			}
+			if q.full() {
+				return kernel.BlockOn(q.writers)
+			}
+			q.sent++
+			q.deposit(p, f())
+			return kernel.Done()
+		},
+	}
+}
+
+// Recv returns a syscall action that dequeues the oldest message into out,
+// blocking while the queue is empty.
+func (q *Queue) Recv(cost uint64, out *Msg) kernel.Action {
+	reserved := false
+	return kernel.Syscall{
+		Name: q.Name + ".recv",
+		Cost: cost,
+		Fn: func(p *kernel.Proc, now sim.Time) kernel.Outcome {
+			if o, wait := q.serialGate(now, &reserved); wait {
+				return o
+			}
+			if len(q.buf) == 0 {
+				return kernel.BlockOn(q.readers)
+			}
+			*out = q.buf[0]
+			copy(q.buf, q.buf[1:])
+			q.buf = q.buf[:len(q.buf)-1]
+			q.delivered++
+			if q.Cap > 0 {
+				p.M.WakeOne(q.writers)
+			}
+			return kernel.Done()
+		},
+	}
+}
+
+// TryRecv returns a syscall action that polls the queue without blocking:
+// *got reports whether a message was dequeued into out. Combined with
+// Yield, this models the adaptive spin-then-block receive of a 1999-era
+// JVM thread library, whose lonely yields are what drive the stock
+// scheduler's recalculation storm (paper Figure 2).
+func (q *Queue) TryRecv(cost uint64, out *Msg, got *bool) kernel.Action {
+	reserved := false
+	return kernel.Syscall{
+		Name: q.Name + ".tryrecv",
+		Cost: cost,
+		Fn: func(p *kernel.Proc, now sim.Time) kernel.Outcome {
+			if o, wait := q.serialGate(now, &reserved); wait {
+				return o
+			}
+			if len(q.buf) == 0 {
+				*got = false
+				return kernel.Done()
+			}
+			*out = q.buf[0]
+			copy(q.buf, q.buf[1:])
+			q.buf = q.buf[:len(q.buf)-1]
+			q.delivered++
+			*got = true
+			if q.Cap > 0 {
+				p.M.WakeOne(q.writers)
+			}
+			return kernel.Done()
+		},
+	}
+}
+
+// Inject deposits a message from outside any simulated task — e.g. an
+// open-loop arrival process modeled as plain engine events — and wakes one
+// reader. It bypasses capacity checks; callers enforce their own backlog
+// policy.
+func (q *Queue) Inject(m *kernel.Machine, msg Msg) {
+	q.sent++
+	q.buf = append(q.buf, msg)
+	m.WakeOne(q.readers)
+}
+
+// WakeAllReaders releases every reader blocked on the queue, for shutdown
+// paths where no more messages will arrive.
+func (q *Queue) WakeAllReaders(m *kernel.Machine) {
+	m.WakeAll(q.readers)
+}
+
+// SockPair is a bidirectional loopback connection: two bounded queues, one
+// per direction, like the socket VolanoMark opens per simulated chat user.
+type SockPair struct {
+	// ClientToServer carries client writes; ServerToClient carries
+	// server writes.
+	ClientToServer *Queue
+	ServerToClient *Queue
+}
+
+// NewSockPair builds a loopback connection with the given per-direction
+// buffer capacity in messages.
+func NewSockPair(name string, capacity int) *SockPair {
+	return &SockPair{
+		ClientToServer: NewQueue(name+".c2s", capacity),
+		ServerToClient: NewQueue(name+".s2c", capacity),
+	}
+}
+
+// YieldMutex is a user-space lock that spins by calling sys_sched_yield
+// before suspending, as IBM JDK 1.1.7's monitors did. Contention on such
+// locks floods the scheduler with yielding tasks — the paper's §4 stress
+// mechanism. Spinning must be bounded (TryLock callers yield a few times,
+// then fall back to LockBlocking); an unbounded yield loop would starve a
+// lock holder that a table scheduler has filed in a lower list.
+type YieldMutex struct {
+	Name    string
+	owner   *kernel.Proc
+	waiters *kernel.WaitQueue
+	spins   uint64
+	acqs    uint64
+	blocked uint64
+	tryFee  uint64
+}
+
+// NewYieldMutex returns an unlocked mutex. tryCost is the simulated cost
+// of one lock attempt (a compare-and-swap plus bookkeeping).
+func NewYieldMutex(name string, tryCost uint64) *YieldMutex {
+	if tryCost == 0 {
+		tryCost = 120
+	}
+	return &YieldMutex{
+		Name:    name,
+		tryFee:  tryCost,
+		waiters: kernel.NewWaitQueue(name + ".waiters"),
+	}
+}
+
+// Locked reports whether the mutex is held.
+func (mu *YieldMutex) Locked() bool { return mu.owner != nil }
+
+// Spins returns how many failed attempts (each followed by a yield) have
+// occurred.
+func (mu *YieldMutex) Spins() uint64 { return mu.spins }
+
+// Acquisitions returns the number of successful lock acquisitions.
+func (mu *YieldMutex) Acquisitions() uint64 { return mu.acqs }
+
+// TryLock attempts the lock once; *got reports success.
+func (mu *YieldMutex) TryLock(got *bool) kernel.Action {
+	return kernel.Syscall{
+		Name: mu.Name + ".trylock",
+		Cost: mu.tryFee,
+		Fn: func(p *kernel.Proc, now sim.Time) kernel.Outcome {
+			if mu.owner == nil {
+				mu.owner = p
+				mu.acqs++
+				*got = true
+			} else {
+				mu.spins++
+				*got = false
+			}
+			return kernel.Done()
+		},
+	}
+}
+
+// LockBlocking acquires the lock, suspending the caller until it is
+// available — the JVM monitor's post-spin fallback. The kernel's syscall
+// retry loop re-checks the condition after every wake.
+func (mu *YieldMutex) LockBlocking() kernel.Action {
+	return kernel.Syscall{
+		Name: mu.Name + ".lock",
+		Cost: mu.tryFee,
+		Fn: func(p *kernel.Proc, now sim.Time) kernel.Outcome {
+			if mu.owner == nil {
+				mu.owner = p
+				mu.acqs++
+				return kernel.Done()
+			}
+			mu.blocked++
+			return kernel.BlockOn(mu.waiters)
+		},
+	}
+}
+
+// BlockedAcquires returns how many acquisitions had to suspend.
+func (mu *YieldMutex) BlockedAcquires() uint64 { return mu.blocked }
+
+// Unlock releases the lock and wakes one suspended waiter. It panics if
+// the caller does not hold it, which in a deterministic simulation
+// indicates a workload bug.
+func (mu *YieldMutex) Unlock() kernel.Action {
+	return kernel.Syscall{
+		Name: mu.Name + ".unlock",
+		Cost: mu.tryFee / 2,
+		Fn: func(p *kernel.Proc, now sim.Time) kernel.Outcome {
+			if mu.owner != p {
+				panic("ipc: unlock of a mutex not held by caller")
+			}
+			mu.owner = nil
+			p.M.WakeOne(mu.waiters)
+			return kernel.Done()
+		},
+	}
+}

@@ -1,0 +1,417 @@
+package kernel
+
+import (
+	"elsc/internal/sim"
+	"elsc/internal/task"
+)
+
+// CPU is one simulated processor. It is either idle, executing a proc's
+// current work segment, or "transitioning": a schedule() decision has been
+// made and the context switch completes a little later in virtual time
+// (the scheduler's own cost, lock spin, and switch penalties).
+type CPU struct {
+	id int
+	m  *Machine
+
+	current       *Proc
+	idleTask      *task.Task
+	transitioning bool
+	needResched   bool
+	reschedSent   bool
+
+	runDone  *sim.Event
+	segStart sim.Time
+	idleFrom sim.Time
+
+	// work is the CPU's task-work clock: total cycles of user work
+	// executed here, the pollution clock for the cache model.
+	work uint64
+	// idleAccum totals completed idle stretches; dispatches counts
+	// context switches completed here (both feed MPStat).
+	idleAccum  uint64
+	dispatches uint64
+}
+
+// ID returns the processor number.
+func (c *CPU) ID() int { return c.id }
+
+// isIdle reports whether the CPU has nothing running and no dispatch in
+// flight.
+func (c *CPU) isIdle() bool { return c.current == nil && !c.transitioning }
+
+// kickIdle asks an idle CPU to run schedule() after the wake-up IPI
+// latency. Duplicate kicks collapse via reschedSent.
+func (c *CPU) kickIdle() {
+	if c.reschedSent {
+		return
+	}
+	c.reschedSent = true
+	c.m.eng.After(ipiLatency, "kick-idle", func(now sim.Time) {
+		c.reschedSent = false
+		if c.isIdle() {
+			c.m.reschedule(c, now)
+		}
+	})
+}
+
+// sendResched delivers a preemption IPI: when it lands, the CPU stops its
+// current segment and calls schedule().
+func (c *CPU) sendResched() {
+	if c.reschedSent {
+		return
+	}
+	c.reschedSent = true
+	c.m.eng.After(ipiLatency, "resched-ipi", func(now sim.Time) {
+		c.reschedSent = false
+		switch {
+		case c.transitioning:
+			// A decision is already in flight; the dispatch path
+			// re-checks needResched.
+			c.needResched = true
+		case c.current == nil:
+			c.m.reschedule(c, now)
+		default:
+			c.interrupt(now)
+			c.current.Task.InvSwitches++
+			c.m.reschedule(c, now)
+		}
+	})
+}
+
+// interrupt stops the current segment at now, crediting the elapsed work.
+func (c *CPU) interrupt(now sim.Time) {
+	p := c.current
+	if p == nil {
+		return
+	}
+	if c.runDone != nil {
+		c.m.eng.Cancel(c.runDone)
+		c.runDone = nil
+	}
+	elapsed := uint64(now - c.segStart)
+	if elapsed > p.remaining {
+		elapsed = p.remaining
+	}
+	p.remaining -= elapsed
+	c.creditWork(p, elapsed)
+}
+
+// creditWork accounts executed cycles to the proc and machine. Segments
+// with a completion handler or an in-flight syscall are kernel crossings
+// (syscall, yield, sleep, exit); plain compute segments are user work.
+func (c *CPU) creditWork(p *Proc, cycles uint64) {
+	if cycles == 0 {
+		return
+	}
+	c.work += cycles
+	if p.syscall != nil || p.onDone != nil {
+		p.Task.SystemCycles += cycles
+		c.m.stats.SyscallCycles += cycles
+	} else {
+		p.Task.UserCycles += cycles
+		c.m.stats.TaskCycles += cycles
+	}
+}
+
+// tick is the 10 ms timer interrupt: account overhead, age the running
+// task's quantum, and force schedule() on expiry.
+func (c *CPU) tick(now sim.Time) {
+	m := c.m
+	m.eng.After(m.cfg.TickCycles, "tick", c.tick)
+	m.stats.TickCycles += m.env.Cost.TickCost
+	if c.transitioning {
+		return
+	}
+	if c.current == nil {
+		// The idle loop polls need_resched: rescue any runnable work
+		// that arrived without a kick.
+		if m.sched.Runnable() > 0 {
+			m.reschedule(c, now)
+		}
+		return
+	}
+	p := c.current
+	t := p.Task
+	if t.Policy == task.FIFO {
+		return // FIFO tasks run until they block or yield
+	}
+	if t.TickDecrement(m.env.Epoch) == 0 {
+		m.stats.QuantumExpiry++
+		t.InvSwitches++
+		c.interrupt(now)
+		m.reschedule(c, now)
+	}
+}
+
+// startSegment begins (or resumes) the proc's current work segment.
+func (c *CPU) startSegment(now sim.Time) {
+	p := c.current
+	if p.remaining == 0 {
+		p.remaining = 1 // keep virtual time strictly advancing
+	}
+	c.segStart = now
+	c.runDone = c.m.eng.After(p.remaining, "rundone", c.segmentDone)
+}
+
+// segmentDone fires when the current segment's cycles have elapsed.
+func (c *CPU) segmentDone(now sim.Time) {
+	p := c.current
+	c.runDone = nil
+	c.creditWork(p, p.remaining)
+	p.remaining = 0
+	done := p.onDone
+	p.onDone = nil
+	if done != nil {
+		done(c, now)
+		return
+	}
+	c.nextAction(now)
+}
+
+// nextAction asks the program what to do and arms the next segment. A
+// pending needResched (wake-up preemption that landed mid-decision) is
+// honored first: syscall boundaries are preemption points.
+func (c *CPU) nextAction(now sim.Time) {
+	m := c.m
+	p := c.current
+	if p == nil {
+		return
+	}
+	if c.needResched {
+		c.needResched = false
+		p.Task.InvSwitches++
+		m.reschedule(c, now)
+		return
+	}
+	if p.syscall != nil {
+		// Woken from a blocked syscall: recheck the condition.
+		p.remaining = syscallRetryCost
+		p.onDone = runSyscall
+		c.startSegment(now)
+		return
+	}
+	act := p.prog.Step(p)
+	p.Steps++
+	if act == nil {
+		act = Exit{}
+	}
+	switch a := act.(type) {
+	case Compute:
+		p.remaining = a.Cycles
+		p.onDone = nil
+		c.startSegment(now)
+	case Syscall:
+		sc := a
+		p.syscall = &sc
+		p.remaining = a.Cost + m.env.Cost.SyscallBase
+		p.onDone = runSyscall
+		c.startSegment(now)
+	case Yield:
+		p.remaining = m.env.Cost.SyscallBase
+		p.onDone = doYield
+		c.startSegment(now)
+	case Sleep:
+		d := a.Cycles
+		p.remaining = m.env.Cost.SyscallBase
+		p.onDone = func(c *CPU, now sim.Time) { doSleep(c, now, d) }
+		c.startSegment(now)
+	case Exit:
+		p.remaining = m.env.Cost.SyscallBase
+		p.onDone = doExit
+		c.startSegment(now)
+	default:
+		panic("kernel: unknown action type")
+	}
+}
+
+// runSyscall executes the in-flight syscall's effect at segment end.
+func runSyscall(c *CPU, now sim.Time) {
+	p := c.current
+	out := p.syscall.Fn(p, now)
+	if out.Delay > 0 {
+		// Spinning on a serialized kernel resource: burn the cycles,
+		// then recheck.
+		p.remaining = out.Delay
+		p.onDone = runSyscall
+		c.startSegment(now)
+		return
+	}
+	if out.Wait != nil {
+		// Block: leave p.syscall set so the condition is rechecked
+		// after wake-up, like a kernel wait loop.
+		p.Task.State = task.Interruptible
+		p.Task.VolSwitches++
+		out.Wait.enqueue(p)
+		c.m.reschedule(c, now)
+		return
+	}
+	p.syscall = nil
+	c.nextAction(now)
+}
+
+// doYield implements sys_sched_yield: set the SCHED_YIELD bit and call
+// schedule().
+func doYield(c *CPU, now sim.Time) {
+	p := c.current
+	c.m.stats.YieldCalls++
+	p.Task.Yielded = true
+	p.Task.VolSwitches++
+	c.m.reschedule(c, now)
+}
+
+// doSleep blocks the proc on a timer.
+func doSleep(c *CPU, now sim.Time, d uint64) {
+	p := c.current
+	m := c.m
+	p.Task.State = task.Interruptible
+	p.Task.VolSwitches++
+	p.sleepEv = m.eng.After(d, "sleep-wake", func(sim.Time) {
+		p.sleepEv = nil
+		m.wake(p)
+	})
+	m.reschedule(c, now)
+}
+
+// doExit terminates the proc.
+func doExit(c *CPU, now sim.Time) {
+	p := c.current
+	m := c.m
+	p.exited = true
+	p.Task.State = task.Zombie
+	m.alive--
+	m.reschedule(c, now)
+}
+
+// reschedule is the kernel's schedule(): pick the next task under the
+// run-queue lock, account the cost, and complete the context switch after
+// the decision's virtual duration.
+func (m *Machine) reschedule(c *CPU, now sim.Time) {
+	prev := c.current
+	prevTask := c.idleTask
+	if prev != nil {
+		prevTask = prev.Task
+	}
+	c.current = nil
+	c.transitioning = true
+	if prev == nil {
+		// Leaving idle: account the idle stretch.
+		m.stats.IdleCycles += uint64(now - c.idleFrom)
+		c.idleAccum += uint64(now - c.idleFrom)
+	}
+
+	lock := m.rqLockFor(c.id)
+	start, spin := lock.acquire(now)
+	res := m.sched.Schedule(c.id, prevTask)
+	hold := res.Cycles + m.env.Cost.LockOp
+	lock.release(start + sim.Time(hold))
+
+	m.stats.SchedCalls++
+	m.stats.SchedCycles += res.Cycles
+	m.stats.SpinCycles += spin
+	m.stats.Examined += uint64(res.Examined)
+	m.stats.Recalcs += uint64(res.Recalcs)
+	m.stats.PerSchedule.Observe(res.Cycles + spin)
+	m.stats.ExaminedDist.Observe(uint64(res.Examined))
+	if m.cfg.Trace != nil {
+		m.cfg.Trace(TraceEvent{
+			Now: now, CPU: c.id, Prev: prevTask, Next: res.Next,
+			Examined: res.Examined, Cycles: res.Cycles, Spin: spin,
+			Recalcs: res.Recalcs,
+		})
+	}
+
+	// The previous task is no longer executing (unless re-chosen).
+	if prev != nil {
+		if m.noter != nil && prevTask.OnRunqueue() {
+			m.noter.NoteRunning(prevTask, false)
+		}
+		prevTask.HasCPU = false
+		prev.workStamp = c.work
+	}
+
+	next := res.Next
+	delay := uint64(start-now) + res.Cycles
+	var nextProc *Proc
+	if next == nil {
+		m.stats.IdleSwitches++
+	} else {
+		nextProc = m.procOf(next)
+		if next != prevTask {
+			m.stats.CtxSwitches++
+			delay += m.env.Cost.ContextSwitch
+			if next.MM != prevTask.MM {
+				m.stats.MMSwitches++
+				delay += m.env.Cost.MMSwitch
+			}
+			penalty := m.cachePenalty(c, nextProc)
+			m.stats.CacheCycles += penalty
+			delay += penalty
+		}
+		if next.EverRan && next.Processor != c.id {
+			m.stats.Migrations++
+			next.Migrations++
+		}
+		next.Dispatches++
+		// Claim the task immediately so no other CPU's decision can
+		// pick it during the switch window.
+		next.HasCPU = true
+		next.Processor = c.id
+		next.EverRan = true
+		if m.noter != nil && next.OnRunqueue() {
+			m.noter.NoteRunning(next, true)
+		}
+	}
+
+	m.eng.At(now+sim.Time(delay), "dispatch", func(t sim.Time) {
+		m.dispatch(c, nextProc, t)
+	})
+}
+
+// dispatch completes the context switch started by reschedule.
+func (m *Machine) dispatch(c *CPU, p *Proc, now sim.Time) {
+	c.transitioning = false
+	c.dispatches++
+	if p == nil {
+		c.current = nil
+		c.idleFrom = now
+		if c.needResched {
+			// A wake-up landed during the switch-to-idle window.
+			c.needResched = false
+			m.reschedule(c, now)
+		}
+		return
+	}
+	c.current = p
+	if p.remaining > 0 || p.onDone != nil || p.syscall != nil {
+		// Resume the interrupted segment or retry a blocked syscall.
+		if p.remaining == 0 && p.syscall != nil && p.onDone == nil {
+			p.remaining = syscallRetryCost
+			p.onDone = runSyscall
+		}
+		c.startSegment(now)
+		return
+	}
+	c.nextAction(now)
+}
+
+// cachePenalty models the refill cost of dispatching p on c: zero if the
+// CPU's cache still holds p's working set, growing with the work other
+// tasks have done there since, and full after a migration. This is the
+// cost the 15-point affinity bonus exists to avoid, and the price ELSC
+// pays for its extra cross-CPU placements (Figure 6).
+func (m *Machine) cachePenalty(c *CPU, p *Proc) uint64 {
+	cost := m.env.Cost
+	t := p.Task
+	if !t.EverRan {
+		return cost.CacheRefillMax / 2 // cold start
+	}
+	if t.Processor != c.id {
+		return cost.CacheRefillMax
+	}
+	pollution := c.work - p.workStamp
+	pen := pollution / cost.CacheRefillPerWork
+	if pen > cost.CacheRefillMax {
+		pen = cost.CacheRefillMax
+	}
+	return pen
+}

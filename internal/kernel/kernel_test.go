@@ -1,0 +1,540 @@
+package kernel
+
+import (
+	"testing"
+
+	"elsc/internal/sched"
+	"elsc/internal/sched/elsc"
+	"elsc/internal/sched/vanilla"
+	"elsc/internal/sim"
+	"elsc/internal/task"
+)
+
+func vanillaFactory(env *sched.Env) sched.Scheduler { return vanilla.New(env) }
+func elscFactory(env *sched.Env) sched.Scheduler    { return elsc.New(env) }
+
+// bothSchedulers runs the subtest against each policy.
+func bothSchedulers(t *testing.T, fn func(t *testing.T, factory SchedulerFactory)) {
+	t.Helper()
+	t.Run("vanilla", func(t *testing.T) { fn(t, vanillaFactory) })
+	t.Run("elsc", func(t *testing.T) { fn(t, elscFactory) })
+}
+
+func newMachine(t *testing.T, cpus int, factory SchedulerFactory) *Machine {
+	t.Helper()
+	return NewMachine(Config{
+		CPUs:         cpus,
+		SMP:          cpus > 1,
+		Seed:         42,
+		NewScheduler: factory,
+		MaxCycles:    50 * DefaultHz, // generous safety horizon
+	})
+}
+
+// computeLoop returns a program that computes n chunks of c cycles.
+func computeLoop(n int, c uint64) Program {
+	i := 0
+	return ProgramFunc(func(p *Proc) Action {
+		if i >= n {
+			return Exit{}
+		}
+		i++
+		return Compute{Cycles: c}
+	})
+}
+
+func TestSingleTaskRunsToExit(t *testing.T) {
+	bothSchedulers(t, func(t *testing.T, f SchedulerFactory) {
+		m := newMachine(t, 1, f)
+		p := m.Spawn("worker", nil, computeLoop(10, 1000))
+		m.Run(func() bool { return p.Exited() })
+		if !p.Exited() {
+			t.Fatal("task did not exit")
+		}
+		if p.Task.UserCycles != 10000 {
+			t.Fatalf("user cycles = %d, want 10000", p.Task.UserCycles)
+		}
+		if m.Alive() != 0 {
+			t.Fatalf("alive = %d, want 0", m.Alive())
+		}
+		if m.Now() == 0 {
+			t.Fatal("virtual time did not advance")
+		}
+	})
+}
+
+func TestAllTasksComplete(t *testing.T) {
+	bothSchedulers(t, func(t *testing.T, f SchedulerFactory) {
+		m := newMachine(t, 2, f)
+		const n = 20
+		for i := 0; i < n; i++ {
+			m.Spawn("w", nil, computeLoop(5, 10000))
+		}
+		m.Run(func() bool { return m.Alive() == 0 })
+		if m.Alive() != 0 {
+			t.Fatalf("alive = %d, want 0", m.Alive())
+		}
+		for _, p := range m.Procs() {
+			if !p.Exited() {
+				t.Fatalf("%v never exited", p.Task)
+			}
+		}
+	})
+}
+
+func TestQuantumExpiryForcesSwitch(t *testing.T) {
+	bothSchedulers(t, func(t *testing.T, f SchedulerFactory) {
+		m := newMachine(t, 1, f)
+		// Two CPU hogs, each needing 60 ticks of CPU: quantum (20
+		// ticks) must expire repeatedly.
+		a := m.Spawn("a", nil, computeLoop(1, 60*DefaultTickCycles))
+		b := m.Spawn("b", nil, computeLoop(1, 60*DefaultTickCycles))
+		m.Run(func() bool { return a.Exited() && b.Exited() })
+		if m.Stats().QuantumExpiry == 0 {
+			t.Fatal("no quantum expiries recorded")
+		}
+		if m.Stats().Recalcs == 0 {
+			t.Fatal("CPU hogs must trigger counter recalculation")
+		}
+		if a.Task.InvSwitches == 0 && b.Task.InvSwitches == 0 {
+			t.Fatal("no involuntary switches")
+		}
+	})
+}
+
+func TestFairnessBetweenEqualHogs(t *testing.T) {
+	bothSchedulers(t, func(t *testing.T, f SchedulerFactory) {
+		m := newMachine(t, 1, f)
+		total := uint64(100 * DefaultTickCycles)
+		a := m.Spawn("a", nil, computeLoop(1, total))
+		b := m.Spawn("b", nil, computeLoop(1, total))
+		// Run until the first finishes; at that point the other should
+		// have had roughly half the CPU.
+		m.Run(func() bool { return a.Exited() || b.Exited() })
+		ua, ub := a.Task.UserCycles, b.Task.UserCycles
+		lo, hi := ua, ub
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		if float64(lo) < 0.7*float64(hi) {
+			t.Fatalf("unfair split: %d vs %d", ua, ub)
+		}
+	})
+}
+
+func TestPriorityGetsProportionallyMore(t *testing.T) {
+	bothSchedulers(t, func(t *testing.T, f SchedulerFactory) {
+		m := newMachine(t, 1, f)
+		hi := m.Spawn("hi", nil, computeLoop(1, 400*DefaultTickCycles))
+		lo := m.Spawn("lo", nil, computeLoop(1, 400*DefaultTickCycles))
+		m.SetPriority(hi, 40)
+		m.SetPriority(lo, 10)
+		m.Run(func() bool { return hi.Exited() || lo.Exited() })
+		if hi.Task.UserCycles <= lo.Task.UserCycles {
+			t.Fatalf("priority 40 task got %d cycles, priority 10 got %d",
+				hi.Task.UserCycles, lo.Task.UserCycles)
+		}
+	})
+}
+
+func TestSleepDuration(t *testing.T) {
+	bothSchedulers(t, func(t *testing.T, f SchedulerFactory) {
+		m := newMachine(t, 1, f)
+		var wokeAt sim.Time
+		step := 0
+		p := m.Spawn("sleeper", nil, ProgramFunc(func(p *Proc) Action {
+			step++
+			switch step {
+			case 1:
+				return Sleep{Cycles: 1_000_000}
+			case 2:
+				wokeAt = p.M.Now()
+				return Exit{}
+			}
+			return nil
+		}))
+		m.Run(func() bool { return p.Exited() })
+		if wokeAt < 1_000_000 {
+			t.Fatalf("woke at %d, want >= 1000000", wokeAt)
+		}
+		// Allow syscall/dispatch overhead but not an extra quantum.
+		if wokeAt > 1_500_000 {
+			t.Fatalf("woke far too late: %d", wokeAt)
+		}
+	})
+}
+
+func TestBlockingSyscallAndWake(t *testing.T) {
+	bothSchedulers(t, func(t *testing.T, f SchedulerFactory) {
+		m := newMachine(t, 1, f)
+		wq := NewWaitQueue("box")
+		full := false // one-slot mailbox
+
+		consumed := 0
+		consumer := m.Spawn("consumer", nil, ProgramFunc(func(p *Proc) Action {
+			if consumed >= 3 {
+				return Exit{}
+			}
+			return Syscall{Name: "recv", Cost: 500, Fn: func(p *Proc, now sim.Time) Outcome {
+				if !full {
+					return BlockOn(wq)
+				}
+				full = false
+				consumed++
+				p.M.WakeAll(wq) // release a producer blocked on a full box
+				return Done()
+			}}
+		}))
+		sent := 0
+		producer := m.Spawn("producer", nil, ProgramFunc(func(p *Proc) Action {
+			if sent >= 3 {
+				return Exit{}
+			}
+			return Syscall{Name: "send", Cost: 500, Fn: func(p *Proc, now sim.Time) Outcome {
+				if full {
+					return BlockOn(wq)
+				}
+				full = true
+				sent++
+				p.M.WakeAll(wq)
+				return Done()
+			}}
+		}))
+		m.Run(func() bool { return consumer.Exited() && producer.Exited() })
+		if consumed != 3 || sent != 3 {
+			t.Fatalf("consumed=%d sent=%d, want 3/3", consumed, sent)
+		}
+		if m.Stats().WakeCalls == 0 {
+			t.Fatal("no wake calls recorded")
+		}
+	})
+}
+
+func TestWakePreemptsWeakerTask(t *testing.T) {
+	bothSchedulers(t, func(t *testing.T, f SchedulerFactory) {
+		m := newMachine(t, 1, f)
+		// A CPU hog with low priority, and a sleeper with high priority
+		// that wakes mid-run: the wake must preempt the hog.
+		hog := m.Spawn("hog", nil, computeLoop(1, 50*DefaultTickCycles))
+		m.SetPriority(hog, 10)
+		var ranAt sim.Time
+		step := 0
+		sleeper := m.Spawn("sleeper", nil, ProgramFunc(func(p *Proc) Action {
+			step++
+			switch step {
+			case 1:
+				return Sleep{Cycles: 3 * DefaultTickCycles}
+			case 2:
+				ranAt = p.M.Now()
+				return Exit{}
+			}
+			return nil
+		}))
+		m.SetPriority(sleeper, 40)
+		m.Run(func() bool { return sleeper.Exited() })
+		// The sleeper must get the CPU shortly after its wake, well
+		// before the hog's 50-tick run completes.
+		if ranAt > sim.Time(6*DefaultTickCycles) {
+			t.Fatalf("sleeper ran at %d, preemption failed", ranAt)
+		}
+		if m.Stats().Preemptions == 0 {
+			t.Fatal("no preemptions recorded")
+		}
+	})
+}
+
+func TestYieldAlternation(t *testing.T) {
+	bothSchedulers(t, func(t *testing.T, f SchedulerFactory) {
+		m := newMachine(t, 1, f)
+		mk := func(n *int) Program {
+			return ProgramFunc(func(p *Proc) Action {
+				if *n >= 50 {
+					return Exit{}
+				}
+				*n++
+				return Yield{}
+			})
+		}
+		var na, nb int
+		a := m.Spawn("a", nil, mk(&na))
+		b := m.Spawn("b", nil, mk(&nb))
+		m.Run(func() bool { return a.Exited() && b.Exited() })
+		if na != 50 || nb != 50 {
+			t.Fatalf("yields: a=%d b=%d, want 50/50", na, nb)
+		}
+		if m.Stats().YieldCalls != 100 {
+			t.Fatalf("yield calls = %d, want 100", m.Stats().YieldCalls)
+		}
+	})
+}
+
+func TestVanillaYieldStormRecalculates(t *testing.T) {
+	// The Figure 2 mechanism, baseline side: a lone yielding task drives
+	// the stock scheduler into the recalculation loop on every yield.
+	m := newMachine(t, 1, vanillaFactory)
+	n := 0
+	p := m.Spawn("yielder", nil, ProgramFunc(func(p *Proc) Action {
+		if n >= 100 {
+			return Exit{}
+		}
+		n++
+		return Yield{}
+	}))
+	m.Run(func() bool { return p.Exited() })
+	if m.Stats().Recalcs < 90 {
+		t.Fatalf("recalcs = %d, want ~100 (one per lonely yield)", m.Stats().Recalcs)
+	}
+}
+
+func TestELSCYieldStormAvoidsRecalc(t *testing.T) {
+	// The Figure 2 mechanism, ELSC side: the same workload triggers
+	// (almost) no recalculation.
+	m := newMachine(t, 1, elscFactory)
+	n := 0
+	p := m.Spawn("yielder", nil, ProgramFunc(func(p *Proc) Action {
+		if n >= 100 {
+			return Exit{}
+		}
+		n++
+		return Yield{}
+	}))
+	m.Run(func() bool { return p.Exited() })
+	if m.Stats().Recalcs > 2 {
+		t.Fatalf("recalcs = %d, want ~0 (ELSC re-runs the yielder)", m.Stats().Recalcs)
+	}
+}
+
+func TestSMPUsesAllCPUs(t *testing.T) {
+	bothSchedulers(t, func(t *testing.T, f SchedulerFactory) {
+		m := newMachine(t, 4, f)
+		for i := 0; i < 8; i++ {
+			m.Spawn("w", nil, computeLoop(1, 20*DefaultTickCycles))
+		}
+		m.Run(func() bool { return m.Alive() == 0 })
+		elapsed := uint64(m.Now())
+		totalWork := uint64(8 * 20 * DefaultTickCycles)
+		// With 4 CPUs, elapsed must be far below serial time.
+		if elapsed > totalWork/2 {
+			t.Fatalf("elapsed %d vs serial %d: no parallelism", elapsed, totalWork)
+		}
+	})
+}
+
+func TestMigrationsHappenOnSMP(t *testing.T) {
+	bothSchedulers(t, func(t *testing.T, f SchedulerFactory) {
+		m := newMachine(t, 2, f)
+		// Interactive tasks with *irregular* burst/sleep lengths: the
+		// resulting imbalance forces schedule() to sometimes pull a
+		// task that last ran on the other CPU.
+		for i := 0; i < 6; i++ {
+			n := 0
+			rng := m.RNG().Fork()
+			m.Spawn("w", nil, ProgramFunc(func(p *Proc) Action {
+				if n >= 40 {
+					return Exit{}
+				}
+				n++
+				if n%2 == 0 {
+					return Sleep{Cycles: rng.Range(5_000, 80_000)}
+				}
+				return Compute{Cycles: rng.Range(20_000, 150_000)}
+			}))
+		}
+		m.Run(func() bool { return m.Alive() == 0 })
+		if m.Stats().Migrations == 0 {
+			t.Fatal("expected some cross-CPU migrations")
+		}
+	})
+}
+
+func TestDeterminism(t *testing.T) {
+	bothSchedulers(t, func(t *testing.T, f SchedulerFactory) {
+		run := func() (sim.Time, uint64, uint64) {
+			m := newMachine(t, 2, f)
+			for i := 0; i < 10; i++ {
+				m.Spawn("w", nil, computeLoop(20, 100_000))
+			}
+			m.Run(func() bool { return m.Alive() == 0 })
+			return m.Now(), m.Stats().SchedCalls, m.Stats().CtxSwitches
+		}
+		t1, s1, c1 := run()
+		t2, s2, c2 := run()
+		if t1 != t2 || s1 != s2 || c1 != c2 {
+			t.Fatalf("non-deterministic: (%d,%d,%d) vs (%d,%d,%d)", t1, s1, c1, t2, s2, c2)
+		}
+	})
+}
+
+func TestIdleAccounting(t *testing.T) {
+	bothSchedulers(t, func(t *testing.T, f SchedulerFactory) {
+		m := newMachine(t, 2, f)
+		// One task on two CPUs: one CPU must accumulate idle time.
+		p := m.Spawn("solo", nil, computeLoop(1, 5*DefaultTickCycles))
+		m.Run(func() bool { return p.Exited() })
+		if m.Stats().IdleCycles == 0 {
+			t.Fatal("no idle cycles on a 2-CPU machine with 1 task")
+		}
+	})
+}
+
+func TestRealTimeFIFORunsUntilBlock(t *testing.T) {
+	bothSchedulers(t, func(t *testing.T, f SchedulerFactory) {
+		m := newMachine(t, 1, f)
+		reg := m.Spawn("reg", nil, computeLoop(1, 30*DefaultTickCycles))
+		rt := m.SpawnRT("rt", task.FIFO, 50, computeLoop(1, 30*DefaultTickCycles))
+		m.Run(func() bool { return rt.Exited() })
+		// The FIFO task must finish its entire burst before the regular
+		// task gets any significant CPU.
+		if reg.Task.UserCycles > 2*DefaultTickCycles {
+			t.Fatalf("regular task got %d cycles while RT was runnable", reg.Task.UserCycles)
+		}
+	})
+}
+
+func TestRealTimeRRRoundRobin(t *testing.T) {
+	bothSchedulers(t, func(t *testing.T, f SchedulerFactory) {
+		m := newMachine(t, 1, f)
+		a := m.SpawnRT("rr-a", task.RR, 50, computeLoop(1, 60*DefaultTickCycles))
+		b := m.SpawnRT("rr-b", task.RR, 50, computeLoop(1, 60*DefaultTickCycles))
+		m.Run(func() bool { return a.Exited() || b.Exited() })
+		// Equal-priority RR tasks must interleave: when one finishes,
+		// the other should have comparable CPU time.
+		ua, ub := a.Task.UserCycles, b.Task.UserCycles
+		lo, hi := ua, ub
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		if float64(lo) < 0.6*float64(hi) {
+			t.Fatalf("RR tasks did not round-robin: %d vs %d", ua, ub)
+		}
+	})
+}
+
+func TestStatsRegistryRenders(t *testing.T) {
+	m := newMachine(t, 1, elscFactory)
+	p := m.Spawn("w", nil, computeLoop(3, 1000))
+	m.Run(func() bool { return p.Exited() })
+	out := m.Stats().Registry().Render()
+	for _, want := range []string{"sched_calls", "ctx_switches", "cycles_per_schedule"} {
+		if !contains(out, want) {
+			t.Fatalf("registry output missing %q:\n%s", want, out)
+		}
+	}
+	if m.Stats().Summary() == "" {
+		t.Fatal("empty summary")
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(sub) == 0 || indexOf(s, sub) >= 0)
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestSpawnMidRun(t *testing.T) {
+	bothSchedulers(t, func(t *testing.T, f SchedulerFactory) {
+		m := newMachine(t, 1, f)
+		var child *Proc
+		step := 0
+		parent := m.Spawn("parent", nil, ProgramFunc(func(p *Proc) Action {
+			step++
+			switch step {
+			case 1:
+				return Compute{Cycles: 10000}
+			case 2:
+				child = m.Spawn("child", nil, computeLoop(2, 5000))
+				return Compute{Cycles: 10000}
+			}
+			return nil
+		}))
+		m.Run(func() bool {
+			return parent.Exited() && child != nil && child.Exited()
+		})
+		if child == nil || !child.Exited() {
+			t.Fatal("mid-run spawned child did not complete")
+		}
+	})
+}
+
+func TestLockContentionAccumulates(t *testing.T) {
+	// With 4 CPUs hammering schedule(), the run-queue lock must show
+	// contention.
+	m := newMachine(t, 4, vanillaFactory)
+	for i := 0; i < 40; i++ {
+		n := 0
+		m.Spawn("switcher", nil, ProgramFunc(func(p *Proc) Action {
+			if n >= 30 {
+				return Exit{}
+			}
+			n++
+			return Sleep{Cycles: 20_000}
+		}))
+	}
+	m.Run(func() bool { return m.Alive() == 0 })
+	if m.Stats().LockContended == 0 {
+		t.Fatal("no lock contention on a busy 4-CPU machine")
+	}
+	if m.Stats().SpinCycles == 0 {
+		t.Fatal("no spin cycles recorded")
+	}
+}
+
+func TestMaxCyclesHorizonStopsRunaway(t *testing.T) {
+	m := NewMachine(Config{
+		CPUs:         1,
+		Seed:         1,
+		NewScheduler: elscFactory,
+		MaxCycles:    DefaultTickCycles * 3,
+	})
+	m.Spawn("forever", nil, ProgramFunc(func(p *Proc) Action {
+		return Compute{Cycles: 1000}
+	}))
+	m.Run(nil) // must terminate despite the immortal task
+	if m.Now() > sim.Time(DefaultTickCycles*3) {
+		t.Fatalf("ran past horizon: %d", m.Now())
+	}
+}
+
+func TestCachePenaltyChargedOnMigration(t *testing.T) {
+	bothSchedulers(t, func(t *testing.T, f SchedulerFactory) {
+		m := newMachine(t, 2, f)
+		for i := 0; i < 6; i++ {
+			m.Spawn("w", nil, computeLoop(30, DefaultTickCycles/3))
+		}
+		m.Run(func() bool { return m.Alive() == 0 })
+		if m.Stats().CacheCycles == 0 {
+			t.Fatal("no cache-refill penalties charged")
+		}
+	})
+}
+
+func TestSchedulerShareGrowsWithRunnableCount(t *testing.T) {
+	// The heart of the paper's problem statement: with many runnable
+	// tasks, the stock scheduler burns a growing share of kernel time.
+	share := func(n int) float64 {
+		m := newMachine(t, 1, vanillaFactory)
+		for i := 0; i < n; i++ {
+			k := 0
+			m.Spawn("switcher", nil, ProgramFunc(func(p *Proc) Action {
+				if k >= 20 {
+					return Exit{}
+				}
+				k++
+				return Sleep{Cycles: 50_000}
+			}))
+		}
+		m.Run(func() bool { return m.Alive() == 0 })
+		return m.Stats().SchedulerShareOfKernel()
+	}
+	small, large := share(4), share(100)
+	if large <= small {
+		t.Fatalf("scheduler share did not grow: %f at 4 tasks, %f at 100", small, large)
+	}
+}

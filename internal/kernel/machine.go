@@ -1,0 +1,466 @@
+// Package kernel simulates the parts of Linux 2.3.99-pre4 that surround
+// the scheduler: an SMP machine with per-CPU dispatch, 10 ms timer ticks
+// and quantum accounting, wait queues with wake-up preemption
+// (reschedule_idle), the global run-queue spinlock, and a cache-affinity
+// cost model. Scheduling policies plug in through sched.Scheduler, so the
+// stock scheduler and ELSC run on an identical substrate.
+//
+// The simulation is a single-threaded discrete-event program over virtual
+// CPU cycles; all scheduler work, lock spinning, context-switch and
+// cache-refill penalties consume virtual CPU time, so workload throughput
+// differences between schedulers emerge from the algorithms rather than
+// being asserted.
+package kernel
+
+import (
+	"fmt"
+
+	"elsc/internal/sched"
+	"elsc/internal/sim"
+	"elsc/internal/task"
+)
+
+// Default machine parameters: a 400 MHz Pentium II-class SMP (the paper's
+// IBM Netfinity testbeds) with HZ=100.
+const (
+	// DefaultHz is the simulated CPU clock rate in cycles per second.
+	DefaultHz = 400_000_000
+	// DefaultTickCycles is the timer interrupt period: 10 ms at 400 MHz.
+	DefaultTickCycles = DefaultHz / 100
+	// ipiLatency is the delay before a cross-CPU reschedule interrupt
+	// lands.
+	ipiLatency = 1200
+	// syscallRetryCost is charged each time a blocked syscall recheck
+	// runs after a wake-up.
+	syscallRetryCost = 250
+)
+
+// SchedulerFactory builds a scheduling policy bound to the machine's
+// environment.
+type SchedulerFactory func(env *sched.Env) sched.Scheduler
+
+// Config describes the machine to simulate.
+type Config struct {
+	// CPUs is the processor count (>= 1).
+	CPUs int
+	// SMP selects an SMP kernel build. The paper's "UP" rows are
+	// CPUs=1, SMP=false; its "1P" rows are CPUs=1, SMP=true.
+	SMP bool
+	// Hz is the CPU clock in cycles/second (default 400 MHz).
+	Hz uint64
+	// TickCycles is the timer period (default Hz/100 = 10 ms).
+	TickCycles uint64
+	// Seed drives all randomness in the machine and its workloads.
+	Seed int64
+	// NewScheduler builds the policy; nil panics.
+	NewScheduler SchedulerFactory
+	// Cost overrides the default cost model when non-nil.
+	Cost *sched.CostModel
+	// MaxCycles stops the simulation at this virtual time (0 = none).
+	MaxCycles uint64
+	// UniformSpawnCounter starts every task with a full quantum instead
+	// of modeling fork's counter inheritance (the parent's quantum is
+	// split with the child, so a process that forks many threads seeds
+	// them with varied counters). Uniform counters make goodness
+	// comparisons tie everywhere — convenient for unit tests, but not a
+	// regime a real machine ever runs in.
+	UniformSpawnCounter bool
+	// Trace, when non-nil, is invoked at every schedule() decision.
+	Trace func(ev TraceEvent)
+}
+
+// TraceEvent describes one schedule() decision for tracing tools.
+type TraceEvent struct {
+	Now      sim.Time
+	CPU      int
+	Prev     *task.Task // what was running (the idle task when leaving idle)
+	Next     *task.Task // what was chosen; nil means idle
+	Examined int
+	Cycles   uint64
+	Spin     uint64
+	Recalcs  int
+}
+
+// Machine is a simulated multiprocessor running one scheduler.
+type Machine struct {
+	cfg   Config
+	eng   sim.Engine
+	rng   *sim.RNG
+	env   *sched.Env
+	sched sched.Scheduler
+	noter runningNoter // non-nil when the policy tracks HasCPU flips
+	cpus  []*CPU
+
+	procs   []*Proc
+	byTask  map[*task.Task]*Proc
+	alive   int
+	nextPID int
+	mmSeq   int
+
+	// rqLocks is the run-queue lock timing model: a single global lock
+	// for the stock and ELSC schedulers (as in 2.3.99), one per CPU for
+	// policies that advertise PerCPU queues.
+	rqLocks []spinlock
+	stats   Stats
+}
+
+// perCPUQueues is implemented by policies with per-CPU run queues, which
+// the kernel rewards with split run-queue locks.
+type perCPUQueues interface {
+	PerCPU() bool
+}
+
+// runningNoter is implemented by policies (the stock scheduler) that keep
+// running tasks on the run queue and need to know when HasCPU flips.
+type runningNoter interface {
+	NoteRunning(t *task.Task, running bool)
+}
+
+// NewMachine builds and boots a machine: CPUs idle, ticks armed.
+func NewMachine(cfg Config) *Machine {
+	if cfg.CPUs < 1 {
+		panic("kernel: need at least one CPU")
+	}
+	if cfg.NewScheduler == nil {
+		panic("kernel: config needs a scheduler factory")
+	}
+	if cfg.Hz == 0 {
+		cfg.Hz = DefaultHz
+	}
+	if cfg.TickCycles == 0 {
+		cfg.TickCycles = cfg.Hz / 100
+	}
+	m := &Machine{
+		cfg:    cfg,
+		rng:    sim.NewRNG(cfg.Seed),
+		byTask: make(map[*task.Task]*Proc),
+	}
+	m.eng.MaxDur = sim.Time(cfg.MaxCycles)
+	m.env = sched.NewEnv(cfg.CPUs, cfg.SMP, func() int { return m.alive })
+	if cfg.Cost != nil {
+		m.env.Cost = *cfg.Cost
+	}
+	m.sched = cfg.NewScheduler(m.env)
+	m.noter, _ = m.sched.(runningNoter)
+	nlocks := 1
+	if pc, ok := m.sched.(perCPUQueues); ok && pc.PerCPU() {
+		nlocks = cfg.CPUs
+	}
+	m.rqLocks = make([]spinlock, nlocks)
+
+	m.cpus = make([]*CPU, cfg.CPUs)
+	for i := range m.cpus {
+		c := &CPU{id: i, m: m}
+		c.idleTask = task.New(-(i + 1), fmt.Sprintf("idle/%d", i), nil, m.env.Epoch)
+		c.idleTask.IsIdle = true
+		c.idleTask.Processor = i
+		m.cpus[i] = c
+		// Stagger per-CPU timer interrupts slightly so four CPUs do
+		// not pile onto the run-queue lock at the exact same instant.
+		m.eng.At(sim.Time(cfg.TickCycles+uint64(i)*997), "tick", c.tick)
+	}
+	return m
+}
+
+// Engine exposes the event engine (workloads schedule helper events).
+func (m *Machine) Engine() *sim.Engine { return &m.eng }
+
+// RNG returns the machine's deterministic random stream.
+func (m *Machine) RNG() *sim.RNG { return m.rng }
+
+// Env returns the scheduler environment.
+func (m *Machine) Env() *sched.Env { return m.env }
+
+// Scheduler returns the active policy.
+func (m *Machine) Scheduler() sched.Scheduler { return m.sched }
+
+// Stats returns the accumulated machine statistics.
+func (m *Machine) Stats() *Stats {
+	m.stats.LockAcquisitions = 0
+	m.stats.LockContended = 0
+	for i := range m.rqLocks {
+		m.stats.LockAcquisitions += m.rqLocks[i].acquisitions
+		m.stats.LockContended += m.rqLocks[i].contended
+	}
+	return &m.stats
+}
+
+// rqLockFor returns the lock guarding cpu's run queue.
+func (m *Machine) rqLockFor(cpu int) *spinlock {
+	return &m.rqLocks[cpu%len(m.rqLocks)]
+}
+
+// rqLockOfTask returns the lock guarding the queue a just-filed task landed
+// on. With a single global lock that is the global lock; with per-CPU
+// queues the scheduler records the home queue in the task's QIndex.
+func (m *Machine) rqLockOfTask(t *task.Task) *spinlock {
+	if len(m.rqLocks) == 1 {
+		return &m.rqLocks[0]
+	}
+	return &m.rqLocks[t.QIndex%len(m.rqLocks)]
+}
+
+// Now returns current virtual time in cycles.
+func (m *Machine) Now() sim.Time { return m.eng.Now() }
+
+// Hz returns the configured clock rate.
+func (m *Machine) Hz() uint64 { return m.cfg.Hz }
+
+// Seconds converts the current virtual time to seconds.
+func (m *Machine) Seconds() float64 {
+	return float64(m.eng.Now()) / float64(m.cfg.Hz)
+}
+
+// Alive returns the number of live (non-exited) tasks.
+func (m *Machine) Alive() int { return m.alive }
+
+// Procs returns all spawned procs, including exited ones.
+func (m *Machine) Procs() []*Proc { return m.procs }
+
+// NewMM allocates a fresh address space.
+func (m *Machine) NewMM(name string) *task.MM {
+	m.mmSeq++
+	return &task.MM{ID: m.mmSeq, Name: name}
+}
+
+// Spawn creates a task running prog in address space mm (nil for a kernel
+// thread), makes it runnable, and lets it preempt an idle or weaker CPU,
+// like wake_up_process on a fresh fork.
+func (m *Machine) Spawn(name string, mm *task.MM, prog Program) *Proc {
+	m.nextPID++
+	t := task.New(m.nextPID, name, mm, m.env.Epoch)
+	return m.spawn(t, prog)
+}
+
+// SpawnRT creates a real-time task.
+func (m *Machine) SpawnRT(name string, policy task.Policy, rtprio int, prog Program) *Proc {
+	m.nextPID++
+	t := task.NewRT(m.nextPID, name, policy, rtprio, m.env.Epoch)
+	return m.spawn(t, prog)
+}
+
+func (m *Machine) spawn(t *task.Task, prog Program) *Proc {
+	p := &Proc{Task: t, M: m, prog: prog}
+	p.WaitNode.Owner = p
+	m.procs = append(m.procs, p)
+	m.byTask[t] = p
+	m.alive++
+	if !m.cfg.UniformSpawnCounter && !t.RealTime() {
+		// Fork-time quantum inheritance: the child gets a share of the
+		// forking parent's remaining quantum, which varies with how
+		// recently the parent was recharged.
+		lo := uint64(t.Priority/4) + 1
+		hi := uint64(t.MaxCounter())
+		t.SetCounter(m.env.Epoch, int(m.rng.Range(lo, hi)))
+	}
+	m.sched.AddToRunqueue(t)
+	m.rqLockOfTask(t).bump(m.eng.Now(), m.env.Cost.AddRunqueue+m.env.Cost.LockOp)
+	m.rescheduleIdle(p)
+	return p
+}
+
+// SetPriority changes a task's static priority, re-indexing it if queued
+// ("its priority almost never changes, though when it does, the ELSC
+// scheduler adapts accordingly").
+func (m *Machine) SetPriority(p *Proc, prio int) {
+	if prio < task.MinPriority || prio > task.MaxPriority {
+		panic("kernel: priority out of range")
+	}
+	t := p.Task
+	// Re-index only tasks actually waiting in a queue; a running task is
+	// re-filed by its next schedule() anyway.
+	queued := m.sched.OnRunqueue(t) && !t.HasCPU
+	if queued {
+		m.sched.DelFromRunqueue(t)
+	}
+	t.Priority = prio
+	if c := t.Counter(m.env.Epoch); c > t.MaxCounter() {
+		t.SetCounter(m.env.Epoch, t.MaxCounter())
+	}
+	if queued {
+		m.sched.AddToRunqueue(t)
+	}
+}
+
+// Run drives the simulation until stop returns true, no events remain, or
+// the configured MaxCycles horizon passes. It kicks every CPU's first
+// schedule() at time zero and flushes idle accounting on return.
+func (m *Machine) Run(stop func() bool) {
+	for _, c := range m.cpus {
+		if c.current == nil && !c.transitioning {
+			m.reschedule(c, m.eng.Now())
+		}
+	}
+	m.eng.Run(stop)
+	for _, c := range m.cpus {
+		if c.isIdle() {
+			d := uint64(m.eng.Now() - c.idleFrom)
+			m.stats.IdleCycles += d
+			c.idleAccum += d
+			c.idleFrom = m.eng.Now()
+		}
+	}
+}
+
+// WakeOne releases the longest waiter on wq (wake_up). Returns the proc
+// woken, or nil.
+func (m *Machine) WakeOne(wq *WaitQueue) *Proc {
+	p := wq.dequeueFirst()
+	if p == nil {
+		return nil
+	}
+	m.wake(p)
+	return p
+}
+
+// WakeAll releases every waiter on wq (wake_up_all).
+func (m *Machine) WakeAll(wq *WaitQueue) int {
+	n := 0
+	for {
+		p := wq.dequeueFirst()
+		if p == nil {
+			return n
+		}
+		m.wake(p)
+		n++
+	}
+}
+
+// wake is try_to_wake_up: mark runnable, insert into the run queue (a
+// short critical section on the run-queue lock), then look for a CPU to
+// preempt.
+func (m *Machine) wake(p *Proc) {
+	t := p.Task
+	if p.exited {
+		return
+	}
+	if p.sleepEv != nil {
+		m.eng.Cancel(p.sleepEv)
+		p.sleepEv = nil
+	}
+	if t.Runnable() && (m.sched.OnRunqueue(t) || t.HasCPU) {
+		return // already awake
+	}
+	m.stats.WakeCalls++
+	t.State = task.Running
+	m.sched.AddToRunqueue(t)
+	m.rqLockOfTask(t).bump(m.eng.Now(), m.env.Cost.AddRunqueue+m.env.Cost.WakeupCost/4+m.env.Cost.LockOp)
+	m.rescheduleIdle(p)
+}
+
+// rescheduleIdle decides which CPU, if any, should run schedule() because
+// p became runnable — 2.3.99's reschedule_idle: prefer the task's last
+// CPU if idle, then any idle CPU, else preempt the CPU whose current task
+// has the worst goodness, if the woken task beats it.
+func (m *Machine) rescheduleIdle(p *Proc) {
+	t := p.Task
+	// Last CPU first: the affinity-preserving fast path. A CPU with a
+	// kick already in flight needs no second one: its schedule() will
+	// see this task on the run queue too.
+	if t.EverRan && t.AllowedOn(t.Processor) {
+		if c := m.cpus[t.Processor]; c.isIdle() {
+			c.kickIdle()
+			return
+		}
+	}
+	anyKicked := false
+	for _, c := range m.cpus {
+		if !t.AllowedOn(c.id) {
+			continue
+		}
+		if c.isIdle() {
+			if !c.reschedSent {
+				c.kickIdle()
+				return
+			}
+			anyKicked = true
+		}
+	}
+	if anyKicked {
+		return
+	}
+	// No idle allowed CPU: consider preemption. Compare goodness on each
+	// permitted CPU against its current task; pick the weakest current.
+	var victim *CPU
+	worst := 0
+	for _, c := range m.cpus {
+		if c.transitioning || c.current == nil || c.reschedSent || !t.AllowedOn(c.id) {
+			continue // a decision is already in flight there
+		}
+		cur := c.current.Task
+		gw := sched.Goodness(m.env.Epoch, t, c.id, cur.MM)
+		gc := sched.Goodness(m.env.Epoch, cur, c.id, cur.MM)
+		if cur.RealTime() && !t.RealTime() {
+			continue
+		}
+		if gw-gc > worst {
+			worst = gw - gc
+			victim = c
+		}
+	}
+	if victim != nil {
+		m.stats.Preemptions++
+		victim.sendResched()
+		return
+	}
+	// No idle CPU and no preemption victim. If a permitted CPU is mid
+	// context-switch, flag it so its dispatch path re-runs schedule():
+	// otherwise a wake landing in a transition-to-idle window would be
+	// lost — the task would sit runnable on the queue with every CPU
+	// idle and nothing left to trigger a schedule.
+	for _, c := range m.cpus {
+		if c.transitioning && t.AllowedOn(c.id) {
+			c.needResched = true
+			return
+		}
+	}
+}
+
+// SetAffinity pins a task to the CPUs in mask (bit i allows CPU i; zero
+// allows all), re-filing it if it waits on a per-CPU queue.
+func (m *Machine) SetAffinity(p *Proc, mask uint64) {
+	t := p.Task
+	queued := m.sched.OnRunqueue(t) && !t.HasCPU
+	if queued {
+		m.sched.DelFromRunqueue(t)
+	}
+	t.CPUsAllowed = mask
+	if queued {
+		m.sched.AddToRunqueue(t)
+		m.rescheduleIdle(p)
+	}
+}
+
+// SetPolicy is sched_setscheduler: change a task's scheduling class and
+// real-time priority at run time. Following 2.3.99, the task is moved to
+// the front of its queue and the scheduler is given a chance to preempt.
+func (m *Machine) SetPolicy(p *Proc, policy task.Policy, rtprio int) {
+	if policy != task.Other && (rtprio < task.MinRTPriority || rtprio > task.MaxRTPriority) {
+		panic("kernel: rt_priority out of range")
+	}
+	t := p.Task
+	queued := m.sched.OnRunqueue(t) && !t.HasCPU
+	if queued {
+		m.sched.DelFromRunqueue(t)
+	}
+	t.Policy = policy
+	if policy == task.Other {
+		t.RTPriority = 0
+	} else {
+		t.RTPriority = rtprio
+	}
+	if queued {
+		m.sched.AddToRunqueue(t)
+		m.sched.MoveFirstRunqueue(t)
+		m.rescheduleIdle(p)
+	}
+}
+
+// procOf maps a task back to its proc.
+func (m *Machine) procOf(t *task.Task) *Proc {
+	p := m.byTask[t]
+	if p == nil {
+		panic("kernel: task with no proc")
+	}
+	return p
+}

@@ -1,0 +1,53 @@
+package kernel
+
+import (
+	"fmt"
+	"strings"
+)
+
+// CPUStat is one processor's time breakdown, mpstat-style.
+type CPUStat struct {
+	CPU        int
+	WorkCycles uint64 // task work executed (user + syscall segments)
+	IdleCycles uint64 // time with nothing to run
+	Dispatches uint64 // context switches completed here
+}
+
+// Utilization returns the busy fraction over the elapsed time.
+func (c CPUStat) Utilization(elapsed uint64) float64 {
+	if elapsed == 0 {
+		return 0
+	}
+	return float64(c.WorkCycles) / float64(elapsed)
+}
+
+// CPUStats returns the per-processor breakdown. Idle time for a currently
+// idle CPU is accounted up to the present instant.
+func (m *Machine) CPUStats() []CPUStat {
+	out := make([]CPUStat, len(m.cpus))
+	for i, c := range m.cpus {
+		idle := c.idleAccum
+		if c.isIdle() {
+			idle += uint64(m.eng.Now() - c.idleFrom)
+		}
+		out[i] = CPUStat{
+			CPU:        i,
+			WorkCycles: c.work,
+			IdleCycles: idle,
+			Dispatches: c.dispatches,
+		}
+	}
+	return out
+}
+
+// MPStat renders the per-CPU table.
+func (m *Machine) MPStat() string {
+	elapsed := uint64(m.eng.Now())
+	var b strings.Builder
+	fmt.Fprintf(&b, "%4s %14s %14s %10s %7s\n", "CPU", "WORK", "IDLE", "DISPATCH", "UTIL")
+	for _, s := range m.CPUStats() {
+		fmt.Fprintf(&b, "%4d %14d %14d %10d %6.1f%%\n",
+			s.CPU, s.WorkCycles, s.IdleCycles, s.Dispatches, 100*s.Utilization(elapsed))
+	}
+	return b.String()
+}

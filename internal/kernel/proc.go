@@ -1,0 +1,48 @@
+package kernel
+
+import (
+	"elsc/internal/klist"
+	"elsc/internal/sim"
+	"elsc/internal/task"
+)
+
+// Proc binds a task to its program and carries the execution state the
+// kernel needs between dispatches: the remaining cycles of the current
+// action, an in-flight syscall awaiting its effect or retry, wait-queue
+// linkage, and the cache-model stamp.
+type Proc struct {
+	Task *task.Task
+	M    *Machine
+
+	prog Program
+
+	// remaining is what is left of the current work segment.
+	remaining uint64
+	// onDone runs when the segment completes; nil means ask the program
+	// for the next action.
+	onDone func(c *CPU, now sim.Time)
+	// syscall is the in-flight blocking syscall to (re)run.
+	syscall *Syscall
+
+	// WaitNode links the proc into a WaitQueue.
+	WaitNode  klist.Node
+	waitingOn *WaitQueue
+	sleepEv   *sim.Event
+
+	// workStamp is the owning CPU's work clock when this proc last left
+	// it, for the cache-refill model.
+	workStamp uint64
+
+	exited bool
+	// ExitCode is user-settable before Exit for workload bookkeeping.
+	ExitCode int
+
+	// Steps counts program actions completed, for tests and traces.
+	Steps uint64
+}
+
+// Exited reports whether the proc has terminated.
+func (p *Proc) Exited() bool { return p.exited }
+
+// Blocked reports whether the proc is asleep on a wait queue or timer.
+func (p *Proc) Blocked() bool { return p.waitingOn != nil || p.sleepEv != nil }

@@ -1,0 +1,110 @@
+package kernel
+
+import (
+	"fmt"
+	"strings"
+
+	"elsc/internal/stats"
+)
+
+// Stats aggregates everything the paper measures, machine-wide. The
+// per-schedule distributions feed Figure 5, Recalcs feeds Figure 2,
+// SchedCalls and Migrations feed Figure 6, and the cycle totals feed the
+// kernel-profile claim of §4 (37-55% of kernel time in the scheduler).
+type Stats struct {
+	// Scheduler behavior.
+	SchedCalls    uint64     // entries into schedule()
+	SchedCycles   uint64     // cycles inside schedule() proper
+	SpinCycles    uint64     // cycles spinning on the run-queue lock before schedule()
+	Examined      uint64     // tasks examined across all schedule() calls
+	Recalcs       uint64     // counter-recalculation loop entries
+	Migrations    uint64     // tasks dispatched on a CPU other than their last
+	PerSchedule   stats.Dist // cycles per schedule() call (incl. lock spin)
+	ExaminedDist  stats.Dist // tasks examined per schedule() call
+	IdleSwitches  uint64     // schedule() picked the idle task
+	Preemptions   uint64     // wake-up preempted a running task
+	WakeCalls     uint64     // try_to_wake_up invocations
+	YieldCalls    uint64     // sys_sched_yield invocations
+	QuantumExpiry uint64     // tick found the quantum exhausted
+
+	// Context switching.
+	CtxSwitches uint64 // dispatches of a task other than prev
+	MMSwitches  uint64 // dispatches that changed address space
+	CacheCycles uint64 // cache-refill penalty cycles charged
+
+	// Time split.
+	TaskCycles    uint64 // user work executed
+	SyscallCycles uint64 // syscall cost segments executed
+	IdleCycles    uint64 // CPU time with nothing to run
+	TickCycles    uint64 // timer-interrupt overhead (accounted, not timed)
+
+	// Lock totals.
+	LockAcquisitions uint64
+	LockContended    uint64
+}
+
+// CyclesPerSchedule returns the Figure 5 metric: mean cycles per
+// schedule() invocation, including lock spin.
+func (s *Stats) CyclesPerSchedule() float64 { return s.PerSchedule.Mean() }
+
+// ExaminedPerSchedule returns the second Figure 5 metric.
+func (s *Stats) ExaminedPerSchedule() float64 { return s.ExaminedDist.Mean() }
+
+// KernelCycles returns cycles spent in kernel code: scheduling (incl.
+// spin) plus syscalls.
+func (s *Stats) KernelCycles() uint64 {
+	return s.SchedCycles + s.SpinCycles + s.SyscallCycles + s.TickCycles
+}
+
+// SchedulerShareOfKernel returns the fraction of kernel time spent in the
+// scheduler — the paper's §4 profile statistic (0.37-0.55 under
+// VolanoMark on the stock scheduler).
+func (s *Stats) SchedulerShareOfKernel() float64 {
+	k := s.KernelCycles()
+	if k == 0 {
+		return 0
+	}
+	return float64(s.SchedCycles+s.SpinCycles) / float64(k)
+}
+
+// Registry exports the stats as a /proc-style registry, mirroring how the
+// paper exposed its instrumentation through procfs.
+func (s *Stats) Registry() *stats.Registry {
+	r := stats.NewRegistry()
+	set := func(name string, v uint64) { r.Counter(name).Add(v) }
+	set("sched_calls", s.SchedCalls)
+	set("sched_cycles", s.SchedCycles)
+	set("sched_lock_spin_cycles", s.SpinCycles)
+	set("sched_tasks_examined", s.Examined)
+	set("sched_recalc_entries", s.Recalcs)
+	set("sched_migrations", s.Migrations)
+	set("sched_idle_switches", s.IdleSwitches)
+	set("sched_preemptions", s.Preemptions)
+	set("wake_calls", s.WakeCalls)
+	set("yield_calls", s.YieldCalls)
+	set("quantum_expiries", s.QuantumExpiry)
+	set("ctx_switches", s.CtxSwitches)
+	set("mm_switches", s.MMSwitches)
+	set("cache_refill_cycles", s.CacheCycles)
+	set("task_cycles", s.TaskCycles)
+	set("syscall_cycles", s.SyscallCycles)
+	set("idle_cycles", s.IdleCycles)
+	set("tick_cycles", s.TickCycles)
+	set("rq_lock_acquisitions", s.LockAcquisitions)
+	set("rq_lock_contended", s.LockContended)
+	*r.Dist("cycles_per_schedule") = s.PerSchedule
+	*r.Dist("examined_per_schedule") = s.ExaminedDist
+	return r
+}
+
+// Summary renders a short human-readable digest.
+func (s *Stats) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "schedule() calls:        %d\n", s.SchedCalls)
+	fmt.Fprintf(&b, "cycles/schedule (mean):  %.0f\n", s.CyclesPerSchedule())
+	fmt.Fprintf(&b, "examined/schedule:       %.1f\n", s.ExaminedPerSchedule())
+	fmt.Fprintf(&b, "recalc loop entries:     %d\n", s.Recalcs)
+	fmt.Fprintf(&b, "migrations:              %d\n", s.Migrations)
+	fmt.Fprintf(&b, "scheduler share of kernel: %.1f%%\n", 100*s.SchedulerShareOfKernel())
+	return b.String()
+}

@@ -1,0 +1,241 @@
+// Package klist provides an intrusive circular doubly linked list modeled
+// on the Linux kernel's struct list_head.
+//
+// Every list is a ring of Node values threaded through a sentinel head.
+// Payload structures embed a Node and are recovered from it via the Owner
+// pointer, mirroring the kernel's container_of idiom without unsafe
+// arithmetic. An empty node (Next == Prev == nil) is "off list", matching
+// the kernel convention the paper relies on: a task's run_list next pointer
+// is nil exactly when the task is not on the run queue, and the ELSC
+// scheduler additionally nils only Prev to mark "on the run queue but not in
+// any table list" (paper §5.1, footnote 3).
+//
+// The zero value of Head is not ready to use; call Init (or NewHead).
+package klist
+
+// Node is one link in a circular doubly linked list. Embed it in the
+// structure being listed and set Owner to the embedding value.
+type Node struct {
+	next, prev *Node
+	// Owner points back to the structure that embeds this Node. It is
+	// opaque to the list machinery and returned by Head iteration
+	// helpers.
+	Owner any
+	// head identifies the sentinel this node is linked under, so that
+	// membership checks and removal can verify bookkeeping in tests.
+	head *Head
+}
+
+// Head is the sentinel of a circular doubly linked list. A fresh Head must
+// be initialized with Init before use.
+type Head struct {
+	root Node
+	len  int
+}
+
+// NewHead returns an initialized, empty list head.
+func NewHead() *Head {
+	h := new(Head)
+	h.Init()
+	return h
+}
+
+// Init makes (or resets) h to an empty list. Any nodes previously on the
+// list are abandoned without being unlinked.
+func (h *Head) Init() {
+	h.root.next = &h.root
+	h.root.prev = &h.root
+	h.root.head = h
+	h.root.Owner = nil
+	h.len = 0
+}
+
+// Empty reports whether the list has no elements.
+func (h *Head) Empty() bool { return h.root.next == &h.root }
+
+// Len returns the number of elements on the list in O(1).
+func (h *Head) Len() int { return h.len }
+
+// First returns the first node on the list, or nil if the list is empty.
+func (h *Head) First() *Node {
+	if h.Empty() {
+		return nil
+	}
+	return h.root.next
+}
+
+// Last returns the last node on the list, or nil if the list is empty.
+func (h *Head) Last() *Node {
+	if h.Empty() {
+		return nil
+	}
+	return h.root.prev
+}
+
+// insert links n between prev and next.
+func (h *Head) insert(n, prev, next *Node) {
+	if n.OnList() {
+		panic("klist: inserting node that is already on a list")
+	}
+	n.prev = prev
+	n.next = next
+	prev.next = n
+	next.prev = n
+	n.head = h
+	h.len++
+}
+
+// PushFront adds n to the front of the list (list_add). The paper's
+// add_to_runqueue places newly woken tasks here.
+func (h *Head) PushFront(n *Node) { h.insert(n, &h.root, h.root.next) }
+
+// PushBack adds n to the end of the list (list_add_tail). The ELSC
+// scheduler appends predicted-counter (exhausted) tasks here.
+func (h *Head) PushBack(n *Node) { h.insert(n, h.root.prev, &h.root) }
+
+// InsertBefore links n immediately before at, which must be on this list.
+func (h *Head) InsertBefore(n, at *Node) {
+	if at.head != h {
+		panic("klist: InsertBefore anchor not on this list")
+	}
+	h.insert(n, at.prev, at)
+}
+
+// InsertAfter links n immediately after at, which must be on this list.
+func (h *Head) InsertAfter(n, at *Node) {
+	if at.head != h {
+		panic("klist: InsertAfter anchor not on this list")
+	}
+	h.insert(n, at, at.next)
+}
+
+// Remove unlinks n from the list (list_del). The node is fully detached:
+// both link pointers become nil, like the run-queue convention where
+// next == nil means "not on the run queue".
+func (h *Head) Remove(n *Node) {
+	if n.head != h || !n.OnList() {
+		panic("klist: removing node that is not on this list")
+	}
+	n.prev.next = n.next
+	n.next.prev = n.prev
+	n.next = nil
+	n.prev = nil
+	n.head = nil
+	h.len--
+}
+
+// MoveFront unlinks n and re-adds it at the front of this same list.
+func (h *Head) MoveFront(n *Node) {
+	h.Remove(n)
+	h.PushFront(n)
+}
+
+// MoveBack unlinks n and re-adds it at the back of this same list.
+func (h *Head) MoveBack(n *Node) {
+	h.Remove(n)
+	h.PushBack(n)
+}
+
+// ForEach calls fn for each node from front to back. fn must not modify
+// the list; use ForEachSafe if it might remove the visited node.
+func (h *Head) ForEach(fn func(*Node) bool) {
+	for n := h.root.next; n != &h.root; n = n.next {
+		if !fn(n) {
+			return
+		}
+	}
+}
+
+// ForEachSafe iterates front to back, tolerating removal of the visited
+// node by fn (list_for_each_safe).
+func (h *Head) ForEachSafe(fn func(*Node) bool) {
+	for n, next := h.root.next, h.root.next.next; n != &h.root; n, next = next, next.next {
+		if !fn(n) {
+			return
+		}
+	}
+}
+
+// Owners returns the Owner of every node, front to back. Intended for
+// tests and diagnostics.
+func (h *Head) Owners() []any {
+	out := make([]any, 0, h.len)
+	h.ForEach(func(n *Node) bool {
+		out = append(out, n.Owner)
+		return true
+	})
+	return out
+}
+
+// OnList reports whether n is currently linked on some list.
+func (n *Node) OnList() bool { return n.next != nil }
+
+// List returns the Head n is linked under, or nil.
+func (n *Node) List() *Head {
+	if !n.OnList() {
+		return nil
+	}
+	return n.head
+}
+
+// Next returns the node after n on its list, or nil if n is last or off
+// list.
+func (n *Node) Next() *Node {
+	if !n.OnList() || n.next == &n.head.root {
+		return nil
+	}
+	return n.next
+}
+
+// Prev returns the node before n on its list, or nil if n is first or off
+// list.
+func (n *Node) Prev() *Node {
+	if n.prev == nil || n.prev == &n.head.root {
+		return nil
+	}
+	return n.prev
+}
+
+// DetachPrevOnly clears only the Prev pointer, leaving Next intact. This
+// mirrors the ELSC trick (paper §5.1): after the scheduler manually pulls a
+// running task out of its table list, the rest of the kernel must still
+// believe the task is "on the run queue" (next != nil) while the table knows
+// it is in no list (prev == nil). The node must first be unlinked from its
+// neighbors with UnlinkKeepNext.
+func (n *Node) DetachPrevOnly() {
+	n.prev = nil
+	n.head = nil
+}
+
+// UnlinkKeepNext splices n out of its list but leaves n.next pointing at
+// its former successor, as the ELSC manual dequeue does before
+// DetachPrevOnly. Returns the Head it was removed from.
+func (n *Node) UnlinkKeepNext() *Head {
+	h := n.head
+	if h == nil || !n.OnList() {
+		panic("klist: UnlinkKeepNext on node not on a list")
+	}
+	n.prev.next = n.next
+	n.next.prev = n.prev
+	h.len--
+	// Keep n.next as a dangling marker of "still logically queued"; drop
+	// prev and head via DetachPrevOnly.
+	n.DetachPrevOnly()
+	return h
+}
+
+// InListProper reports whether the node is linked AND has both pointers,
+// i.e. it is physically present in a list (not merely marked logically
+// queued via UnlinkKeepNext).
+func (n *Node) InListProper() bool { return n.next != nil && n.prev != nil }
+
+// ResetDangling clears a node left dangling by UnlinkKeepNext so it can be
+// inserted again. Panics if the node is physically on a list.
+func (n *Node) ResetDangling() {
+	if n.InListProper() {
+		panic("klist: ResetDangling on node still in a list")
+	}
+	n.next = nil
+	n.prev = nil
+	n.head = nil
+}

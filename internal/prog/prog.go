@@ -1,0 +1,162 @@
+// Package prog provides combinators for building simulated task programs
+// (kernel.Program values) declaratively: sequences, bounded and unbounded
+// loops, and lock-protected critical sections over ipc.YieldMutex. More
+// intricate behaviors (the VolanoMark server threads, for instance)
+// implement kernel.Program directly; these combinators cover the common
+// shapes.
+package prog
+
+import (
+	"elsc/internal/ipc"
+	"elsc/internal/kernel"
+)
+
+// Step produces the next action for a program fragment. Returning nil
+// means the fragment is finished.
+type Step func(p *kernel.Proc) kernel.Action
+
+// Do lifts a fixed action into a single-shot step.
+func Do(a kernel.Action) Step {
+	done := false
+	return func(p *kernel.Proc) kernel.Action {
+		if done {
+			return nil
+		}
+		done = true
+		return a
+	}
+}
+
+// DoFunc lifts an action factory into a single-shot step; the factory runs
+// when the step is reached, so it can observe earlier effects.
+func DoFunc(f func(p *kernel.Proc) kernel.Action) Step {
+	done := false
+	return func(p *kernel.Proc) kernel.Action {
+		if done {
+			return nil
+		}
+		done = true
+		return f(p)
+	}
+}
+
+// Compute is a single compute burst.
+func Compute(cycles uint64) Step { return Do(kernel.Compute{Cycles: cycles}) }
+
+// Sleep is a single timed block.
+func Sleep(cycles uint64) Step { return Do(kernel.Sleep{Cycles: cycles}) }
+
+// Yield is a single sys_sched_yield.
+func Yield() Step { return Do(kernel.Yield{}) }
+
+// program runs a sequence of step factories with restart support, so the
+// same program value can be used inside loops.
+type program struct {
+	build   func() []Step
+	steps   []Step
+	idx     int
+	rounds  int
+	maxIter int // 0 = once, -1 = forever, n = n times
+}
+
+// Step implements kernel.Program.
+func (pr *program) Step(p *kernel.Proc) kernel.Action {
+	for {
+		if pr.steps == nil {
+			pr.steps = pr.build()
+			pr.idx = 0
+		}
+		for pr.idx < len(pr.steps) {
+			a := pr.steps[pr.idx](p)
+			if a != nil {
+				return a
+			}
+			pr.idx++
+		}
+		// One pass done.
+		pr.rounds++
+		pr.steps = nil
+		switch {
+		case pr.maxIter == 0:
+			return nil
+		case pr.maxIter > 0 && pr.rounds >= pr.maxIter:
+			return nil
+		}
+	}
+}
+
+// Seq runs the steps once, in order, then exits.
+//
+// The step values are built fresh via the closure rules of the caller: Seq
+// is for one-shot programs. Use Loop/Forever for repetition.
+func Seq(steps ...Step) kernel.Program {
+	return &program{build: func() []Step { return steps }, maxIter: 0}
+}
+
+// Loop runs the body n times. body is a factory invoked at the start of
+// each iteration, so per-iteration state (Do's single-shot latches) resets.
+func Loop(n int, body func() []Step) kernel.Program {
+	return &program{build: func() []Step { return body() }, maxIter: n}
+}
+
+// Forever repeats the body until the machine stops or the task is killed.
+func Forever(body func() []Step) kernel.Program {
+	return &program{build: func() []Step { return body() }, maxIter: -1}
+}
+
+// LockYield acquires mu JVM-style: try-lock, and on failure call
+// sys_sched_yield and try again, suspending after spinLimit failed rounds.
+// The returned steps busy the scheduler in exactly the way the paper's §4
+// describes while staying starvation-free.
+func LockYield(mu *ipc.YieldMutex) Step {
+	const spinLimit = 3
+	var got bool
+	state := 0 // 0 = try, 1 = check result / maybe yield, 2 = suspended acquire done
+	tries := 0
+	return func(p *kernel.Proc) kernel.Action {
+		for {
+			switch state {
+			case 0:
+				if tries >= spinLimit {
+					state = 2
+					return mu.LockBlocking()
+				}
+				tries++
+				state = 1
+				got = false
+				return mu.TryLock(&got)
+			case 1:
+				if got {
+					state, tries = 0, 0 // reset for reuse in loops
+					return nil
+				}
+				state = 0
+				return kernel.Yield{}
+			default: // LockBlocking returned holding the lock
+				state, tries = 0, 0
+				return nil
+			}
+		}
+	}
+}
+
+// Unlock releases mu.
+func Unlock(mu *ipc.YieldMutex) Step {
+	done := false
+	return func(p *kernel.Proc) kernel.Action {
+		if done {
+			done = false
+			return nil
+		}
+		done = true
+		return mu.Unlock()
+	}
+}
+
+// Critical wraps steps in LockYield/Unlock.
+func Critical(mu *ipc.YieldMutex, steps ...Step) []Step {
+	out := []Step{LockYield(mu)}
+	out = append(out, steps...)
+	out = append(out, Unlock(mu))
+	return out
+}

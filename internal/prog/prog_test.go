@@ -1,0 +1,174 @@
+package prog
+
+import (
+	"testing"
+
+	"elsc/internal/ipc"
+	"elsc/internal/kernel"
+	"elsc/internal/sched"
+	"elsc/internal/sched/elsc"
+)
+
+func newMachine() *kernel.Machine {
+	return kernel.NewMachine(kernel.Config{
+		CPUs:         1,
+		Seed:         3,
+		NewScheduler: func(env *sched.Env) sched.Scheduler { return elsc.New(env) },
+		MaxCycles:    10 * kernel.DefaultHz,
+	})
+}
+
+func TestSeqRunsOnceInOrder(t *testing.T) {
+	m := newMachine()
+	var order []int
+	note := func(i int) Step {
+		return DoFunc(func(p *kernel.Proc) kernel.Action {
+			order = append(order, i)
+			return kernel.Compute{Cycles: 100}
+		})
+	}
+	p := m.Spawn("seq", nil, Seq(note(1), note(2), note(3)))
+	m.Run(func() bool { return p.Exited() })
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if !p.Exited() {
+		t.Fatal("seq program must exit after one pass")
+	}
+}
+
+func TestLoopRunsNTimes(t *testing.T) {
+	m := newMachine()
+	count := 0
+	p := m.Spawn("loop", nil, Loop(7, func() []Step {
+		return []Step{
+			DoFunc(func(p *kernel.Proc) kernel.Action {
+				count++
+				return kernel.Compute{Cycles: 50}
+			}),
+		}
+	}))
+	m.Run(func() bool { return p.Exited() })
+	if count != 7 {
+		t.Fatalf("loop body ran %d times, want 7", count)
+	}
+}
+
+func TestForeverRunsUntilHorizon(t *testing.T) {
+	m := kernel.NewMachine(kernel.Config{
+		CPUs:         1,
+		Seed:         3,
+		NewScheduler: func(env *sched.Env) sched.Scheduler { return elsc.New(env) },
+		MaxCycles:    kernel.DefaultTickCycles,
+	})
+	count := 0
+	m.Spawn("fv", nil, Forever(func() []Step {
+		return []Step{Compute(100_000), DoFunc(func(p *kernel.Proc) kernel.Action {
+			count++
+			return kernel.Compute{Cycles: 1}
+		})}
+	}))
+	m.Run(nil)
+	if count < 10 {
+		t.Fatalf("forever body ran only %d times before horizon", count)
+	}
+}
+
+func TestComputeSleepYieldSteps(t *testing.T) {
+	m := newMachine()
+	p := m.Spawn("mix", nil, Seq(
+		Compute(1000),
+		Sleep(5000),
+		Yield(),
+		Compute(1000),
+	))
+	m.Run(func() bool { return p.Exited() })
+	if !p.Exited() {
+		t.Fatal("program did not complete")
+	}
+	if p.Task.UserCycles != 2000 {
+		t.Fatalf("user cycles = %d, want 2000", p.Task.UserCycles)
+	}
+	if m.Stats().YieldCalls != 1 {
+		t.Fatalf("yields = %d, want 1", m.Stats().YieldCalls)
+	}
+}
+
+func TestCriticalSectionExcludes(t *testing.T) {
+	m := newMachine()
+	mu := ipc.NewYieldMutex("m", 0)
+	inside, maxInside := 0, 0
+	enter := DoFunc(func(p *kernel.Proc) kernel.Action {
+		inside++
+		if inside > maxInside {
+			maxInside = inside
+		}
+		return kernel.Compute{Cycles: 3000}
+	})
+	_ = enter
+	mkWorker := func() kernel.Program {
+		return Loop(5, func() []Step {
+			body := []Step{
+				DoFunc(func(p *kernel.Proc) kernel.Action {
+					inside++
+					if inside > maxInside {
+						maxInside = inside
+					}
+					return kernel.Compute{Cycles: 3000}
+				}),
+				DoFunc(func(p *kernel.Proc) kernel.Action {
+					inside--
+					return kernel.Compute{Cycles: 1}
+				}),
+			}
+			return Critical(mu, body...)
+		})
+	}
+	a := m.Spawn("a", nil, mkWorker())
+	b := m.Spawn("b", nil, mkWorker())
+	m.Run(func() bool { return a.Exited() && b.Exited() })
+	if maxInside != 1 {
+		t.Fatalf("critical section held by %d tasks at once", maxInside)
+	}
+	if mu.Acquisitions() != 10 {
+		t.Fatalf("acquisitions = %d, want 10", mu.Acquisitions())
+	}
+	if mu.Locked() {
+		t.Fatal("mutex left locked")
+	}
+}
+
+func TestLockYieldSpinsUnderContention(t *testing.T) {
+	m := newMachine()
+	mu := ipc.NewYieldMutex("m", 0)
+	mkWorker := func() kernel.Program {
+		return Loop(10, func() []Step {
+			return Critical(mu, Sleep(2000)) // hold across a block
+		})
+	}
+	a := m.Spawn("a", nil, mkWorker())
+	b := m.Spawn("b", nil, mkWorker())
+	m.Run(func() bool { return a.Exited() && b.Exited() })
+	if mu.Spins() == 0 {
+		t.Fatal("expected spin-yields under contention")
+	}
+	if m.Stats().YieldCalls == 0 {
+		t.Fatal("expected sys_sched_yield calls")
+	}
+}
+
+func TestDoFuncSingleShot(t *testing.T) {
+	m := newMachine()
+	calls := 0
+	p := m.Spawn("x", nil, Seq(
+		DoFunc(func(p *kernel.Proc) kernel.Action {
+			calls++
+			return kernel.Compute{Cycles: 10}
+		}),
+		Compute(10),
+	))
+	m.Run(func() bool { return p.Exited() })
+	if calls != 1 {
+		t.Fatalf("DoFunc ran %d times, want 1", calls)
+	}
+}

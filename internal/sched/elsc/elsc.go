@@ -1,0 +1,363 @@
+// Package elsc implements the ELSC scheduler, the paper's primary
+// contribution (§5): a table-based run queue that keeps tasks sorted by
+// static goodness so that schedule() examines only a handful of tasks from
+// the highest populated list instead of walking the whole queue.
+//
+// Structure (paper §5.1, Figure 1b):
+//
+//   - An array of 30 doubly linked lists. Real-time tasks occupy the ten
+//     highest lists, indexed by rt_priority/10; SCHED_OTHER tasks are
+//     indexed by (counter+priority)/4 into the lower twenty.
+//   - A top pointer marks the highest list holding a selectable
+//     (non-zero-counter) task; a next_top pointer marks the highest list
+//     holding tasks that will become selectable at the next counter
+//     recalculation.
+//   - Exhausted (zero-counter) tasks are inserted at the *end* of the list
+//     chosen by their predicted post-recalculation counter, so the
+//     recalculation loop never has to re-index the queue.
+//   - Running tasks are manually pulled out of their list but keep a
+//     non-nil next pointer so the rest of the kernel still believes they
+//     are "on the run queue" (footnote 3).
+//
+// Behavioral deviations from the stock scheduler, both documented by the
+// paper (§5.2): the search is confined to the highest populated list, so a
+// task one list down whose affinity/mm bonuses would have out-scored the
+// winner is never considered; and a yielding task that is the only
+// candidate is simply re-run instead of triggering a recalculation.
+package elsc
+
+import (
+	"fmt"
+
+	"elsc/internal/klist"
+	"elsc/internal/sched"
+	"elsc/internal/task"
+)
+
+// Table geometry (paper §5.1).
+const (
+	// DefaultTableSize is the paper's "array of 30 doubly linked lists".
+	DefaultTableSize = 30
+	// rtLists is how many of the highest lists are reserved for
+	// real-time tasks ("it uses one of the ten highest lists").
+	rtLists = 10
+)
+
+// Config tunes the knobs the paper calls out, for the ablation experiments.
+// The zero value selects the paper's settings.
+type Config struct {
+	// TableSize is the number of lists (default 30).
+	TableSize int
+	// SearchLimit overrides the per-list examination cap. Zero selects
+	// the paper's "half the number of processors in the system plus
+	// five".
+	SearchLimit int
+	// DisableUPShortcut turns off the uniprocessor early exit on a
+	// memory-map match (§5.2), for ablation.
+	DisableUPShortcut bool
+}
+
+// Sched is the ELSC scheduler. Create with New.
+type Sched struct {
+	env  *sched.Env
+	cfg  Config
+	size int
+	rtLo int // first RT list index
+
+	lists []klist.Head
+	// nz counts selectable tasks per list (non-zero counter, or
+	// real-time); z counts parked zero-counter tasks awaiting the next
+	// recalculation.
+	nz []int
+	z  []int
+
+	// top is the highest list with nz > 0; nextTop the highest with
+	// z > 0; -1 when none. The paper treats these as "zero" pointers;
+	// a -1 sentinel is the Go equivalent.
+	top     int
+	nextTop int
+
+	total int // tasks physically in lists
+}
+
+// New returns an ELSC scheduler with the paper's configuration.
+func New(env *sched.Env) *Sched { return NewWithConfig(env, Config{}) }
+
+// NewWithConfig returns an ELSC scheduler with explicit knobs.
+func NewWithConfig(env *sched.Env, cfg Config) *Sched {
+	size := cfg.TableSize
+	if size == 0 {
+		size = DefaultTableSize
+	}
+	if size < rtLists+2 {
+		panic("elsc: table too small for RT lists plus SCHED_OTHER lists")
+	}
+	s := &Sched{
+		env:     env,
+		cfg:     cfg,
+		size:    size,
+		rtLo:    size - rtLists,
+		lists:   make([]klist.Head, size),
+		nz:      make([]int, size),
+		z:       make([]int, size),
+		top:     -1,
+		nextTop: -1,
+	}
+	for i := range s.lists {
+		s.lists[i].Init()
+	}
+	return s
+}
+
+// Name implements sched.Scheduler.
+func (s *Sched) Name() string { return "elsc" }
+
+// searchLimit is the per-list cap on examined tasks: "currently set to be
+// half the number of processors in the system plus five" (§5.2).
+func (s *Sched) searchLimit() int {
+	if s.cfg.SearchLimit > 0 {
+		return s.cfg.SearchLimit
+	}
+	return s.env.NCPU/2 + 5
+}
+
+// indexFor computes the table list for a task with the given effective
+// counter: rt_priority/10 into the ten highest lists for real-time tasks,
+// (counter+priority)/4 into the rest for SCHED_OTHER (§5.1).
+func (s *Sched) indexFor(t *task.Task, counter int) int {
+	if t.RealTime() {
+		idx := s.rtLo + t.RTPriority/10
+		if idx >= s.size {
+			idx = s.size - 1
+		}
+		return idx
+	}
+	idx := (counter + t.Priority) * (s.rtLo) / (task.MaxPriority*3 + 1)
+	// The paper's fixed divisor of 4 assumes 20 SCHED_OTHER lists over a
+	// static-goodness range of about 0..80; generalize for ablations
+	// over TableSize but reduce to exactly /4 at the default geometry.
+	if s.size == DefaultTableSize {
+		idx = (counter + t.Priority) / 4
+	}
+	if idx >= s.rtLo {
+		idx = s.rtLo - 1
+	}
+	if idx < 0 {
+		idx = 0
+	}
+	return idx
+}
+
+// inZeroSection reports whether t was parked as an exhausted task and no
+// recalculation has happened since: the zero tag is only valid for the
+// epoch it was written in. This makes the recalculation merge O(1): after
+// the epoch advances, every parked task's tag silently expires.
+func (s *Sched) inZeroSection(t *task.Task) bool {
+	return t.QZero && t.QStamp == s.env.Epoch.N()
+}
+
+// AddToRunqueue implements the paper's modified add_to_runqueue. Selectable
+// tasks go to the front of the list chosen by their current static
+// goodness; exhausted tasks go to the *back* of the list chosen by their
+// predicted post-recalculation counter.
+func (s *Sched) AddToRunqueue(t *task.Task) {
+	if t.IsIdle {
+		panic("elsc: idle task on run queue")
+	}
+	if t.OnRunqueue() {
+		return
+	}
+	c := t.Counter(s.env.Epoch)
+	if t.RealTime() || c > 0 {
+		idx := s.indexFor(t, c)
+		s.insertFront(t, idx)
+		if idx > s.top {
+			s.top = idx
+		}
+	} else {
+		idx := s.indexFor(t, t.PredictedCounter(s.env.Epoch))
+		s.lists[idx].PushBack(&t.RunList)
+		t.QIndex = idx
+		t.QZero = true
+		t.QStamp = s.env.Epoch.N()
+		s.z[idx]++
+		s.total++
+		if idx > s.nextTop {
+			s.nextTop = idx
+		}
+	}
+}
+
+// insertFront links t at the front of list idx in the selectable section.
+func (s *Sched) insertFront(t *task.Task, idx int) {
+	s.lists[idx].PushFront(&t.RunList)
+	t.QIndex = idx
+	t.QZero = false
+	t.QStamp = s.env.Epoch.N()
+	s.nz[idx]++
+	s.total++
+}
+
+// zeroBoundary returns the first parked (zero-section) node of list idx,
+// or nil if the list has no parked tasks.
+func (s *Sched) zeroBoundary(idx int) *klist.Node {
+	if s.z[idx] == 0 {
+		return nil
+	}
+	var found *klist.Node
+	s.lists[idx].ForEach(func(n *klist.Node) bool {
+		if s.inZeroSection(task.FromNode(n)) {
+			found = n
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// DelFromRunqueue removes t. It handles both a task physically in a list
+// and a running task that ELSC already pulled out manually (which the rest
+// of the kernel still sees as queued).
+func (s *Sched) DelFromRunqueue(t *task.Task) {
+	if !t.OnRunqueue() {
+		return
+	}
+	if !t.RunList.InListProper() {
+		// Manually dequeued while running: just clear the illusion.
+		t.RunList.ResetDangling()
+		return
+	}
+	s.unlink(t)
+	t.RunList.ResetDangling()
+}
+
+// unlink physically removes t from its list via the footnote-3 manual
+// dequeue (next stays set) and repairs counts and pointers. Callers that
+// want a full removal must also ResetDangling.
+func (s *Sched) unlink(t *task.Task) {
+	idx := t.QIndex
+	t.RunList.UnlinkKeepNext()
+	s.total--
+	if s.inZeroSection(t) {
+		s.z[idx]--
+		if idx == s.nextTop && s.z[idx] == 0 {
+			s.nextTop = s.scanDown(s.z, idx)
+		}
+	} else {
+		s.nz[idx]--
+		if idx == s.top && s.nz[idx] == 0 {
+			s.top = s.scanDown(s.nz, idx)
+		}
+	}
+}
+
+// scanDown finds the highest index <= from with a non-zero count, or -1.
+func (s *Sched) scanDown(counts []int, from int) int {
+	for i := from; i >= 0; i-- {
+		if counts[i] > 0 {
+			return i
+		}
+	}
+	return -1
+}
+
+// MoveFirstRunqueue moves t to the front of its section within its current
+// list; the bias only needs to beat goodness ties, and ties can only occur
+// within a list (paper §5.1: "we need only to move tasks within their
+// current lists").
+func (s *Sched) MoveFirstRunqueue(t *task.Task) {
+	if !t.OnRunqueue() || !t.RunList.InListProper() {
+		return
+	}
+	idx := t.QIndex
+	zero := s.inZeroSection(t)
+	s.lists[idx].Remove(&t.RunList)
+	if zero {
+		if zb := s.zeroBoundary(idx); zb != nil {
+			s.lists[idx].InsertBefore(&t.RunList, zb)
+		} else {
+			s.lists[idx].PushBack(&t.RunList)
+		}
+	} else {
+		s.lists[idx].PushFront(&t.RunList)
+	}
+}
+
+// MoveLastRunqueue moves t to the back of its section within its current
+// list.
+func (s *Sched) MoveLastRunqueue(t *task.Task) {
+	if !t.OnRunqueue() || !t.RunList.InListProper() {
+		return
+	}
+	idx := t.QIndex
+	zero := s.inZeroSection(t)
+	s.lists[idx].Remove(&t.RunList)
+	if zero {
+		s.lists[idx].PushBack(&t.RunList)
+	} else {
+		if zb := s.zeroBoundary(idx); zb != nil {
+			s.lists[idx].InsertBefore(&t.RunList, zb)
+		} else {
+			s.lists[idx].PushBack(&t.RunList)
+		}
+	}
+}
+
+// Runnable returns the number of selectable tasks in the table. Running
+// tasks are not in the table, so no adjustment is needed.
+func (s *Sched) Runnable() int { return s.total }
+
+// OnRunqueue reports whether the kernel should consider t queued.
+func (s *Sched) OnRunqueue(t *task.Task) bool { return t.OnRunqueue() }
+
+// Top returns the current top list index (-1 if none). For tests.
+func (s *Sched) Top() int { return s.top }
+
+// NextTop returns the current next_top list index (-1 if none). For tests.
+func (s *Sched) NextTop() int { return s.nextTop }
+
+// ListLen returns the number of tasks in table list idx. For tests.
+func (s *Sched) ListLen(idx int) int { return s.lists[idx].Len() }
+
+// checkInvariants panics if the table bookkeeping is inconsistent. Called
+// from tests.
+func (s *Sched) checkInvariants() {
+	total := 0
+	for i := range s.lists {
+		nz, z := 0, 0
+		s.lists[i].ForEach(func(n *klist.Node) bool {
+			t := task.FromNode(n)
+			if t.QIndex != i {
+				panic(fmt.Sprintf("elsc: task %v QIndex=%d but on list %d", t, t.QIndex, i))
+			}
+			if s.inZeroSection(t) {
+				z++
+			} else {
+				if z > 0 {
+					panic(fmt.Sprintf("elsc: selectable task %v behind zero section on list %d", t, i))
+				}
+				nz++
+			}
+			return true
+		})
+		if nz != s.nz[i] || z != s.z[i] {
+			panic(fmt.Sprintf("elsc: list %d counts nz=%d z=%d, recorded nz=%d z=%d", i, nz, z, s.nz[i], s.z[i]))
+		}
+		if s.nz[i] > 0 && i > s.top {
+			panic(fmt.Sprintf("elsc: list %d selectable above top=%d", i, s.top))
+		}
+		if s.z[i] > 0 && i > s.nextTop {
+			panic(fmt.Sprintf("elsc: list %d parked above next_top=%d", i, s.nextTop))
+		}
+		total += s.lists[i].Len()
+	}
+	if total != s.total {
+		panic(fmt.Sprintf("elsc: total=%d, lists hold %d", s.total, total))
+	}
+	if s.top >= 0 && s.nz[s.top] == 0 {
+		panic("elsc: top points at list with no selectable tasks")
+	}
+	if s.nextTop >= 0 && s.z[s.nextTop] == 0 {
+		panic("elsc: next_top points at list with no parked tasks")
+	}
+}

@@ -1,0 +1,311 @@
+// Package heapsched implements the first alternative design from the
+// paper's future work (§8): "sorting tasks by static goodness within heaps
+// for each processor and address space. One could choose the absolute best
+// task available simply by examining the top of each heap."
+//
+// Tasks are filed into one max-heap per processor (by the CPU they last
+// ran on, so the affinity bonus is homogeneous within a heap) plus one
+// heap for never-run tasks. schedule() computes the full goodness of each
+// heap's top — at most NCPU+2 candidates — and picks the best, so unlike
+// ELSC it never misses a bonus-heavy task hiding below the top static
+// class.
+//
+// The design also demonstrates the cost the ELSC authors avoided by
+// choosing a table: heap insertion and removal are O(log n), and the
+// counter recalculation changes every key, forcing an O(n) re-heapify —
+// exactly the "overhead of sorting" and "complexity when inserting or
+// removing tasks" §5 warns about. The ablation benchmarks quantify it.
+package heapsched
+
+import (
+	"elsc/internal/sched"
+	"elsc/internal/task"
+)
+
+// Sched is the heap-based scheduler. Create with New.
+type Sched struct {
+	env *sched.Env
+	// heaps[cpu] holds tasks whose last run was on cpu; heaps[ncpu]
+	// holds tasks that have never run.
+	heaps []heap
+	seq   uint64
+	total int
+}
+
+// New returns a heap scheduler bound to env.
+func New(env *sched.Env) *Sched {
+	s := &Sched{env: env}
+	s.heaps = make([]heap, env.NCPU+1)
+	return s
+}
+
+// Name implements sched.Scheduler.
+func (s *Sched) Name() string { return "heap" }
+
+// key orders the heaps: real-time tasks above everything, exhausted tasks
+// at the bottom (they are not selectable until recalculation), and
+// everything else by static goodness.
+func key(ep *task.Epoch, t *task.Task) int {
+	if t.RealTime() {
+		return sched.RTBase + t.RTPriority
+	}
+	c := t.Counter(ep)
+	if c == 0 {
+		return 0
+	}
+	return c + t.Priority
+}
+
+// heapOf returns the heap index for t.
+func (s *Sched) heapOf(t *task.Task) int {
+	if !t.EverRan {
+		return s.env.NCPU
+	}
+	return t.Processor
+}
+
+// AddToRunqueue files t into its processor's heap.
+func (s *Sched) AddToRunqueue(t *task.Task) {
+	if t.IsIdle {
+		panic("heapsched: idle task on run queue")
+	}
+	if t.QIndex >= 0 && t.QZero {
+		return // already queued
+	}
+	h := s.heapOf(t)
+	s.seq++
+	s.heaps[h].push(entry{t: t, key: key(s.env.Epoch, t), seq: s.seq}, h)
+	s.total++
+}
+
+// DelFromRunqueue removes t from whichever heap holds it.
+func (s *Sched) DelFromRunqueue(t *task.Task) {
+	if !t.QZero {
+		return
+	}
+	s.heaps[t.QStamp].removeAt(t.QIndex)
+	t.QZero = false
+	t.QIndex = -1
+	s.total--
+}
+
+// MoveFirstRunqueue re-keys t to win ties by giving it the freshest
+// sequence bias; heaps break key ties by preferring lower seq, so reusing
+// an early sequence number moves it ahead of equals.
+func (s *Sched) MoveFirstRunqueue(t *task.Task) {
+	if !t.QZero {
+		return
+	}
+	h := t.QStamp
+	s.heaps[h].removeAt(t.QIndex)
+	s.heaps[h].push(entry{t: t, key: key(s.env.Epoch, t), seq: 0}, int(h))
+}
+
+// MoveLastRunqueue pushes t behind its equals.
+func (s *Sched) MoveLastRunqueue(t *task.Task) {
+	if !t.QZero {
+		return
+	}
+	h := t.QStamp
+	s.seq++
+	s.heaps[h].removeAt(t.QIndex)
+	s.heaps[h].push(entry{t: t, key: key(s.env.Epoch, t), seq: s.seq}, int(h))
+}
+
+// Runnable returns the number of queued tasks.
+func (s *Sched) Runnable() int { return s.total }
+
+// OnRunqueue reports whether the scheduler holds t.
+func (s *Sched) OnRunqueue(t *task.Task) bool { return t.QZero }
+
+// Schedule picks the best of the heap tops.
+func (s *Sched) Schedule(cpu int, prev *task.Task) sched.Result {
+	env := s.env
+	res := sched.Result{Cycles: env.Cost.ScheduleBase}
+
+	yielded := false
+	if !prev.IsIdle {
+		yielded = prev.Yielded
+		prev.Yielded = false
+		if prev.Policy == task.RR && prev.Counter(env.Epoch) == 0 {
+			prev.SetCounter(env.Epoch, prev.Priority)
+		}
+		if prev.Runnable() && !s.OnRunqueue(prev) {
+			s.AddToRunqueue(prev)
+			res.Cycles += env.Cost.AddRunqueue + s.logCost()
+		}
+	}
+
+	for attempt := 0; ; attempt++ {
+		best := (*task.Task)(nil)
+		bestG := -1
+		allExhausted := s.total > 0
+		sawBusy := false
+		for h := range s.heaps {
+			e, ok := s.heaps[h].peek()
+			if !ok {
+				continue
+			}
+			res.Examined++
+			res.Cycles += env.Cost.Evaluate(env.NCPU)
+			t := e.t
+			if (t.HasCPU && t.Processor != cpu) || !t.AllowedOn(cpu) {
+				// A top running elsewhere (or pinned elsewhere)
+				// hides its heap's second element — a structural
+				// blind spot of this design.
+				sawBusy = true
+				continue
+			}
+			g := sched.Goodness(env.Epoch, t, cpu, prev.MM)
+			if g > 0 {
+				allExhausted = false
+			} else {
+				continue // exhausted: not selectable until recalculation
+			}
+			if t == prev && yielded {
+				continue // offer the yielder only as a last resort
+			}
+			if g > bestG {
+				bestG = g
+				best = t
+			}
+		}
+		if best == nil && allExhausted && !sawBusy && attempt == 0 {
+			// Every top is exhausted: recalculate and re-heapify.
+			env.Epoch.Bump()
+			res.Recalcs++
+			res.Cycles += uint64(env.NTasks())*env.Cost.RecalcPerTask + s.reheapify()
+			continue
+		}
+		if best == nil && yielded && prev.Runnable() && s.OnRunqueue(prev) {
+			best = prev
+		}
+		if best != nil {
+			s.DelFromRunqueue(best)
+			res.Cycles += env.Cost.DelRunqueue + s.logCost()
+			res.Next = best
+		}
+		return res
+	}
+}
+
+// logCost approximates the O(log n) sift cost of one heap operation.
+func (s *Sched) logCost() uint64 {
+	cost := uint64(0)
+	for n := s.total; n > 1; n >>= 1 {
+		cost += 35
+	}
+	return cost
+}
+
+// reheapify rebuilds every heap after a recalculation changed all keys,
+// returning its simulated cycle cost — the structural weakness of the
+// heap design.
+func (s *Sched) reheapify() uint64 {
+	var cost uint64
+	for h := range s.heaps {
+		for i := range s.heaps[h].es {
+			e := &s.heaps[h].es[i]
+			e.key = key(s.env.Epoch, e.t)
+			cost += 40
+		}
+		s.heaps[h].rebuild(h)
+	}
+	return cost
+}
+
+// entry is one heap element.
+type entry struct {
+	t   *task.Task
+	key int
+	seq uint64
+}
+
+// heap is a max-heap of entries ordered by (key desc, seq asc). The held
+// task's QIndex stores its position, QStamp the heap id, and QZero marks
+// membership.
+type heap struct {
+	es []entry
+}
+
+func (h *heap) less(i, j int) bool {
+	if h.es[i].key != h.es[j].key {
+		return h.es[i].key > h.es[j].key
+	}
+	return h.es[i].seq < h.es[j].seq
+}
+
+func (h *heap) swap(i, j int) {
+	h.es[i], h.es[j] = h.es[j], h.es[i]
+	h.es[i].t.QIndex = i
+	h.es[j].t.QIndex = j
+}
+
+func (h *heap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *heap) down(i int) {
+	n := len(h.es)
+	for {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < n && h.less(l, best) {
+			best = l
+		}
+		if r < n && h.less(r, best) {
+			best = r
+		}
+		if best == i {
+			return
+		}
+		h.swap(i, best)
+		i = best
+	}
+}
+
+func (h *heap) push(e entry, id int) {
+	e.t.QIndex = len(h.es)
+	e.t.QStamp = uint64(id)
+	e.t.QZero = true
+	h.es = append(h.es, e)
+	h.up(len(h.es) - 1)
+}
+
+func (h *heap) peek() (entry, bool) {
+	if len(h.es) == 0 {
+		return entry{}, false
+	}
+	return h.es[0], true
+}
+
+func (h *heap) removeAt(i int) {
+	n := len(h.es) - 1
+	if i < 0 || i > n {
+		panic("heapsched: removeAt out of range")
+	}
+	h.swap(i, n)
+	h.es[n].t.QIndex = -1
+	h.es = h.es[:n]
+	if i < n {
+		h.down(i)
+		h.up(i)
+	}
+}
+
+func (h *heap) rebuild(id int) {
+	for i := range h.es {
+		h.es[i].t.QIndex = i
+		h.es[i].t.QStamp = uint64(id)
+	}
+	for i := len(h.es)/2 - 1; i >= 0; i-- {
+		h.down(i)
+	}
+}

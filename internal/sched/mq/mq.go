@@ -1,0 +1,206 @@
+// Package mq implements the second alternative design from the paper's
+// future work (§8): "perhaps a multi-priority-queue solution would be more
+// beneficial to help the scheduler scale to multiple processors well."
+//
+// Each processor owns a private run queue protected by its own lock (the
+// kernel detects the PerCPU marker and splits the global run-queue lock),
+// eliminating the cross-CPU contention that melts the stock scheduler at
+// four processors. A woken task is filed on the queue of the CPU it last
+// ran on; a CPU whose queue is empty steals the best task from the longest
+// queue. This is the direction Linux ultimately took in the 2.5 O(1)
+// scheduler and everything after it.
+package mq
+
+import (
+	"elsc/internal/klist"
+	"elsc/internal/sched"
+	"elsc/internal/task"
+)
+
+// Sched is the per-CPU multi-queue scheduler. Create with New.
+type Sched struct {
+	env    *sched.Env
+	queues []*klist.Head
+	counts []int
+}
+
+// New returns a multi-queue scheduler bound to env.
+func New(env *sched.Env) *Sched {
+	s := &Sched{env: env}
+	s.queues = make([]*klist.Head, env.NCPU)
+	s.counts = make([]int, env.NCPU)
+	for i := range s.queues {
+		s.queues[i] = klist.NewHead()
+	}
+	return s
+}
+
+// Name implements sched.Scheduler.
+func (s *Sched) Name() string { return "mq" }
+
+// PerCPU marks the policy as using per-CPU run-queue locks.
+func (s *Sched) PerCPU() bool { return true }
+
+// homeOf picks the queue for t: its last CPU, or the least-loaded queue
+// for a task that has never run.
+func (s *Sched) homeOf(t *task.Task) int {
+	if t.EverRan && t.AllowedOn(t.Processor%len(s.queues)) {
+		return t.Processor % len(s.queues)
+	}
+	best := -1
+	for i, c := range s.counts {
+		if !t.AllowedOn(i) {
+			continue
+		}
+		if best < 0 || c < s.counts[best] {
+			best = i
+		}
+	}
+	if best < 0 {
+		best = 0 // inconsistent mask: fall back rather than lose the task
+	}
+	return best
+}
+
+// AddToRunqueue files t at the front of its home queue.
+func (s *Sched) AddToRunqueue(t *task.Task) {
+	if t.IsIdle {
+		panic("mq: idle task on run queue")
+	}
+	if t.OnRunqueue() {
+		return
+	}
+	t.SyncCounter(s.env.Epoch)
+	home := s.homeOf(t)
+	s.queues[home].PushFront(&t.RunList)
+	s.counts[home]++
+	t.QIndex = home
+}
+
+// DelFromRunqueue unlinks t from its queue.
+func (s *Sched) DelFromRunqueue(t *task.Task) {
+	if !t.OnRunqueue() {
+		return
+	}
+	s.queues[t.QIndex].Remove(&t.RunList)
+	s.counts[t.QIndex]--
+}
+
+// MoveFirstRunqueue moves t to its queue's front.
+func (s *Sched) MoveFirstRunqueue(t *task.Task) {
+	if t.OnRunqueue() {
+		s.queues[t.QIndex].MoveFront(&t.RunList)
+	}
+}
+
+// MoveLastRunqueue moves t to its queue's back.
+func (s *Sched) MoveLastRunqueue(t *task.Task) {
+	if t.OnRunqueue() {
+		s.queues[t.QIndex].MoveBack(&t.RunList)
+	}
+}
+
+// Runnable returns the number of queued tasks.
+func (s *Sched) Runnable() int {
+	n := 0
+	for _, c := range s.counts {
+		n += c
+	}
+	return n
+}
+
+// OnRunqueue reports whether t is filed in some queue.
+func (s *Sched) OnRunqueue(t *task.Task) bool { return t.OnRunqueue() }
+
+// QueueLen returns queue q's length, for tests.
+func (s *Sched) QueueLen(q int) int { return s.counts[q] }
+
+// Schedule scans only this CPU's queue — O(n/ncpu) — and steals when it
+// is empty.
+func (s *Sched) Schedule(cpu int, prev *task.Task) sched.Result {
+	env := s.env
+	res := sched.Result{Cycles: env.Cost.ScheduleBase}
+
+	yielded := false
+	if !prev.IsIdle {
+		yielded = prev.Yielded
+		prev.Yielded = false
+		if prev.Policy == task.RR && prev.Counter(env.Epoch) == 0 {
+			prev.SetCounter(env.Epoch, prev.Priority)
+		}
+		if prev.Runnable() && !prev.OnRunqueue() {
+			s.AddToRunqueue(prev)
+			res.Cycles += env.Cost.AddRunqueue
+		}
+	}
+
+	for attempt := 0; ; attempt++ {
+		best, bestG, sawZero := s.scanQueue(cpu, cpu, prev, yielded, &res)
+		if best == nil && s.counts[cpu] == 0 {
+			// Empty local queue: steal from the longest queue.
+			victim := -1
+			for i, c := range s.counts {
+				if i == cpu || c == 0 {
+					continue
+				}
+				if victim < 0 || c > s.counts[victim] {
+					victim = i
+				}
+			}
+			if victim >= 0 {
+				res.Cycles += env.Cost.LockOp // victim queue's lock
+				best, bestG, _ = s.scanQueue(victim, cpu, prev, yielded, &res)
+			}
+		}
+		_ = bestG
+		if best == nil && sawZero && attempt == 0 {
+			// The local queue holds only exhausted tasks: global
+			// recalculation, as the stock scheduler would.
+			env.Epoch.Bump()
+			res.Recalcs++
+			res.Cycles += uint64(env.NTasks()) * env.Cost.RecalcPerTask
+			continue
+		}
+		if best == nil && yielded && prev.Runnable() && prev.OnRunqueue() {
+			best = prev
+		}
+		if best != nil {
+			s.DelFromRunqueue(best)
+			res.Cycles += env.Cost.DelRunqueue
+			res.Next = best
+		}
+		return res
+	}
+}
+
+// scanQueue evaluates queue q's tasks for execution on cpu.
+func (s *Sched) scanQueue(q, cpu int, prev *task.Task, yielded bool, res *sched.Result) (*task.Task, int, bool) {
+	env := s.env
+	var best *task.Task
+	bestG := 0
+	sawZero := false
+	s.queues[q].ForEach(func(n *klist.Node) bool {
+		t := task.FromNode(n)
+		res.Examined++
+		if (t.HasCPU && t.Processor != cpu) || !t.AllowedOn(cpu) {
+			res.Cycles += env.Cost.Touch(env.NCPU)
+			return true
+		}
+		if t == prev && yielded {
+			res.Cycles += env.Cost.Touch(env.NCPU)
+			return true
+		}
+		res.Cycles += env.Cost.Evaluate(env.NCPU)
+		g := sched.Goodness(env.Epoch, t, cpu, prev.MM)
+		if g == 0 {
+			sawZero = true
+			return true
+		}
+		if g > bestG {
+			bestG = g
+			best = t
+		}
+		return true
+	})
+	return best, bestG, sawZero
+}

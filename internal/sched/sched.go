@@ -1,0 +1,144 @@
+// Package sched defines the contract between the simulated kernel and a
+// scheduling policy, the shared goodness() heuristic from Linux
+// 2.3.99-pre4, and the cycle-cost model used to charge scheduler work to
+// virtual CPU time.
+//
+// The interface exposes exactly the run-queue manipulation functions the
+// paper names in §5.1 — add_to_runqueue, del_from_runqueue,
+// move_first_runqueue, move_last_runqueue — plus Schedule itself. Keeping
+// this surface identical to the kernel's means the stock scheduler, ELSC,
+// and the future-work alternatives are drop-in replacements for one
+// another, which is design goal 1 of the paper ("Keep changes local to the
+// scheduler. Do not change current interfaces").
+package sched
+
+import (
+	"elsc/internal/task"
+)
+
+// Goodness weights from 2.3.99-pre4 (paper §3.3.1).
+const (
+	// RTBase is added to rt_priority for real-time tasks: "goodness()
+	// returns 1000 plus the value stored in the task's rt_priority".
+	RTBase = 1000
+	// AffinityBonus is the "somewhat larger (15 point) bonus ... given
+	// to tasks whose last run was on the current processor".
+	AffinityBonus = 15
+	// MMBonus is the "small, one point advantage ... given to tasks that
+	// share memory maps".
+	MMBonus = 1
+)
+
+// Goodness computes the utility of running t on CPU cpu when the previous
+// task's address space is prevMM — the full (static + dynamic) heuristic of
+// paper §3.3.1. It does not consult the SCHED_YIELD bit; per 2.3.99, only
+// the caller applies yield handling, and only for the previous task.
+func Goodness(ep *task.Epoch, t *task.Task, cpu int, prevMM *task.MM) int {
+	if t.RealTime() {
+		return RTBase + t.RTPriority
+	}
+	c := t.Counter(ep)
+	if c == 0 {
+		// "This lets the scheduler know a runnable task was found but
+		// its time slice is used up."
+		return 0
+	}
+	g := c + t.Priority
+	if t.MM != nil && t.MM == prevMM {
+		g += MMBonus
+	}
+	if t.EverRan && t.Processor == cpu {
+		g += AffinityBonus
+	}
+	return g
+}
+
+// Result reports what one Schedule invocation did, so the kernel can charge
+// cycles and accumulate the paper's statistics.
+type Result struct {
+	// Next is the task to run; nil means schedule the idle task.
+	Next *task.Task
+	// Examined counts tasks whose goodness (or eligibility) was
+	// evaluated — the second chart of Figure 5.
+	Examined int
+	// Cycles is the simulated cost of this invocation, charged to the
+	// CPU and to the run-queue lock hold time — the first chart of
+	// Figure 5.
+	Cycles uint64
+	// Recalcs counts entries into the counter-recalculation loop during
+	// this invocation — Figure 2.
+	Recalcs int
+}
+
+// Scheduler is a pluggable scheduling policy. Implementations are not
+// thread safe; the simulated global run-queue spinlock serializes access,
+// and the simulation itself is single-threaded.
+type Scheduler interface {
+	// Name identifies the policy in stats and tables ("reg", "elsc", ...).
+	Name() string
+
+	// AddToRunqueue makes a runnable task eligible for selection.
+	// Mirrors add_to_runqueue: newly woken tasks go to the front of
+	// their list.
+	AddToRunqueue(t *task.Task)
+
+	// DelFromRunqueue removes a task (it blocked, exited, or is being
+	// re-indexed).
+	DelFromRunqueue(t *task.Task)
+
+	// MoveFirstRunqueue biases the task to win goodness() ties.
+	MoveFirstRunqueue(t *task.Task)
+
+	// MoveLastRunqueue biases the task to lose goodness() ties (used on
+	// SCHED_RR quantum expiry).
+	MoveLastRunqueue(t *task.Task)
+
+	// Schedule picks the next task for cpu. prev is the task that was
+	// running (never nil; the kernel passes the per-CPU idle task's
+	// placeholder as a prev with State != Running when waking from
+	// idle). Schedule must handle prev's yield bit, de-queue prev if it
+	// is no longer runnable, and trigger counter recalculation per its
+	// policy. The returned task is marked by the scheduler as dequeued
+	// or in-list according to its own conventions.
+	Schedule(cpu int, prev *task.Task) Result
+
+	// Runnable returns the number of tasks currently selectable
+	// (on the run queue and not executing).
+	Runnable() int
+
+	// OnRunqueue reports whether the scheduler currently tracks t.
+	OnRunqueue(t *task.Task) bool
+}
+
+// Env is what every scheduler needs from the kernel: the recalculation
+// epoch, the total task population (recalculation cost is proportional to
+// it), CPU topology, and the cost model.
+type Env struct {
+	Epoch *task.Epoch
+	// NTasks returns the number of tasks in the system (runnable or
+	// not); the recalculation loop visits all of them.
+	NTasks func() int
+	// NCPU is the number of processors.
+	NCPU int
+	// SMP reports whether the kernel was built with SMP support. The
+	// paper distinguishes "UP" (SMP disabled) from "1P" (SMP kernel on
+	// one processor); the UP build enables ELSC's search shortcut.
+	SMP  bool
+	Cost CostModel
+}
+
+// NewEnv returns an Env with the given topology, a fresh epoch, and the
+// default cost model. ntasks may be nil if no recalculation cost should be
+// charged (unit tests).
+func NewEnv(ncpu int, smp bool, ntasks func() int) *Env {
+	if ntasks == nil {
+		ntasks = func() int { return 0 }
+	}
+	return &Env{
+		Epoch:  &task.Epoch{},
+		NTasks: ntasks,
+		NCPU:   ncpu,
+		SMP:    smp,
+		Cost:   DefaultCostModel(),
+	}
+}

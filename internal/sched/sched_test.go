@@ -1,0 +1,166 @@
+package sched
+
+import (
+	"testing"
+	"testing/quick"
+
+	"elsc/internal/task"
+)
+
+func mkTask(id int, prio, counter int, ep *task.Epoch) *task.Task {
+	t := task.New(id, "t", nil, ep)
+	t.Priority = prio
+	t.SetCounter(ep, counter)
+	return t
+}
+
+func TestGoodnessZeroCounter(t *testing.T) {
+	ep := &task.Epoch{}
+	tk := mkTask(1, 20, 0, ep)
+	if g := Goodness(ep, tk, 0, nil); g != 0 {
+		t.Fatalf("goodness of exhausted task = %d, want 0", g)
+	}
+}
+
+func TestGoodnessCounterPlusPriority(t *testing.T) {
+	ep := &task.Epoch{}
+	tk := mkTask(1, 20, 13, ep)
+	if g := Goodness(ep, tk, 0, nil); g != 33 {
+		t.Fatalf("goodness = %d, want counter+priority = 33", g)
+	}
+}
+
+func TestGoodnessMMBonus(t *testing.T) {
+	ep := &task.Epoch{}
+	mm := &task.MM{ID: 1}
+	tk := mkTask(1, 20, 10, ep)
+	tk.MM = mm
+	base := Goodness(ep, tk, 0, nil)
+	with := Goodness(ep, tk, 0, mm)
+	if with-base != MMBonus {
+		t.Fatalf("mm bonus = %d, want %d", with-base, MMBonus)
+	}
+}
+
+func TestGoodnessNilMMNoBonus(t *testing.T) {
+	// Two kernel threads with nil MM must not get the shared-mm bonus.
+	ep := &task.Epoch{}
+	tk := mkTask(1, 20, 10, ep)
+	if g := Goodness(ep, tk, 0, nil); g != 30 {
+		t.Fatalf("goodness = %d, want 30 (no bonus for nil mm)", g)
+	}
+}
+
+func TestGoodnessAffinityBonus(t *testing.T) {
+	ep := &task.Epoch{}
+	tk := mkTask(1, 20, 10, ep)
+	tk.EverRan = true
+	tk.Processor = 2
+	onAffine := Goodness(ep, tk, 2, nil)
+	onOther := Goodness(ep, tk, 1, nil)
+	if onAffine-onOther != AffinityBonus {
+		t.Fatalf("affinity bonus = %d, want %d", onAffine-onOther, AffinityBonus)
+	}
+}
+
+func TestGoodnessNoAffinityBeforeFirstRun(t *testing.T) {
+	ep := &task.Epoch{}
+	tk := mkTask(1, 20, 10, ep)
+	// Processor zero-value is 0; a never-run task must not look affine
+	// to CPU 0.
+	if g := Goodness(ep, tk, 0, nil); g != 30 {
+		t.Fatalf("goodness = %d, want 30 (no affinity before first run)", g)
+	}
+}
+
+func TestGoodnessRealTime(t *testing.T) {
+	ep := &task.Epoch{}
+	rt := task.NewRT(1, "rt", task.FIFO, 37, ep)
+	if g := Goodness(ep, rt, 0, nil); g != RTBase+37 {
+		t.Fatalf("rt goodness = %d, want %d", g, RTBase+37)
+	}
+}
+
+func TestRTAlwaysBeatsRegular(t *testing.T) {
+	// "Real time tasks are always run before regular tasks" — even a
+	// zero rt_priority RT task outscores the best possible regular task.
+	ep := &task.Epoch{}
+	rt := task.NewRT(1, "rt", task.RR, 0, ep)
+	best := mkTask(2, task.MaxPriority, 2*task.MaxPriority, ep)
+	best.MM = &task.MM{}
+	best.EverRan = true
+	best.Processor = 0
+	if Goodness(ep, rt, 0, best.MM) <= Goodness(ep, best, 0, best.MM) {
+		t.Fatal("an RT task must always outscore a SCHED_OTHER task")
+	}
+}
+
+func TestGoodnessBoundsQuick(t *testing.T) {
+	// For SCHED_OTHER: 0 <= goodness <= 2*prio + prio + 16.
+	f := func(prio8, counter8 uint8, mmMatch, affine bool) bool {
+		prio := int(prio8%task.MaxPriority) + 1
+		ep := &task.Epoch{}
+		tk := mkTask(1, prio, int(counter8)%(2*prio+1), ep)
+		var prevMM *task.MM
+		if mmMatch {
+			tk.MM = &task.MM{ID: 9}
+			prevMM = tk.MM
+		}
+		if affine {
+			tk.EverRan = true
+			tk.Processor = 3
+		}
+		g := Goodness(ep, tk, 3, prevMM)
+		if tk.Counter(ep) == 0 {
+			return g == 0
+		}
+		return g >= 1 && g <= 3*prio+AffinityBonus+MMBonus
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGoodnessMonotoneInCounter(t *testing.T) {
+	f := func(prio8, c8 uint8) bool {
+		prio := int(prio8%task.MaxPriority) + 1
+		c := int(c8) % (2 * prio)
+		ep := &task.Epoch{}
+		a := mkTask(1, prio, c, ep)
+		b := mkTask(2, prio, c+1, ep)
+		return Goodness(ep, b, 0, nil) > Goodness(ep, a, 0, nil) || c == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDefaultCostModelSane(t *testing.T) {
+	c := DefaultCostModel()
+	if c.ScheduleBase == 0 || c.ExamineCost == 0 || c.GoodnessCost == 0 {
+		t.Fatal("cost model has zero hot-path costs")
+	}
+	if c.ExamineTotal() != c.ExamineCost+c.GoodnessCost {
+		t.Fatal("ExamineTotal mismatch")
+	}
+	if c.MMSwitch <= c.ContextSwitch/2 {
+		t.Fatal("mm switch should be a significant cost")
+	}
+}
+
+func TestNewEnv(t *testing.T) {
+	env := NewEnv(4, true, nil)
+	if env.NCPU != 4 || !env.SMP {
+		t.Fatal("env topology wrong")
+	}
+	if env.Epoch == nil {
+		t.Fatal("env must have an epoch")
+	}
+	if env.NTasks() != 0 {
+		t.Fatal("nil ntasks should default to zero")
+	}
+	env2 := NewEnv(1, false, func() int { return 42 })
+	if env2.NTasks() != 42 {
+		t.Fatal("ntasks not wired")
+	}
+}

@@ -1,0 +1,197 @@
+// Package vanilla implements the stock Linux 2.3.99-pre4 scheduler that the
+// paper uses as its baseline ("reg" in the figures): a single, unsorted,
+// circular doubly linked run queue that schedule() walks in full on every
+// invocation, recomputing goodness() for every runnable task (paper §3).
+//
+// The expensive properties the paper attributes to it are reproduced
+// faithfully:
+//
+//   - O(n) scan: every task on the run queue not running on another CPU is
+//     examined on every call.
+//   - Redundant work: goodness() is recomputed from scratch each time.
+//   - The recalculation loop: when the best goodness found is exactly zero
+//     (all runnable tasks exhausted their quantum, or a yielding task is
+//     the only candidate), the scheduler recalculates the counter of every
+//     task in the system and rescans.
+//   - Tie-breaking by queue position: the task closer to the front wins
+//     equal goodness, and newly woken tasks are pushed on the front.
+package vanilla
+
+import (
+	"elsc/internal/klist"
+	"elsc/internal/sched"
+	"elsc/internal/task"
+)
+
+// Sched is the stock scheduler. Create with New.
+type Sched struct {
+	env *sched.Env
+	rq  *klist.Head
+	// running counts tasks on the queue currently marked HasCPU, so
+	// Runnable can exclude them without a scan.
+	running int
+
+	// Diag mirrors the instrumentation the paper exposed through proc:
+	// what schedule() saw at entry.
+	Diag struct {
+		YieldEntries uint64 // entries with the previous task yielding
+		LoneYields   uint64 // ...where it was also the only queued task
+		QueueLenSum  uint64 // run-queue length summed over entries
+		Entries      uint64
+	}
+}
+
+// New returns a stock scheduler bound to env.
+func New(env *sched.Env) *Sched {
+	return &Sched{env: env, rq: klist.NewHead()}
+}
+
+// Name implements sched.Scheduler. "reg" is the label the paper's figures
+// use for the regular scheduler.
+func (s *Sched) Name() string { return "reg" }
+
+// AddToRunqueue adds t at the front of the run queue, as add_to_runqueue
+// does for newly created or awakened tasks (paper §3.2).
+func (s *Sched) AddToRunqueue(t *task.Task) {
+	if t.IsIdle {
+		panic("vanilla: idle task on run queue")
+	}
+	if t.OnRunqueue() {
+		return
+	}
+	t.SyncCounter(s.env.Epoch)
+	s.rq.PushFront(&t.RunList)
+	if t.HasCPU {
+		s.running++
+	}
+}
+
+// DelFromRunqueue unlinks t.
+func (s *Sched) DelFromRunqueue(t *task.Task) {
+	if !t.OnRunqueue() {
+		return
+	}
+	s.rq.Remove(&t.RunList)
+	if t.HasCPU {
+		s.running--
+	}
+}
+
+// MoveFirstRunqueue moves t to the front so it wins goodness ties.
+func (s *Sched) MoveFirstRunqueue(t *task.Task) {
+	if t.OnRunqueue() {
+		s.rq.MoveFront(&t.RunList)
+	}
+}
+
+// MoveLastRunqueue moves t to the back so it loses goodness ties.
+func (s *Sched) MoveLastRunqueue(t *task.Task) {
+	if t.OnRunqueue() {
+		s.rq.MoveBack(&t.RunList)
+	}
+}
+
+// Runnable returns the number of queued tasks not currently executing.
+func (s *Sched) Runnable() int { return s.rq.Len() - s.running }
+
+// OnRunqueue reports whether the scheduler tracks t.
+func (s *Sched) OnRunqueue(t *task.Task) bool { return t.OnRunqueue() }
+
+// NoteRunning must be called by the kernel when it flips t.HasCPU while t
+// is on the run queue, so Runnable stays O(1). The stock scheduler keeps
+// running tasks on the queue, unlike ELSC.
+func (s *Sched) NoteRunning(t *task.Task, running bool) {
+	if !t.OnRunqueue() {
+		return
+	}
+	if running {
+		s.running++
+	} else {
+		s.running--
+	}
+}
+
+// Schedule implements the heart of 2.3.99-pre4 schedule(): evaluate the
+// goodness of every runnable task and pick the best (paper §3.3.2).
+func (s *Sched) Schedule(cpu int, prev *task.Task) sched.Result {
+	env := s.env
+	res := sched.Result{Cycles: env.Cost.ScheduleBase}
+
+	s.Diag.Entries++
+	s.Diag.QueueLenSum += uint64(s.rq.Len())
+	if !prev.IsIdle && prev.Yielded {
+		s.Diag.YieldEntries++
+		if s.rq.Len() <= 1 {
+			s.Diag.LoneYields++
+		}
+	}
+
+	if !prev.IsIdle {
+		// Round-robin expiry: reset the quantum and send the task to
+		// the back of the queue before scanning.
+		if prev.Policy == task.RR && prev.Counter(env.Epoch) == 0 {
+			prev.SetCounter(env.Epoch, prev.Priority)
+			s.MoveLastRunqueue(prev)
+			res.Cycles += env.Cost.MoveRunqueue
+		}
+		// A task that is no longer runnable (blocked, exited) leaves
+		// the run queue inside schedule(), as in the kernel.
+		if !prev.Runnable() && prev.OnRunqueue() {
+			s.DelFromRunqueue(prev)
+			res.Cycles += env.Cost.DelRunqueue
+		}
+	}
+
+	yieldConsulted := false
+	for {
+		best := (*task.Task)(nil)
+		c := -1000 // the kernel's initial weight
+
+		s.rq.ForEach(func(n *klist.Node) bool {
+			t := task.FromNode(n)
+			res.Examined++
+			// can_schedule: skip tasks executing on another CPU or
+			// excluded by their affinity mask.
+			if (t.HasCPU && t != prev) || !t.AllowedOn(cpu) {
+				res.Cycles += env.Cost.Touch(env.NCPU)
+				return true
+			}
+			var w int
+			if t == prev && prev.Yielded && !yieldConsulted {
+				// sys_sched_yield: the yielding task is offered
+				// with goodness zero; the bit is cleared now so a
+				// rescan after recalculation treats it normally.
+				w = 0
+				prev.Yielded = false
+				yieldConsulted = true
+				res.Cycles += env.Cost.Touch(env.NCPU)
+			} else {
+				w = sched.Goodness(env.Epoch, t, cpu, prev.MM)
+				res.Cycles += env.Cost.Evaluate(env.NCPU)
+			}
+			if w > c {
+				c = w
+				best = t
+			}
+			return true
+		})
+
+		if c == 0 {
+			// Every candidate's quantum is spent (or the lone
+			// candidate yielded): recalculate the counter of every
+			// task in the system and search again (paper §3.3.2).
+			env.Epoch.Bump()
+			res.Recalcs++
+			res.Cycles += uint64(env.NTasks()) * env.Cost.RecalcPerTask
+			if res.Recalcs > 8 {
+				panic("vanilla: recalculation livelock")
+			}
+			continue
+		}
+		// c == -1000 means the queue is empty or everything is running
+		// elsewhere: schedule the idle task, with no recalculation
+		// (paper footnote 1).
+		res.Next = best
+		return res
+	}
+}

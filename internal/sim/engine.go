@@ -1,0 +1,166 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// Virtual time is measured in CPU cycles (Time). Events fire in
+// (time, sequence) order so that two events scheduled for the same instant
+// run in the order they were scheduled, which keeps every simulation
+// bit-for-bit reproducible for a given seed.
+package sim
+
+import "container/heap"
+
+// Time is a point in virtual time, in CPU clock cycles.
+type Time uint64
+
+// Cycles is a duration in CPU clock cycles.
+type Cycles = uint64
+
+// Event is a scheduled callback. Events are single-shot; recurring behavior
+// is built by rescheduling from within the callback.
+type Event struct {
+	At   Time
+	Fn   func(now Time)
+	Name string // for traces and debugging
+
+	seq       uint64
+	index     int // heap index, -1 when not queued
+	cancelled bool
+}
+
+// Cancelled reports whether Cancel was called on the event.
+func (e *Event) Cancelled() bool { return e.cancelled }
+
+// Pending reports whether the event is still queued to fire.
+func (e *Event) Pending() bool { return e.index >= 0 && !e.cancelled }
+
+// Engine owns the virtual clock and the pending event set.
+// The zero value is ready to use.
+type Engine struct {
+	now    Time
+	queue  eventHeap
+	nexts  uint64
+	fired  uint64
+	MaxDur Time // optional hard stop measured from time zero; 0 = none
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired returns the total number of events dispatched so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending returns the number of events currently queued.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// At schedules fn to run at absolute time at. Scheduling in the past
+// (before Now) panics: it would corrupt causality.
+func (e *Engine) At(at Time, name string, fn func(now Time)) *Event {
+	if at < e.now {
+		panic("sim: scheduling event in the past")
+	}
+	ev := &Event{At: at, Fn: fn, Name: name, seq: e.nexts, index: -1}
+	e.nexts++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After schedules fn to run d cycles from now.
+func (e *Engine) After(d Cycles, name string, fn func(now Time)) *Event {
+	return e.At(e.now+Time(d), name, fn)
+}
+
+// Cancel removes a pending event. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.cancelled || ev.index < 0 {
+		if ev != nil {
+			ev.cancelled = true
+		}
+		return
+	}
+	ev.cancelled = true
+	heap.Remove(&e.queue, ev.index)
+	ev.index = -1
+}
+
+// Step dispatches the next pending event, advancing the clock to its time.
+// It returns false when no events remain or the MaxDur horizon has been
+// reached.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		ev := e.queue[0]
+		if e.MaxDur != 0 && ev.At > e.MaxDur {
+			return false
+		}
+		heap.Pop(&e.queue)
+		ev.index = -1
+		if ev.cancelled {
+			continue
+		}
+		e.now = ev.At
+		e.fired++
+		ev.Fn(e.now)
+		return true
+	}
+	return false
+}
+
+// Run dispatches events until none remain, stop returns true, or the
+// MaxDur horizon is reached. A nil stop runs to completion.
+func (e *Engine) Run(stop func() bool) {
+	for {
+		if stop != nil && stop() {
+			return
+		}
+		if !e.Step() {
+			return
+		}
+	}
+}
+
+// RunFor dispatches events until the clock would pass now+d. Events at
+// exactly now+d still run.
+func (e *Engine) RunFor(d Cycles) {
+	deadline := e.now + Time(d)
+	for len(e.queue) > 0 && e.queue[0].At <= deadline {
+		if !e.Step() {
+			return
+		}
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// eventHeap is a min-heap on (At, seq).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}

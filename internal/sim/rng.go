@@ -1,0 +1,83 @@
+package sim
+
+// RNG is a small, fast, deterministic pseudo-random generator
+// (xorshift64* variant). It exists so simulations do not depend on
+// math/rand's global state or version-dependent stream changes: a given
+// seed produces the same stream forever.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed. A zero seed is remapped to a
+// fixed non-zero constant because the xorshift state must never be zero.
+func NewRNG(seed int64) *RNG {
+	r := &RNG{}
+	r.Seed(seed)
+	return r
+}
+
+// Seed resets the generator state.
+func (r *RNG) Seed(seed int64) {
+	s := uint64(seed)
+	if s == 0 {
+		s = 0x9e3779b97f4a7c15
+	}
+	// Mix the seed through two splitmix64 rounds so that nearby seeds
+	// produce unrelated streams.
+	for i := 0; i < 2; i++ {
+		s += 0x9e3779b97f4a7c15
+		z := s
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		s = z ^ (z >> 31)
+	}
+	if s == 0 {
+		s = 1
+	}
+	r.state = s
+}
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *RNG) Uint64() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545f4914f6cdd1d
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Uint64n returns a uniform uint64 in [0, n). It panics if n == 0.
+func (r *RNG) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("sim: Uint64n with zero n")
+	}
+	return r.Uint64() % n
+}
+
+// Range returns a uniform uint64 in [lo, hi]. It panics if lo > hi.
+func (r *RNG) Range(lo, hi uint64) uint64 {
+	if lo > hi {
+		panic("sim: Range with lo > hi")
+	}
+	return lo + r.Uint64n(hi-lo+1)
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Fork derives an independent generator from this one, for giving each
+// simulated component its own stream without correlated draws.
+func (r *RNG) Fork() *RNG {
+	return NewRNG(int64(r.Uint64()))
+}

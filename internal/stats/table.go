@@ -1,0 +1,89 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table renders aligned text tables in the style of the paper's tables and
+// figure data series. It is the output layer for cmd/sweep and the
+// experiment harness.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+}
+
+// NewTable returns a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; cells are formatted with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// NumRows returns the number of data rows added so far.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// Render returns the table as aligned text.
+func (t *Table) Render() string {
+	width := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		width[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if i < len(width) && len(cell) > width[i] {
+				width[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", width[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	rule := make([]string, len(t.Headers))
+	for i := range rule {
+		rule[i] = strings.Repeat("-", width[i])
+	}
+	writeRow(rule)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// FormatDuration renders a cycle count at the given clock rate as m:ss.cc,
+// the format of the paper's Table 2 ("6:41.41").
+func FormatDuration(cycles uint64, hz uint64) string {
+	if hz == 0 {
+		return "0:00.00"
+	}
+	centis := cycles * 100 / hz
+	m := centis / 6000
+	s := (centis % 6000) / 100
+	c := centis % 100
+	return fmt.Sprintf("%d:%02d.%02d", m, s, c)
+}

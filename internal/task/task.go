@@ -1,0 +1,342 @@
+// Package task defines the simulated Linux task structure, mirroring the
+// fields of 2.3.99-pre4's struct task_struct that matter to scheduling
+// (the paper's Table 1):
+//
+//	volatile long      state
+//	unsigned long      policy
+//	long               counter
+//	long               priority
+//	struct mm_struct   *mm
+//	struct list_head   run_list
+//	int                has_cpu
+//	int                processor
+//
+// plus rt_priority for real-time tasks. As in the paper, "task" means any
+// thread in the system; Linux's one-to-one model makes no distinction
+// between a user thread and a kernel thread.
+package task
+
+import (
+	"fmt"
+
+	"elsc/internal/klist"
+)
+
+// State is the task run state. Only Running tasks may sit on the run queue.
+type State int
+
+// The six task states of 2.3.99 (TASK_RUNNING etc.). Only the ones the
+// scheduler inspects get distinct behavior here; the rest exist for
+// fidelity of the task model.
+const (
+	Running State = iota // TASK_RUNNING: runnable (possibly executing)
+	Interruptible
+	Uninterruptible
+	Zombie
+	Stopped
+	Swapping
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case Running:
+		return "running"
+	case Interruptible:
+		return "interruptible"
+	case Uninterruptible:
+		return "uninterruptible"
+	case Zombie:
+		return "zombie"
+	case Stopped:
+		return "stopped"
+	case Swapping:
+		return "swapping"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// Policy is the scheduling class: SCHED_OTHER for normal timesharing
+// tasks, SCHED_FIFO and SCHED_RR for real-time tasks.
+type Policy int
+
+const (
+	// Other is SCHED_OTHER, the default timesharing policy.
+	Other Policy = iota
+	// FIFO is SCHED_FIFO: real-time, runs until it blocks or yields.
+	FIFO
+	// RR is SCHED_RR: real-time round robin on rt_priority.
+	RR
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case Other:
+		return "SCHED_OTHER"
+	case FIFO:
+		return "SCHED_FIFO"
+	case RR:
+		return "SCHED_RR"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// Priority bounds for SCHED_OTHER tasks (paper §3.1: "an integer between 1
+// and 40. Higher numbers represent higher priority. Twenty is the default").
+const (
+	MinPriority     = 1
+	MaxPriority     = 40
+	DefaultPriority = 20
+
+	// MaxCounter is the cap on a task's counter: "Counter ... can range
+	// from zero to twice the task's priority."
+	maxCounterFactor = 2
+
+	// MinRTPriority and MaxRTPriority bound rt_priority ("it ranges from
+	// 0 to 99 and is stored in a separate field called rt_priority").
+	MinRTPriority = 0
+	MaxRTPriority = 99
+)
+
+// MM models struct mm_struct: the address space a task runs in. Tasks
+// sharing an MM are threads of the same process; the scheduler pays a
+// cheaper context switch between them and goodness() awards a one point
+// bonus (paper §3.3.1).
+type MM struct {
+	ID   int
+	Name string
+}
+
+// Task is the simulated task structure.
+type Task struct {
+	ID   int
+	Name string
+
+	State  State
+	Policy Policy
+	// Yielded is the SCHED_YIELD bit carried in the policy field: set by
+	// sys_sched_yield, consumed by the scheduler.
+	Yielded bool
+
+	// Priority is the static SCHED_OTHER priority (1..40, default 20).
+	Priority int
+	// RTPriority is the real-time priority (0..99) for FIFO/RR tasks.
+	RTPriority int
+
+	// counter is the remaining quantum in 10ms ticks, lazily synced to
+	// the global recalculation epoch (see Epoch).
+	counter      int
+	counterEpoch uint64
+
+	// MM is the address space; nil for kernel threads.
+	MM *MM
+
+	// RunList is the run_list list_head linking the task into a run
+	// queue (the single list for the stock scheduler, one of the 30
+	// table lists for ELSC).
+	RunList klist.Node
+
+	// HasCPU is 1 while the task executes on a processor (paper §3.1).
+	HasCPU bool
+	// Processor is the CPU the task is executing on, or last executed on
+	// (the scheduler's affinity bonus compares against it).
+	Processor int
+	// EverRan records whether the task has ever been dispatched, so the
+	// affinity bonus is not granted against the zero-value Processor.
+	EverRan bool
+	// CPUsAllowed is the processor affinity mask (2.3.99's cpus_allowed,
+	// consulted by can_schedule). Zero means "all CPUs"; bit i allows
+	// CPU i.
+	CPUsAllowed uint64
+
+	// IsIdle marks the per-CPU idle task. Idle tasks are never placed on
+	// a run queue and never win a goodness comparison; an empty run
+	// queue "will schedule the idle task rather than trigger the
+	// recalculation" (paper footnote 1).
+	IsIdle bool
+
+	// Scheduler-private bookkeeping, the analogue of the policy-specific
+	// fields Linux keeps inside task_struct. ELSC uses these for its
+	// table list index, zero/nonzero section tag, and the epoch stamp
+	// that validates the tag (see internal/sched/elsc).
+	QIndex int
+	QZero  bool
+	QStamp uint64
+
+	// Accounting, maintained by the kernel.
+	UserCycles   uint64 // cycles spent in task (user) work
+	SystemCycles uint64 // cycles charged for syscalls on its behalf
+	Dispatches   uint64 // times chosen by schedule()
+	Migrations   uint64 // dispatches on a CPU != previous CPU
+	VolSwitches  uint64 // blocked or yielded
+	InvSwitches  uint64 // preempted or quantum expired
+}
+
+// New returns a SCHED_OTHER task with default priority and a full quantum,
+// in the Running state but not yet on any run queue.
+func New(id int, name string, mm *MM, ep *Epoch) *Task {
+	t := &Task{
+		ID:       id,
+		Name:     name,
+		State:    Running,
+		Policy:   Other,
+		Priority: DefaultPriority,
+		MM:       mm,
+	}
+	t.RunList.Owner = t
+	if ep != nil {
+		t.counterEpoch = ep.N()
+	}
+	t.counter = t.Priority
+	return t
+}
+
+// NewRT returns a real-time task with the given policy and rt_priority.
+func NewRT(id int, name string, policy Policy, rtprio int, ep *Epoch) *Task {
+	if policy != FIFO && policy != RR {
+		panic("task: NewRT requires FIFO or RR policy")
+	}
+	if rtprio < MinRTPriority || rtprio > MaxRTPriority {
+		panic("task: rt_priority out of range")
+	}
+	t := New(id, name, nil, ep)
+	t.Policy = policy
+	t.RTPriority = rtprio
+	return t
+}
+
+// RealTime reports whether the task is SCHED_FIFO or SCHED_RR.
+func (t *Task) RealTime() bool { return t.Policy == FIFO || t.Policy == RR }
+
+// Runnable reports whether the task is in TASK_RUNNING state.
+func (t *Task) Runnable() bool { return t.State == Running }
+
+// MaxCounter returns the cap on this task's counter (twice its priority).
+func (t *Task) MaxCounter() int { return maxCounterFactor * t.Priority }
+
+// Counter returns the remaining quantum in ticks after syncing any pending
+// global recalculations from ep.
+func (t *Task) Counter(ep *Epoch) int {
+	t.SyncCounter(ep)
+	return t.counter
+}
+
+// RawCounter returns the stored counter without epoch syncing. Intended
+// for tests and diagnostics only.
+func (t *Task) RawCounter() int { return t.counter }
+
+// SetCounter stores the counter and stamps it current with respect to ep.
+func (t *Task) SetCounter(ep *Epoch, v int) {
+	if v < 0 {
+		v = 0
+	}
+	t.counter = v
+	if ep != nil {
+		t.counterEpoch = ep.N()
+	}
+}
+
+// TickDecrement consumes one tick of quantum. The caller must only invoke
+// it on the running task (whose counter is guaranteed synced because it was
+// synced when dispatched and the epoch cannot advance while it runs without
+// touching it). Returns the new counter value.
+func (t *Task) TickDecrement(ep *Epoch) int {
+	t.SyncCounter(ep)
+	if t.counter > 0 {
+		t.counter--
+	}
+	return t.counter
+}
+
+// SyncCounter applies any recalculations that happened since the task was
+// last touched: each global recalculation performs
+//
+//	counter = counter/2 + priority
+//
+// for every task in the system (2.3.99 schedule()'s recalculate loop). The
+// recurrence reaches its fixed point (2*priority or 2*priority-1) within
+// about 8 applications for any in-range start, so the loop is bounded even
+// if thousands of epochs elapsed while the task slept.
+func (t *Task) SyncCounter(ep *Epoch) {
+	if ep == nil {
+		return
+	}
+	n := ep.N()
+	pending := n - t.counterEpoch
+	if pending == 0 {
+		return
+	}
+	// After the counter reaches a fixed point of c = c/2 + p further
+	// applications change nothing; cap the work.
+	const maxApply = 16
+	if pending > maxApply {
+		pending = maxApply
+	}
+	for i := uint64(0); i < pending; i++ {
+		next := t.counter/2 + t.Priority
+		if next == t.counter {
+			break
+		}
+		t.counter = next
+	}
+	if max := t.MaxCounter(); t.counter > max {
+		t.counter = max
+	}
+	t.counterEpoch = n
+}
+
+// PredictedCounter returns the counter value the task will have after the
+// next global recalculation, without applying it. ELSC's
+// add_to_runqueue uses this to pre-index exhausted tasks (paper §5.1).
+func (t *Task) PredictedCounter(ep *Epoch) int {
+	c := t.Counter(ep)
+	v := c/2 + t.Priority
+	if max := t.MaxCounter(); v > max {
+		v = max
+	}
+	return v
+}
+
+// StaticGoodness is counter + priority: the part of goodness() that does
+// not depend on which task and processor call schedule() (paper §5).
+func (t *Task) StaticGoodness(ep *Epoch) int {
+	return t.Counter(ep) + t.Priority
+}
+
+// OnRunqueue reports whether the kernel considers the task on the run
+// queue. Following the kernel convention the paper describes, this is
+// "run_list.next != NULL" — which remains true for a task ELSC has manually
+// pulled out of its table list while it runs (footnote 3).
+func (t *Task) OnRunqueue() bool { return t.RunList.OnList() }
+
+// AllowedOn reports whether the affinity mask permits running on cpu.
+// An unset (zero) mask allows every processor.
+func (t *Task) AllowedOn(cpu int) bool {
+	return t.CPUsAllowed == 0 || t.CPUsAllowed&(1<<uint(cpu)) != 0
+}
+
+// String implements fmt.Stringer for debugging and traces.
+func (t *Task) String() string {
+	return fmt.Sprintf("task%d(%s)", t.ID, t.Name)
+}
+
+// Epoch counts global counter recalculations. Incrementing the epoch is the
+// O(1) stand-in for the kernel's "recalculate counter for every task in the
+// system" loop; tasks lazily apply pending recalculations when touched.
+// The simulated cycle cost of the loop is charged separately by the
+// scheduler that triggers it.
+type Epoch struct {
+	n uint64
+}
+
+// N returns the current epoch number.
+func (e *Epoch) N() uint64 { return e.n }
+
+// Bump advances the epoch by one: one global recalculation.
+func (e *Epoch) Bump() { e.n++ }
+
+// FromNode recovers the *Task that embeds the given run-list node.
+func FromNode(n *klist.Node) *Task { return n.Owner.(*Task) }

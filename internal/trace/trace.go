@@ -1,0 +1,103 @@
+// Package trace provides a fixed-capacity ring buffer for scheduler
+// events with text rendering — the moral equivalent of a kernel trace
+// buffer read through a /proc file. It plugs into kernel.Config.Trace and
+// keeps the most recent N decisions with negligible overhead, so a long
+// simulation can be inspected post-mortem without storing millions of
+// events.
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"elsc/internal/kernel"
+)
+
+// Ring is a fixed-capacity circular buffer of schedule() decisions.
+type Ring struct {
+	buf   []kernel.TraceEvent
+	next  int
+	total uint64
+}
+
+// NewRing returns a ring holding the most recent capacity events.
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		panic("trace: ring capacity must be positive")
+	}
+	return &Ring{buf: make([]kernel.TraceEvent, 0, capacity)}
+}
+
+// Hook returns the function to install as kernel.Config.Trace.
+func (r *Ring) Hook() func(kernel.TraceEvent) {
+	return func(ev kernel.TraceEvent) { r.add(ev) }
+}
+
+func (r *Ring) add(ev kernel.TraceEvent) {
+	r.total++
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, ev)
+		return
+	}
+	r.buf[r.next] = ev
+	r.next = (r.next + 1) % cap(r.buf)
+}
+
+// Len returns the number of buffered events.
+func (r *Ring) Len() int { return len(r.buf) }
+
+// Total returns how many events have passed through the ring.
+func (r *Ring) Total() uint64 { return r.total }
+
+// Events returns the buffered events oldest-first.
+func (r *Ring) Events() []kernel.TraceEvent {
+	out := make([]kernel.TraceEvent, 0, len(r.buf))
+	if len(r.buf) < cap(r.buf) {
+		return append(out, r.buf...)
+	}
+	out = append(out, r.buf[r.next:]...)
+	return append(out, r.buf[:r.next]...)
+}
+
+// Render formats the buffered events as a text table, oldest first.
+func (r *Ring) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %-4s %-20s %-20s %8s %9s %6s %s\n",
+		"TIME", "CPU", "PREV", "NEXT", "EXAMINED", "CYCLES", "SPIN", "NOTES")
+	for _, ev := range r.Events() {
+		next := "idle"
+		if ev.Next != nil {
+			next = ev.Next.String()
+		}
+		notes := ""
+		if ev.Recalcs > 0 {
+			notes = fmt.Sprintf("recalc x%d", ev.Recalcs)
+		}
+		fmt.Fprintf(&b, "%-14d %-4d %-20s %-20s %8d %9d %6d %s\n",
+			ev.Now, ev.CPU, ev.Prev.String(), next, ev.Examined, ev.Cycles, ev.Spin, notes)
+	}
+	return b.String()
+}
+
+// Summary aggregates the buffered window: decisions, idle picks,
+// recalculations, and mean cost.
+func (r *Ring) Summary() string {
+	events := r.Events()
+	if len(events) == 0 {
+		return "trace: no events"
+	}
+	var cycles, spin uint64
+	idle, recalcs := 0, 0
+	for _, ev := range events {
+		cycles += ev.Cycles
+		spin += ev.Spin
+		if ev.Next == nil {
+			idle++
+		}
+		recalcs += ev.Recalcs
+	}
+	return fmt.Sprintf(
+		"trace: %d buffered of %d total | mean %d cycles + %d spin per decision | %d idle picks | %d recalcs",
+		len(events), r.total,
+		cycles/uint64(len(events)), spin/uint64(len(events)), idle, recalcs)
+}

@@ -1,0 +1,109 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"elsc/internal/kernel"
+	"elsc/internal/sched"
+	"elsc/internal/sched/elsc"
+	"elsc/internal/sim"
+	"elsc/internal/task"
+)
+
+func ev(at sim.Time, cpu int) kernel.TraceEvent {
+	prev := task.New(-1, "idle", nil, nil)
+	prev.IsIdle = true
+	return kernel.TraceEvent{Now: at, CPU: cpu, Prev: prev, Examined: 1, Cycles: 100}
+}
+
+func TestRingKeepsMostRecent(t *testing.T) {
+	r := NewRing(3)
+	for i := 1; i <= 5; i++ {
+		r.add(ev(sim.Time(i), 0))
+	}
+	events := r.Events()
+	if len(events) != 3 {
+		t.Fatalf("len = %d, want 3", len(events))
+	}
+	for i, want := range []sim.Time{3, 4, 5} {
+		if events[i].Now != want {
+			t.Fatalf("events[%d].Now = %d, want %d", i, events[i].Now, want)
+		}
+	}
+	if r.Total() != 5 {
+		t.Fatalf("total = %d, want 5", r.Total())
+	}
+}
+
+func TestRingPartiallyFilled(t *testing.T) {
+	r := NewRing(10)
+	r.add(ev(1, 0))
+	r.add(ev(2, 0))
+	events := r.Events()
+	if len(events) != 2 || events[0].Now != 1 || events[1].Now != 2 {
+		t.Fatalf("events = %v", events)
+	}
+}
+
+func TestRingZeroCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewRing(0) should panic")
+		}
+	}()
+	NewRing(0)
+}
+
+func TestRenderAndSummary(t *testing.T) {
+	r := NewRing(8)
+	e := ev(42, 1)
+	e.Recalcs = 2
+	r.add(e)
+	out := r.Render()
+	if !strings.Contains(out, "recalc x2") {
+		t.Fatalf("render missing recalc note:\n%s", out)
+	}
+	if !strings.Contains(out, "idle") {
+		t.Fatalf("render missing idle next:\n%s", out)
+	}
+	sum := r.Summary()
+	if !strings.Contains(sum, "1 buffered of 1 total") {
+		t.Fatalf("summary = %q", sum)
+	}
+}
+
+func TestSummaryEmpty(t *testing.T) {
+	if NewRing(4).Summary() != "trace: no events" {
+		t.Fatal("empty summary wrong")
+	}
+}
+
+func TestHookOnLiveMachine(t *testing.T) {
+	r := NewRing(64)
+	m := kernel.NewMachine(kernel.Config{
+		CPUs:         1,
+		Seed:         1,
+		NewScheduler: func(env *sched.Env) sched.Scheduler { return elsc.New(env) },
+		MaxCycles:    5 * kernel.DefaultHz,
+		Trace:        r.Hook(),
+	})
+	n := 0
+	p := m.Spawn("w", nil, kernel.ProgramFunc(func(p *kernel.Proc) kernel.Action {
+		if n >= 5 {
+			return kernel.Exit{}
+		}
+		n++
+		return kernel.Sleep{Cycles: 10_000}
+	}))
+	m.Run(func() bool { return p.Exited() })
+	if r.Total() == 0 {
+		t.Fatal("hook captured nothing")
+	}
+	if r.Total() != m.Stats().SchedCalls {
+		t.Fatalf("ring total %d != sched calls %d", r.Total(), m.Stats().SchedCalls)
+	}
+	if len(strings.Split(r.Render(), "\n")) < 3 {
+		t.Fatal("render too short")
+	}
+}

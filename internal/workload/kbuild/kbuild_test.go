@@ -1,0 +1,120 @@
+package kbuild
+
+import (
+	"testing"
+
+	"elsc/internal/kernel"
+	"elsc/internal/sched"
+	"elsc/internal/sched/elsc"
+	"elsc/internal/sched/vanilla"
+)
+
+func newMachine(cpus int, smp bool, useELSC bool) *kernel.Machine {
+	factory := func(env *sched.Env) sched.Scheduler { return vanilla.New(env) }
+	if useELSC {
+		factory = func(env *sched.Env) sched.Scheduler { return elsc.New(env) }
+	}
+	return kernel.NewMachine(kernel.Config{
+		CPUs:         cpus,
+		SMP:          smp,
+		Seed:         99,
+		NewScheduler: factory,
+		MaxCycles:    3000 * kernel.DefaultHz,
+	})
+}
+
+// small is a fast test configuration.
+func small() Config {
+	return Config{Units: 24, MeanCompile: 4_000_000, MeanIO: 100_000}
+}
+
+func TestBuildCompletes(t *testing.T) {
+	for _, useELSC := range []bool{false, true} {
+		m := newMachine(1, false, useELSC)
+		b := New(m, small())
+		res := b.Run()
+		if !b.Done() {
+			t.Fatal("build did not finish")
+		}
+		if res.Seconds <= 0 {
+			t.Fatal("no elapsed time")
+		}
+		if res.Units != 24 || res.Jobs != 4 {
+			t.Fatalf("result echo wrong: %+v", res)
+		}
+	}
+}
+
+func TestAllUnitsCompiled(t *testing.T) {
+	m := newMachine(2, true, true)
+	b := New(m, small())
+	b.Run()
+	if b.compiled != len(b.queue) {
+		t.Fatalf("compiled %d of %d units", b.compiled, len(b.queue))
+	}
+	if b.nextJob != len(b.queue) {
+		t.Fatalf("claimed %d of %d units", b.nextJob, len(b.queue))
+	}
+}
+
+func TestTwoProcessorSpeedup(t *testing.T) {
+	// Table 2's structure: 2P cuts the time nearly in half
+	// (6:41 -> 3:40 is a 1.82x speedup with the serial tail).
+	run := func(cpus int, smp bool) float64 {
+		m := newMachine(cpus, smp, true)
+		return New(m, small()).Run().Seconds
+	}
+	up := run(1, false)
+	dual := run(2, true)
+	speedup := up / dual
+	if speedup < 1.4 || speedup > 2.05 {
+		t.Fatalf("2P speedup = %.2f, want roughly 1.8 (Amdahl with ~10%% serial)", speedup)
+	}
+}
+
+func TestSchedulersAgreeOnLightLoad(t *testing.T) {
+	// The Table 2 claim: for light loads the two schedulers are within
+	// noise of each other.
+	run := func(useELSC bool) float64 {
+		m := newMachine(1, false, useELSC)
+		return New(m, small()).Run().Seconds
+	}
+	reg := run(false)
+	elscT := run(true)
+	diff := (reg - elscT) / reg
+	if diff < -0.03 || diff > 0.05 {
+		t.Fatalf("light-load times diverge: reg %.3fs vs elsc %.3fs (%.1f%%)",
+			reg, elscT, 100*diff)
+	}
+}
+
+func TestParallelismBounded(t *testing.T) {
+	// make -j4 must never have more than 4 compilers (plus the idle
+	// linker) runnable: the scheduler sees a light load.
+	m := newMachine(4, true, false)
+	b := New(m, small())
+	b.Run()
+	v := m.Scheduler().(*vanilla.Sched)
+	mean := float64(v.Diag.QueueLenSum) / float64(v.Diag.Entries)
+	if mean > float64(b.cfg.Jobs)+1.5 {
+		t.Fatalf("mean run-queue length %.1f exceeds -j%d bound", mean, b.cfg.Jobs)
+	}
+}
+
+func TestFormattedDuration(t *testing.T) {
+	m := newMachine(1, false, true)
+	res := New(m, small()).Run()
+	if res.Formatted == "" || res.Formatted == "0:00.00" {
+		t.Fatalf("formatted duration %q", res.Formatted)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	run := func() uint64 {
+		m := newMachine(2, true, true)
+		return New(m, small()).Run().Cycles
+	}
+	if run() != run() {
+		t.Fatal("kernel build simulation not deterministic")
+	}
+}

@@ -1,0 +1,156 @@
+// Package latency measures scheduler wake-up latency: how long a just-
+// woken interactive task waits before it actually runs, as a function of
+// background load. This extends the paper's evaluation along the axis its
+// related-work section cares about ("most alternative scheduler designs
+// focus on reducing latency for real-time processes rather than improving
+// the overall scalability"): the stock scheduler's O(n) scan sits directly
+// on the wake-to-dispatch path, so its latency grows with the run queue,
+// while ELSC's does not.
+package latency
+
+import (
+	"fmt"
+
+	"elsc/internal/kernel"
+	"elsc/internal/sim"
+	"elsc/internal/stats"
+)
+
+// Config sizes the probe workload.
+type Config struct {
+	// Probes is the number of interactive latency-probe tasks.
+	Probes int
+	// Hogs is the number of CPU-bound background tasks keeping the run
+	// queue populated.
+	Hogs int
+	// WakesPerProbe is how many sleep/wake cycles each probe performs.
+	WakesPerProbe int
+	// SleepMean is the mean probe sleep between wakes, in cycles.
+	SleepMean uint64
+	// ProbeWork is the small burst a probe runs after each wake.
+	ProbeWork uint64
+	// ProbePriority is the probes' static priority (default 40, the
+	// maximum): a woken probe must out-goodness any background hog so
+	// that the measurement isolates the wake path — IPI, schedule()
+	// cost, context switch — rather than quantum waits.
+	ProbePriority int
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.Probes == 0 {
+		out.Probes = 4
+	}
+	if out.Hogs == 0 {
+		out.Hogs = 32
+	}
+	if out.WakesPerProbe == 0 {
+		out.WakesPerProbe = 200
+	}
+	if out.SleepMean == 0 {
+		out.SleepMean = 2_000_000 // 5 ms
+	}
+	if out.ProbeWork == 0 {
+		out.ProbeWork = 20_000
+	}
+	if out.ProbePriority == 0 {
+		out.ProbePriority = 40
+	}
+	return out
+}
+
+// Probe is a constructed latency workload.
+type Probe struct {
+	cfg    Config
+	m      *kernel.Machine
+	lat    stats.Dist
+	probes []*kernel.Proc
+	hogs   []*kernel.Proc
+	done   int
+}
+
+// New constructs the probes and background hogs on m.
+func New(m *kernel.Machine, cfg Config) *Probe {
+	cfg = cfg.withDefaults()
+	p := &Probe{cfg: cfg, m: m}
+
+	mm := m.NewMM("bg")
+	for i := 0; i < cfg.Hogs; i++ {
+		p.hogs = append(p.hogs, m.Spawn(fmt.Sprintf("hog%d", i), mm, hogProgram(p)))
+	}
+	for i := 0; i < cfg.Probes; i++ {
+		pr := m.Spawn(fmt.Sprintf("probe%d", i), nil, p.probeProgram())
+		m.SetPriority(pr, cfg.ProbePriority)
+		p.probes = append(p.probes, pr)
+	}
+	return p
+}
+
+// hogProgram burns CPU until the probes are done.
+func hogProgram(p *Probe) kernel.Program {
+	return kernel.ProgramFunc(func(proc *kernel.Proc) kernel.Action {
+		if p.Done() {
+			return kernel.Exit{}
+		}
+		return kernel.Compute{Cycles: 150_000}
+	})
+}
+
+// probeProgram sleeps, records how late it was dispatched after the wake,
+// runs a small burst, and repeats.
+func (p *Probe) probeProgram() kernel.Program {
+	rng := p.m.RNG().Fork()
+	wakes := 0
+	phase := 0
+	var due sim.Time
+	return kernel.ProgramFunc(func(proc *kernel.Proc) kernel.Action {
+		switch phase {
+		case 0: // go to sleep
+			if wakes >= p.cfg.WakesPerProbe {
+				p.done++
+				return kernel.Exit{}
+			}
+			wakes++
+			d := rng.Range(p.cfg.SleepMean/2, p.cfg.SleepMean*3/2)
+			due = p.m.Now() + sim.Time(d) + sim.Time(p.m.Env().Cost.SyscallBase)
+			phase = 1
+			return kernel.Sleep{Cycles: d}
+		default: // just dispatched after the wake
+			now := p.m.Now()
+			if now > due {
+				p.lat.Observe(uint64(now - due))
+			} else {
+				p.lat.Observe(0)
+			}
+			phase = 0
+			return kernel.Compute{Cycles: p.cfg.ProbeWork}
+		}
+	})
+}
+
+// Done reports whether every probe finished its wake cycles.
+func (p *Probe) Done() bool { return p.done >= p.cfg.Probes }
+
+// Result is one latency measurement.
+type Result struct {
+	Probes  int
+	Hogs    int
+	Samples uint64
+	MeanUS  float64 // mean wake-to-dispatch latency, microseconds
+	P99US   float64 // approximate 99th percentile, microseconds
+	MaxUS   float64 // worst observed latency, microseconds
+}
+
+// Run executes until every probe completes.
+func (p *Probe) Run() Result {
+	p.m.Run(func() bool { return p.Done() })
+	toUS := 1e6 / float64(p.m.Hz())
+	return Result{
+		Probes:  p.cfg.Probes,
+		Hogs:    p.cfg.Hogs,
+		Samples: p.lat.Count(),
+		MeanUS:  p.lat.Mean() * toUS,
+		P99US:   float64(p.lat.ApproxPercentile(0.99)) * toUS,
+		MaxUS:   float64(p.lat.Max()) * toUS,
+	}
+}

@@ -1,0 +1,211 @@
+package volano
+
+import (
+	"testing"
+
+	"elsc/internal/ipc"
+	"elsc/internal/kernel"
+)
+
+// actionKind classifies an action for state-machine tests.
+func actionKind(a kernel.Action) string {
+	switch a.(type) {
+	case kernel.Syscall:
+		return "syscall"
+	case kernel.Yield:
+		return "yield"
+	case kernel.Compute:
+		return "compute"
+	case kernel.Sleep:
+		return "sleep"
+	case kernel.Exit:
+		return "exit"
+	default:
+		return "?"
+	}
+}
+
+// execSyscall runs a syscall action's effect directly; valid only for
+// effects that do not touch the machine (polls of unbounded queues).
+func execSyscall(t *testing.T, a kernel.Action) kernel.Outcome {
+	t.Helper()
+	sc, ok := a.(kernel.Syscall)
+	if !ok {
+		t.Fatalf("expected syscall, got %T", a)
+	}
+	return sc.Fn(nil, 0)
+}
+
+func TestSpinRecvPollsYieldsThenBlocks(t *testing.T) {
+	q := ipc.NewQueue("q", 0)
+	sr := spinRecv{q: q, spins: 2, cost: 100, poll: 50}
+	sr.reset()
+
+	// Poll 1 (miss) -> yield -> poll 2 (miss) -> yield -> blocking recv.
+	wantNames := []string{"tryrecv", "yield", "tryrecv", "yield", "recv"}
+	for i, want := range wantNames {
+		act, done := sr.step(nil)
+		if done {
+			t.Fatalf("step %d: done early", i)
+		}
+		switch want {
+		case "yield":
+			if actionKind(act) != "yield" {
+				t.Fatalf("step %d: got %s, want yield", i, actionKind(act))
+			}
+		case "tryrecv":
+			out := execSyscall(t, act)
+			if out.Wait != nil {
+				t.Fatalf("step %d: poll must not block", i)
+			}
+		case "recv":
+			sc, ok := act.(kernel.Syscall)
+			if !ok || sc.Name != "q.recv" {
+				t.Fatalf("step %d: got %v, want blocking recv", i, act)
+			}
+			out := sc.Fn(nil, 0)
+			if out.Wait == nil {
+				t.Fatalf("step %d: blocking recv on empty queue must block", i)
+			}
+		}
+	}
+}
+
+func TestSpinRecvImmediateHit(t *testing.T) {
+	q := ipc.NewQueue("q", 0)
+	// Preload a message via a send effect (unbounded: no wake needed,
+	// but the effect calls WakeOne, so use Inject-free manual path).
+	sr := spinRecv{q: q, spins: 2, cost: 100, poll: 50}
+	sr.reset()
+
+	act, done := sr.step(nil)
+	if done {
+		t.Fatal("done before polling")
+	}
+	// Make the poll hit: put a message in the buffer first.
+	prime := q.TryRecv(1, &ipc.Msg{}, new(bool)) // prove queue empty first
+	_ = prime
+	// Deposit directly through a send syscall with nil proc is unsafe
+	// (it wakes readers); emulate arrival by constructing a fresh queue
+	// scenario instead: run the poll against a queue primed before the
+	// spinRecv was created.
+	q2 := ipc.NewQueue("q2", 0)
+	m := newMachine(1, false, true, 1)
+	q2.Inject(m, ipc.Msg{From: 9, Seq: 1})
+	sr2 := spinRecv{q: q2, spins: 2, cost: 100, poll: 50}
+	sr2.reset()
+	act, done = sr2.step(nil)
+	if done {
+		t.Fatal("done before poll executes")
+	}
+	out := execSyscall(t, act)
+	if out.Wait != nil {
+		t.Fatal("poll blocked")
+	}
+	act, done = sr2.step(nil)
+	if !done {
+		t.Fatalf("expected done after successful poll, got %v", act)
+	}
+	if sr2.msg.From != 9 || sr2.msg.Seq != 1 {
+		t.Fatalf("wrong message: %+v", sr2.msg)
+	}
+}
+
+func TestSpinRecvResetReusable(t *testing.T) {
+	q := ipc.NewQueue("q", 0)
+	m := newMachine(1, false, true, 1)
+	sr := spinRecv{q: q, spins: 1, cost: 100, poll: 50}
+	for round := 1; round <= 3; round++ {
+		q.Inject(m, ipc.Msg{Seq: round})
+		sr.reset()
+		act, _ := sr.step(nil)
+		execSyscall(t, act)
+		_, done := sr.step(nil)
+		if !done || sr.msg.Seq != round {
+			t.Fatalf("round %d: msg %+v done=%v", round, sr.msg, done)
+		}
+	}
+}
+
+func TestRoomLockReleasedAfterRun(t *testing.T) {
+	m := newMachine(2, true, true, 3)
+	b := Build(m, tiny())
+	b.Run()
+	for _, rm := range b.rooms {
+		if rm.lock.Locked() {
+			t.Fatalf("room %d lock left held", rm.id)
+		}
+	}
+}
+
+func TestAllQueuesDrainedAfterRun(t *testing.T) {
+	m := newMachine(1, false, false, 3)
+	b := Build(m, tiny())
+	b.Run()
+	for _, rm := range b.rooms {
+		for _, cn := range rm.conns {
+			if cn.sock.ClientToServer.Len() != 0 || cn.sock.ServerToClient.Len() != 0 {
+				t.Fatalf("user %d socket not drained", cn.user)
+			}
+			if cn.writerQ.Len() != 0 {
+				t.Fatalf("user %d writer queue not drained", cn.user)
+			}
+		}
+	}
+}
+
+func TestPerConnectionDeliveryCounts(t *testing.T) {
+	m := newMachine(2, true, true, 5)
+	cfg := Config{Rooms: 2, UsersPerRoom: 3, MessagesPerUser: 4}
+	b := Build(m, cfg)
+	b.Run()
+	// Every connection receives users*messages deliveries: all broadcasts
+	// in its room.
+	want := uint64(cfg.UsersPerRoom * cfg.MessagesPerUser)
+	for _, rm := range b.rooms {
+		for _, cn := range rm.conns {
+			if cn.received != want {
+				t.Fatalf("user %d received %d, want %d", cn.user, cn.received, want)
+			}
+		}
+	}
+}
+
+func TestHousekeepingSpinnersExitAfterRun(t *testing.T) {
+	m := newMachine(1, false, true, 3)
+	b := Build(m, tiny())
+	b.Run()
+	// Let the spinners observe the finished flag and exit.
+	m.Run(func() bool { return m.Alive() == 0 })
+	for _, p := range b.housekeeping {
+		if !p.Exited() {
+			t.Fatal("housekeeping spinner still alive after completion")
+		}
+	}
+}
+
+func TestSenderClosedLoop(t *testing.T) {
+	// A sender may never have more than one message outstanding: sends
+	// only happen after the previous message's echo. Verify via socket
+	// queue depth: the client-to-server queue of any connection holds at
+	// most 1 message from its own user at a time. Observed indirectly:
+	// c2s length never exceeds 1 (only this user writes to it).
+	m := newMachine(1, false, false, 7)
+	b := Build(m, Config{Rooms: 1, UsersPerRoom: 3, MessagesPerUser: 5})
+	maxDepth := 0
+	// Sample queue depths between events via the run-loop predicate.
+	stop := func() bool {
+		for _, rm := range b.rooms {
+			for _, cn := range rm.conns {
+				if cn.sock.ClientToServer.Len() > maxDepth {
+					maxDepth = cn.sock.ClientToServer.Len()
+				}
+			}
+		}
+		return b.Done()
+	}
+	m.Run(stop)
+	if maxDepth > 1 {
+		t.Fatalf("a closed-loop sender had %d messages queued", maxDepth)
+	}
+}

@@ -1,0 +1,373 @@
+// Package volano reimplements the VolanoMark chat benchmark as a simulated
+// workload (paper §4 and §6). VolanoMark measures a Java chat server: each
+// simulated user opens a loopback socket connection; because 1999-era Java
+// has no non-blocking I/O, every connection carries four threads — a
+// client-side sender and receiver, and a server-side reader and writer.
+// Every message a user sends is broadcast by the server to all members of
+// the user's room.
+//
+// The workload stresses the scheduler in the three ways the paper
+// describes:
+//
+//   - Thread count: rooms × 20 users × 4 threads (a 20-room run is 1,600
+//     tasks, "400 to 2,000 threads in the run queue").
+//   - Rapid blocking message ping-pong over the loopback sockets: "each
+//     must have time on the CPU to send and receive its messages ... this
+//     type of message exchanging application forces many entries into the
+//     scheduler."
+//   - sched_yield storms from user-level JVM synchronization: the room
+//     broadcast lock is a yield-spinning mutex, and receives poll with a
+//     spin-then-block loop, as IBM JDK 1.1.7's thread library did.
+//
+// The benchmark metric is message throughput: deliveries to client
+// receivers per second of virtual time.
+package volano
+
+import (
+	"fmt"
+
+	"elsc/internal/ipc"
+	"elsc/internal/kernel"
+	"elsc/internal/task"
+)
+
+// Config sizes a VolanoMark run. Zero fields take the paper's defaults.
+type Config struct {
+	// Rooms is the number of chat rooms (paper sweeps 5, 10, 15, 20).
+	Rooms int
+	// UsersPerRoom is the room population (paper: 20).
+	UsersPerRoom int
+	// MessagesPerUser is how many messages each user sends (paper: 100).
+	MessagesPerUser int
+	// SockCap is the per-direction socket buffer capacity in messages.
+	SockCap int
+	// WriterQCap bounds each connection's in-process broadcast queue.
+	// Small values model the real server's flow control: a room's
+	// reader stalls when a member's writer backs up, which keeps the
+	// number of simultaneously runnable threads proportional to rooms
+	// rather than rooms × users².
+	WriterQCap int
+	// RecvSpins is how many poll-then-yield rounds a receive performs
+	// before blocking (the JVM's adaptive spin).
+	RecvSpins int
+	// IdleSpinnersPerJVM is the number of housekeeping threads (garbage
+	// collector, finalizer) each JVM runs. They wake periodically, poll
+	// for work with a few sched_yield rounds, and go back to sleep, as
+	// IBM JDK 1.1.7's runtime did. Whenever one of them yields as the
+	// only runnable task, the stock scheduler runs the recalculation
+	// loop — the dominant source of the paper's Figure 2 counts.
+	IdleSpinnersPerJVM int
+	// RampCycles staggers thread start-up over a uniform window,
+	// modeling VolanoMark's sequential connection establishment. Without
+	// it every task starts with an identical quantum and wake-up
+	// preemption never fires (all goodness comparisons tie), which is
+	// not a regime the real benchmark ever sees.
+	RampCycles uint64
+	// Costs tunes the per-operation cycle costs.
+	Costs Costs
+}
+
+// Costs are the simulated cycle prices of the message path, calibrated for
+// a 400 MHz machine so that a delivery costs tens of microseconds of CPU,
+// like a real 1999 Java chat message through the TCP loopback stack.
+type Costs struct {
+	SenderThink  uint64 // client-side message composition
+	SenderSend   uint64 // client socket write (TCP send path + JVM)
+	ReaderParse  uint64 // server read + protocol parse
+	RoutePerUser uint64 // enqueue to one member's writer queue
+	WriterWrite  uint64 // server socket write per delivery
+	ReceiverRecv uint64 // client socket read + handling per delivery
+	LockTry      uint64 // one user-level lock attempt
+	QueueOp      uint64 // in-process queue syscall cost
+	EchoSignalOp uint64 // sender-pacing gate operations
+	SpinPollCost uint64 // one non-blocking poll
+	// NetSerialHold is the serialized (big-kernel-lock era) portion of
+	// each loopback socket operation: no matter how many CPUs the
+	// machine has, socket work passes through the 2.3.x network stack
+	// essentially one operation at a time. This is why the paper's 4P
+	// throughput barely exceeds UP throughput.
+	NetSerialHold uint64
+	// QueueSerialHold is the smaller serialized portion of in-process
+	// queue and gate operations (futex-style kernel entry).
+	QueueSerialHold uint64
+	// NetLatency delays loopback delivery: data written to a socket
+	// becomes readable after the net bottom-half runs, not instantly.
+	NetLatency uint64
+}
+
+// DefaultCosts returns the calibrated cost set.
+func DefaultCosts() Costs {
+	return Costs{
+		SenderThink:     4000,
+		SenderSend:      16000,
+		ReaderParse:     12000,
+		RoutePerUser:    1500,
+		WriterWrite:     16000,
+		ReceiverRecv:    12000,
+		LockTry:         150,
+		QueueOp:         1200,
+		EchoSignalOp:    600,
+		SpinPollCost:    400,
+		NetSerialHold:   11000,
+		QueueSerialHold: 2000,
+		NetLatency:      20000,
+	}
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.Rooms == 0 {
+		out.Rooms = 10
+	}
+	if out.UsersPerRoom == 0 {
+		out.UsersPerRoom = 20
+	}
+	if out.MessagesPerUser == 0 {
+		out.MessagesPerUser = 100
+	}
+	if out.SockCap == 0 {
+		out.SockCap = 16
+	}
+	if out.WriterQCap == 0 {
+		out.WriterQCap = 3
+	}
+	if out.RecvSpins == 0 {
+		out.RecvSpins = 2
+	}
+	if out.IdleSpinnersPerJVM == 0 {
+		out.IdleSpinnersPerJVM = 2
+	}
+	if out.RampCycles == 0 {
+		out.RampCycles = 10_000_000 // 25 ms at 400 MHz
+	}
+	if out.Costs == (Costs{}) {
+		out.Costs = DefaultCosts()
+	}
+	return out
+}
+
+// Benchmark is a constructed VolanoMark instance bound to a machine.
+type Benchmark struct {
+	cfg     Config
+	m       *kernel.Machine
+	rooms   []*room
+	threads []*kernel.Proc
+	// housekeeping holds the JVM idle-spinner threads; they run until
+	// finished is set and are excluded from completion checks.
+	housekeeping []*kernel.Proc
+	finished     bool
+
+	expectedDeliveries uint64
+}
+
+// room holds one chat room's server-side state.
+type room struct {
+	id    int
+	lock  *ipc.YieldMutex
+	conns []*conn
+}
+
+// conn is one user's connection: the socket pair, the in-process queue
+// feeding the user's server-side writer, and the client-side echo gate
+// that paces the sender.
+type conn struct {
+	user    int
+	sock    *ipc.SockPair
+	writerQ *ipc.Queue
+	echo    *ipc.Queue
+	// received counts deliveries to this user's client receiver.
+	received uint64
+}
+
+// Build constructs all rooms, connections and threads on m. Client threads
+// share one address space (the client JVM) and server threads another (the
+// server JVM), as in the paper's loopback runs.
+func Build(m *kernel.Machine, cfg Config) *Benchmark {
+	cfg = cfg.withDefaults()
+	b := &Benchmark{cfg: cfg, m: m}
+	clientMM := m.NewMM("client-jvm")
+	serverMM := m.NewMM("server-jvm")
+	netStack := m.NewSerialResource("netstack")
+
+	u := cfg.UsersPerRoom
+	msgs := cfg.MessagesPerUser
+	b.expectedDeliveries = uint64(cfg.Rooms) * uint64(u) * uint64(u) * uint64(msgs)
+
+	for r := 0; r < cfg.Rooms; r++ {
+		rm := &room{
+			id:   r,
+			lock: ipc.NewYieldMutex(fmt.Sprintf("room%d.lock", r), cfg.Costs.LockTry),
+		}
+		for i := 0; i < u; i++ {
+			uid := r*u + i
+			cn := &conn{
+				user:    uid,
+				sock:    ipc.NewSockPair(fmt.Sprintf("u%d", uid), cfg.SockCap),
+				writerQ: ipc.NewQueue(fmt.Sprintf("u%d.wq", uid), cfg.WriterQCap),
+				echo:    ipc.NewQueue(fmt.Sprintf("u%d.echo", uid), 0),
+			}
+			for _, q := range []*ipc.Queue{cn.sock.ClientToServer, cn.sock.ServerToClient} {
+				q.Serial = netStack
+				q.SerialHold = cfg.Costs.NetSerialHold
+				q.DeliverLatency = cfg.Costs.NetLatency
+			}
+			for _, q := range []*ipc.Queue{cn.writerQ, cn.echo} {
+				q.Serial = netStack
+				q.SerialHold = cfg.Costs.QueueSerialHold
+			}
+			rm.conns = append(rm.conns, cn)
+		}
+		b.rooms = append(b.rooms, rm)
+
+		for i, cn := range rm.conns {
+			name := fmt.Sprintf("r%d.u%d", r, i)
+			b.spawn(name+".sender", clientMM, newSender(cfg, cn))
+			b.spawn(name+".recv", clientMM, newReceiver(cfg, cn, u*msgs))
+			b.spawn(name+".reader", serverMM, newReader(cfg, rm, cn, msgs))
+			b.spawn(name+".writer", serverMM, newWriter(cfg, cn, u*msgs))
+		}
+	}
+	// The JVM runtime threads: GC and finalizer pollers in each JVM.
+	for i := 0; i < cfg.IdleSpinnersPerJVM; i++ {
+		for _, jvm := range []*task.MM{clientMM, serverMM} {
+			p := m.Spawn(fmt.Sprintf("%s.gc%d", jvm.Name, i), jvm, newIdleSpinner(b))
+			b.housekeeping = append(b.housekeeping, p)
+		}
+	}
+	return b
+}
+
+// newIdleSpinner builds a JVM housekeeping thread: sleep a few
+// milliseconds, wake, poll for work with a handful of sched_yield rounds,
+// and sleep again — until the benchmark finishes. When a poll window
+// coincides with a lull in chat traffic, the spinner's yields arrive as
+// the only runnable task: the stock scheduler recalculates every counter
+// in the system on each one (Figure 2), while ELSC just re-runs it.
+func newIdleSpinner(b *Benchmark) kernel.Program {
+	const pollRounds = 6
+	phase := 0
+	round := 0
+	rng := b.m.RNG().Fork()
+	return kernel.ProgramFunc(func(p *kernel.Proc) kernel.Action {
+		if b.finished {
+			return kernel.Exit{}
+		}
+		switch phase {
+		case 0: // sleep between poll windows (2-6 ms)
+			phase = 1
+			round = 0
+			return kernel.Sleep{Cycles: rng.Range(800_000, 2_400_000)}
+		case 1: // poll for work
+			phase = 2
+			return kernel.Compute{Cycles: 1500}
+		default: // nothing found: yield, maybe poll again
+			round++
+			if round >= pollRounds {
+				phase = 0
+			} else {
+				phase = 1
+			}
+			return kernel.Yield{}
+		}
+	})
+}
+
+func (b *Benchmark) spawn(name string, mm *task.MM, prog kernel.Program) {
+	if b.cfg.RampCycles > 1 {
+		prog = &staggered{delay: b.m.RNG().Uint64n(b.cfg.RampCycles), inner: prog}
+	}
+	b.threads = append(b.threads, b.m.Spawn(name, mm, prog))
+}
+
+// staggered delays a program's first action, modeling the benchmark's
+// connection ramp-up.
+type staggered struct {
+	delay   uint64
+	inner   kernel.Program
+	started bool
+}
+
+func (s *staggered) Step(p *kernel.Proc) kernel.Action {
+	if !s.started {
+		s.started = true
+		return kernel.Sleep{Cycles: s.delay}
+	}
+	return s.inner.Step(p)
+}
+
+// Threads returns the number of simulated threads the benchmark created.
+func (b *Benchmark) Threads() int { return len(b.threads) }
+
+// ExpectedDeliveries returns rooms*users^2*messages: every message is
+// broadcast to every room member.
+func (b *Benchmark) ExpectedDeliveries() uint64 { return b.expectedDeliveries }
+
+// Deliveries returns client-side deliveries so far.
+func (b *Benchmark) Deliveries() uint64 {
+	var n uint64
+	for _, rm := range b.rooms {
+		for _, cn := range rm.conns {
+			n += cn.received
+		}
+	}
+	return n
+}
+
+// Done reports whether every thread has exited.
+func (b *Benchmark) Done() bool {
+	for _, p := range b.threads {
+		if !p.Exited() {
+			return false
+		}
+	}
+	return true
+}
+
+// LockSpins totals yield-lock contention spins across rooms.
+func (b *Benchmark) LockSpins() uint64 {
+	var n uint64
+	for _, rm := range b.rooms {
+		n += rm.lock.Spins()
+	}
+	return n
+}
+
+// Result is one VolanoMark run's outcome.
+type Result struct {
+	Rooms      int
+	Users      int
+	Messages   int
+	Threads    int
+	Deliveries uint64
+	Cycles     uint64
+	Seconds    float64
+	// Throughput is deliveries per second of virtual time — the paper's
+	// "messages per second (over all connections)".
+	Throughput float64
+	LockSpins  uint64
+}
+
+// Run executes the benchmark to completion (or the machine's horizon) and
+// reports throughput. The housekeeping spinners are told to exit once the
+// chat traffic is done.
+func (b *Benchmark) Run() Result {
+	start := b.m.Now()
+	b.m.Run(func() bool { return b.Done() })
+	b.finished = true
+	elapsed := uint64(b.m.Now() - start)
+	secs := float64(elapsed) / float64(b.m.Hz())
+	res := Result{
+		Rooms:      b.cfg.Rooms,
+		Users:      b.cfg.UsersPerRoom,
+		Messages:   b.cfg.MessagesPerUser,
+		Threads:    b.Threads(),
+		Deliveries: b.Deliveries(),
+		Cycles:     elapsed,
+		Seconds:    secs,
+		LockSpins:  b.LockSpins(),
+	}
+	if secs > 0 {
+		res.Throughput = float64(res.Deliveries) / secs
+	}
+	return res
+}

@@ -1,0 +1,91 @@
+package elsc
+
+import (
+	"elsc/internal/ipc"
+	"elsc/internal/kernel"
+	"elsc/internal/stats"
+	"elsc/internal/task"
+)
+
+// Re-exported building blocks for writing custom workloads against the
+// simulator. A Program yields one Action at a time; the kernel executes
+// actions on simulated CPUs under the configured scheduler.
+
+// Program is the behavior of a simulated task.
+type Program = kernel.Program
+
+// ProgramFunc adapts a function to Program.
+type ProgramFunc = kernel.ProgramFunc
+
+// Proc is the kernel-side handle passed to Program.Step.
+type Proc = kernel.Proc
+
+// Action is one step of task behavior.
+type Action = kernel.Action
+
+// Compute burns CPU cycles.
+type Compute = kernel.Compute
+
+// Syscall crosses into the kernel and may block.
+type Syscall = kernel.Syscall
+
+// Yield is sys_sched_yield.
+type Yield = kernel.Yield
+
+// Sleep blocks for a fixed virtual duration.
+type Sleep = kernel.Sleep
+
+// Exit terminates the task.
+type Exit = kernel.Exit
+
+// Outcome is a Syscall effect's result.
+type Outcome = kernel.Outcome
+
+// WaitQueue blocks and wakes tasks.
+type WaitQueue = kernel.WaitQueue
+
+// NewWaitQueue returns an empty wait queue.
+func NewWaitQueue(name string) *WaitQueue { return kernel.NewWaitQueue(name) }
+
+// Done completes a syscall.
+func Done() Outcome { return kernel.Done() }
+
+// BlockOn suspends the calling task on wq.
+func BlockOn(wq *WaitQueue) Outcome { return kernel.BlockOn(wq) }
+
+// AddressSpace is a shared mm; tasks in the same space get the goodness
+// memory-map bonus and cheaper context switches.
+type AddressSpace = task.MM
+
+// Msg is a message carried by IPC queues.
+type Msg = ipc.Msg
+
+// Queue is a blocking FIFO message queue (a loopback socket stand-in).
+type Queue = ipc.Queue
+
+// NewQueue returns a queue with the given capacity (0 = unbounded).
+func NewQueue(name string, capacity int) *Queue { return ipc.NewQueue(name, capacity) }
+
+// SockPair is a bidirectional loopback connection.
+type SockPair = ipc.SockPair
+
+// NewSockPair builds a loopback connection.
+func NewSockPair(name string, capacity int) *SockPair { return ipc.NewSockPair(name, capacity) }
+
+// YieldMutex is the JVM-style spin-then-suspend user lock whose yields
+// stress the scheduler.
+type YieldMutex = ipc.YieldMutex
+
+// NewYieldMutex returns an unlocked mutex.
+func NewYieldMutex(name string, tryCost uint64) *YieldMutex {
+	return ipc.NewYieldMutex(name, tryCost)
+}
+
+// Stats is the machine-wide scheduler instrumentation.
+type Stats = kernel.Stats
+
+// Table renders aligned text tables for experiment output.
+type Table = stats.Table
+
+// Hz is the simulated clock rate: 400 MHz, a Pentium II-class machine.
+const Hz = kernel.DefaultHz

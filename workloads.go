@@ -1,0 +1,45 @@
+package elsc
+
+import (
+	"elsc/internal/workload/kbuild"
+	"elsc/internal/workload/volano"
+	"elsc/internal/workload/webserver"
+)
+
+// VolanoConfig sizes a VolanoMark run (paper §4/§6): Rooms chat rooms of
+// UsersPerRoom users, each sending MessagesPerUser messages that the
+// server broadcasts to the whole room over loopback connections carrying
+// four threads each.
+type VolanoConfig = volano.Config
+
+// VolanoResult is a VolanoMark measurement; Throughput is the paper's
+// messages-per-second metric.
+type VolanoResult = volano.Result
+
+// RunVolanoMark builds and runs the chat benchmark on the machine.
+func (m *Machine) RunVolanoMark(cfg VolanoConfig) VolanoResult {
+	return volano.Build(m.m, cfg).Run()
+}
+
+// KernelBuildConfig sizes the Table 2 light-load control experiment: a
+// make -j4 kernel compile.
+type KernelBuildConfig = kbuild.Config
+
+// KernelBuildResult is a compile-time measurement.
+type KernelBuildResult = kbuild.Result
+
+// RunKernelBuild builds and runs the compile workload on the machine.
+func (m *Machine) RunKernelBuild(cfg KernelBuildConfig) KernelBuildResult {
+	return kbuild.New(m.m, cfg).Run()
+}
+
+// WebServerConfig sizes the §8 future-work Apache-style workload.
+type WebServerConfig = webserver.Config
+
+// WebServerResult reports webserver throughput and latency.
+type WebServerResult = webserver.Result
+
+// RunWebServer builds and runs the web workload on the machine.
+func (m *Machine) RunWebServer(cfg WebServerConfig) WebServerResult {
+	return webserver.New(m.m, cfg).Run()
+}
