@@ -16,6 +16,7 @@ import (
 	"elsc/internal/kernel"
 	"elsc/internal/sched"
 	"elsc/internal/sched/elsc"
+	"elsc/internal/sched/o1"
 	"elsc/internal/sched/vanilla"
 	"elsc/internal/sim"
 	"elsc/internal/task"
@@ -152,11 +153,30 @@ func BenchmarkProfile_SchedulerShare(b *testing.B) {
 // BenchmarkAlt_FutureWorkSchedulers compares the §8 alternative designs
 // on the 4P stress configuration.
 func BenchmarkAlt_FutureWorkSchedulers(b *testing.B) {
-	for _, policy := range []string{experiments.Reg, experiments.ELSC, experiments.Heap, experiments.MQ} {
+	for _, policy := range experiments.Policies {
 		b.Run(policy, func(b *testing.B) {
 			benchVolano(b, policy, "4P", 10, func(b *testing.B, r experiments.VolanoRun) {
 				b.ReportMetric(r.Result.Throughput, "msgs/sec")
 				b.ReportMetric(r.Stats.CyclesPerSchedule(), "cyc/sched")
+			})
+		})
+	}
+}
+
+// BenchmarkLockWait_8CPU measures run-queue lock spin per schedule() on an
+// eight-processor VolanoMark run — the scaling question past the paper's
+// hardware. The per-CPU-lock policies (mq, o1) should sit an order of
+// magnitude below the global-lock ones.
+func BenchmarkLockWait_8CPU(b *testing.B) {
+	for _, policy := range experiments.Policies {
+		b.Run(policy, func(b *testing.B) {
+			benchVolano(b, policy, "8P", 10, func(b *testing.B, r experiments.VolanoRun) {
+				spin := 0.0
+				if r.Stats.SchedCalls > 0 {
+					spin = float64(r.Stats.SpinCycles) / float64(r.Stats.SchedCalls)
+				}
+				b.ReportMetric(spin, "spin-cyc/sched")
+				b.ReportMetric(r.Result.Throughput, "msgs/sec")
 			})
 		})
 	}
@@ -228,18 +248,21 @@ func BenchmarkAblation_UPShortcut(b *testing.B) {
 }
 
 // BenchmarkMicro_Schedule measures one schedule() decision in isolation on
-// a prepopulated run queue — the pure O(n) scan versus the table lookup,
-// in real nanoseconds and simulated cycles.
+// a prepopulated run queue — the pure O(n) scan versus the table lookup
+// versus the O(1) bitmap pick, in real nanoseconds and simulated cycles.
 func BenchmarkMicro_Schedule(b *testing.B) {
 	for _, n := range []int{16, 128, 1024} {
-		for _, policy := range []string{"reg", "elsc"} {
+		for _, policy := range []string{"reg", "elsc", "o1"} {
 			b.Run(fmt.Sprintf("%s/tasks%d", policy, n), func(b *testing.B) {
 				env := sched.NewEnv(1, false, func() int { return n })
 				var s sched.Scheduler
-				if policy == "reg" {
+				switch policy {
+				case "reg":
 					s = vanilla.New(env)
-				} else {
+				case "elsc":
 					s = elsc.New(env)
+				default:
+					s = o1.New(env)
 				}
 				rng := sim.NewRNG(1)
 				tasks := make([]*task.Task, n)
@@ -274,14 +297,17 @@ func BenchmarkMicro_Schedule(b *testing.B) {
 // BenchmarkMicro_RunqueueOps measures add/del churn, where ELSC pays its
 // table-indexing overhead.
 func BenchmarkMicro_RunqueueOps(b *testing.B) {
-	for _, policy := range []string{"reg", "elsc"} {
+	for _, policy := range []string{"reg", "elsc", "o1"} {
 		b.Run(policy, func(b *testing.B) {
 			env := sched.NewEnv(1, false, func() int { return 256 })
 			var s sched.Scheduler
-			if policy == "reg" {
+			switch policy {
+			case "reg":
 				s = vanilla.New(env)
-			} else {
+			case "elsc":
 				s = elsc.New(env)
+			default:
+				s = o1.New(env)
 			}
 			tasks := make([]*task.Task, 256)
 			for i := range tasks {

@@ -20,7 +20,7 @@ import (
 
 func main() {
 	var (
-		schedName = flag.String("sched", "elsc", "scheduler: reg, elsc, heap, mq")
+		schedName = flag.String("sched", "elsc", "scheduler: reg, elsc, heap, mq, o1")
 		cpus      = flag.Int("cpus", 1, "number of processors")
 		tasks     = flag.Int("tasks", 6, "interactive tasks to simulate")
 		n         = flag.Int("n", 40, "decisions to print")

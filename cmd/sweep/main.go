@@ -9,7 +9,7 @@
 //	sweep -quick          # reduced scale for a fast look
 //
 // Experiments: table2, fig2, fig3, fig4, fig5, fig6, profile, alt, web,
-// ablate, all.
+// lock, ablate, all.
 package main
 
 import (
@@ -26,7 +26,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment to run (table2 fig2 fig3 fig4 fig5 fig6 profile alt web latency ablate all)")
+		exp      = flag.String("exp", "all", "experiment to run (table2 fig2 fig3 fig4 fig5 fig6 profile alt web latency lock ablate all)")
 		quick    = flag.Bool("quick", false, "reduced message counts for a fast pass")
 		messages = flag.Int("messages", 0, "override messages per user")
 		seed     = flag.Int64("seed", 42, "simulation seed")
@@ -99,6 +99,9 @@ func main() {
 		}
 		section(experiments.Webserver(experiments.SpecByLabel("2P"), wcfg, sc))
 	}
+	if want("lock") {
+		section(experiments.LockContention(experiments.SpecByLabel("8P"), 10, sc))
+	}
 	if want("latency") {
 		section(experiments.WakeLatency(experiments.SpecByLabel("UP"),
 			[]int{4, 16, 64, 256}, sc))
@@ -111,7 +114,14 @@ func main() {
 		section(experiments.AblateUPShortcut(10, sc))
 	}
 
-	if !strings.Contains("table2 fig2 fig3 fig4 fig5 fig6 profile alt web latency ablate all", *exp) {
+	known := false
+	for _, name := range strings.Fields("table2 fig2 fig3 fig4 fig5 fig6 profile alt web latency lock ablate all") {
+		if *exp == name {
+			known = true
+			break
+		}
+	}
+	if !known {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(2)
 	}

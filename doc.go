@@ -6,6 +6,22 @@
 // quanta, wait queues with wake-up preemption, the global run-queue
 // spinlock, and a cache-affinity cost model.
 //
+// Five scheduling policies are drop-in replacements for one another
+// behind the same run-queue interface (the paper's design goal 1):
+//
+//   - Vanilla ("reg"): the stock 2.3.99-pre4 single-queue O(n) scan.
+//   - ELSC ("elsc"): the paper's sorted 30-list table.
+//   - Heap ("heap"): the §8 future-work per-processor max-heaps.
+//   - MultiQueue ("mq"): the §8 future-work per-CPU queues and locks.
+//   - O1 ("o1"): the Linux 2.5 O(1) design that lineage led to — per-CPU
+//     active/expired priority arrays with a find-first-set bitmap,
+//     quantum recharge on array swap, and pull-based load balancing.
+//
+// All five are held to a shared contract by the conformance suite in
+// internal/sched/conformance: no task lost or duplicated, affinity masks
+// respected, real-time tasks always preempt SCHED_OTHER, and the
+// move_first/move_last tie-break semantics.
+//
 // The package exposes three layers:
 //
 //   - Machine: build a simulated SMP machine with a chosen scheduler, spawn
@@ -14,7 +30,8 @@
 //     compile (its light-load control), and an Apache-style web server
 //     (its future-work question).
 //   - Experiments: regenerate every table and figure from the paper's
-//     evaluation section.
+//     evaluation section, plus lock-contention and scaling studies on
+//     machines past the paper's hardware (8 CPUs).
 //
 // # Quick start
 //

@@ -6,6 +6,7 @@ import (
 	"elsc/internal/sched/elsc"
 	"elsc/internal/sched/heapsched"
 	"elsc/internal/sched/mq"
+	"elsc/internal/sched/o1"
 	"elsc/internal/sched/vanilla"
 	"elsc/internal/task"
 )
@@ -28,6 +29,11 @@ const (
 	// MultiQueue is the future-work alternative (§8) with one run queue
 	// and one lock per processor — the direction Linux later took.
 	MultiQueue SchedulerKind = "mq"
+	// O1 is the historical endpoint of that direction: the Linux 2.5
+	// O(1) scheduler — per-CPU active/expired priority arrays with a
+	// find-first-set bitmap, quantum recharge on array swap, and
+	// pull-based load balancing.
+	O1 SchedulerKind = "o1"
 )
 
 // CostModel re-exports the simulator's cycle-cost model for tuning.
@@ -109,6 +115,8 @@ func factoryFor(kind SchedulerKind, ecfg *ELSCConfig) kernel.SchedulerFactory {
 		return func(env *sched.Env) sched.Scheduler { return heapsched.New(env) }
 	case MultiQueue:
 		return func(env *sched.Env) sched.Scheduler { return mq.New(env) }
+	case O1:
+		return func(env *sched.Env) sched.Scheduler { return o1.New(env) }
 	default:
 		panic("elsc: unknown scheduler kind " + string(kind))
 	}

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"elsc"
+	"elsc/internal/experiments"
 )
 
 func TestQuickstartFlow(t *testing.T) {
@@ -25,7 +26,8 @@ func TestQuickstartFlow(t *testing.T) {
 }
 
 func TestAllSchedulerKinds(t *testing.T) {
-	for _, kind := range []elsc.SchedulerKind{elsc.Vanilla, elsc.ELSC, elsc.Heap, elsc.MultiQueue} {
+	for _, policy := range experiments.Policies {
+		kind := elsc.SchedulerKind(policy)
 		m := elsc.NewMachine(elsc.MachineConfig{CPUs: 2, SMP: true, Scheduler: kind, Seed: 3})
 		res := m.RunVolanoMark(elsc.VolanoConfig{Rooms: 1, UsersPerRoom: 4, MessagesPerUser: 2})
 		want := uint64(1 * 4 * 4 * 2)

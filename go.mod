@@ -1,0 +1,3 @@
+module elsc
+
+go 1.21

@@ -15,6 +15,7 @@ import (
 	"elsc/internal/sched/elsc"
 	"elsc/internal/sched/heapsched"
 	"elsc/internal/sched/mq"
+	"elsc/internal/sched/o1"
 	"elsc/internal/sched/vanilla"
 	"elsc/internal/workload/kbuild"
 	"elsc/internal/workload/volano"
@@ -27,7 +28,16 @@ const (
 	ELSC = "elsc"
 	Heap = "heap"
 	MQ   = "mq"
+	O1   = "o1"
 )
+
+// Policies lists every registered scheduling policy: the paper's two, the
+// §8 future-work designs, and the O(1) endpoint of that lineage. The
+// conformance, determinism, and cross-scheduler smoke suites all iterate
+// this list, so a new policy registered here (with a matching
+// SchedulerKind in the public API) is automatically held to the same
+// contract.
+var Policies = []string{Reg, ELSC, Heap, MQ, O1}
 
 // Factory returns the scheduler factory for a policy name.
 func Factory(name string) kernel.SchedulerFactory {
@@ -40,6 +50,8 @@ func Factory(name string) kernel.SchedulerFactory {
 		return func(env *sched.Env) sched.Scheduler { return heapsched.New(env) }
 	case MQ:
 		return func(env *sched.Env) sched.Scheduler { return mq.New(env) }
+	case O1:
+		return func(env *sched.Env) sched.Scheduler { return o1.New(env) }
 	default:
 		panic("experiments: unknown scheduler " + name)
 	}
@@ -62,9 +74,15 @@ var PaperSpecs = []MachineSpec{
 	{Label: "4P", CPUs: 4, SMP: true},
 }
 
+// AllSpecs extends PaperSpecs with an eight-processor machine, past the
+// paper's hardware, where the per-CPU-lock designs separate decisively
+// from the global-lock ones.
+var AllSpecs = append(append([]MachineSpec{}, PaperSpecs...),
+	MachineSpec{Label: "8P", CPUs: 8, SMP: true})
+
 // SpecByLabel returns the named spec.
 func SpecByLabel(label string) MachineSpec {
-	for _, s := range PaperSpecs {
+	for _, s := range AllSpecs {
 		if s.Label == label {
 			return s
 		}

@@ -121,10 +121,23 @@ func TestTable2Renders(t *testing.T) {
 func TestAltSchedulersTable(t *testing.T) {
 	tab := AltSchedulers(SpecByLabel("2P"), 1, tinyScale())
 	out := tab.Render()
-	for _, want := range []string{"reg", "elsc", "heap", "mq"} {
+	for _, want := range Policies {
 		if !strings.Contains(out, want) {
 			t.Fatalf("alternatives table missing %q:\n%s", want, out)
 		}
+	}
+}
+
+func TestLockContentionTable(t *testing.T) {
+	tab := LockContention(SpecByLabel("2P"), 1, tinyScale())
+	out := tab.Render()
+	for _, want := range Policies {
+		if !strings.Contains(out, want) {
+			t.Fatalf("lock table missing %q:\n%s", want, out)
+		}
+	}
+	if tab.NumRows() != len(Policies) {
+		t.Fatalf("lock table rows = %d, want %d", tab.NumRows(), len(Policies))
 	}
 }
 
@@ -149,7 +162,7 @@ func TestAblationTables(t *testing.T) {
 }
 
 func TestFactoryNames(t *testing.T) {
-	for _, name := range []string{Reg, ELSC, Heap, MQ} {
+	for _, name := range Policies {
 		m := NewMachine(SpecByLabel("1P"), name, tinyScale())
 		if m.Scheduler().Name() != name {
 			t.Fatalf("factory %q built scheduler %q", name, m.Scheduler().Name())

@@ -133,7 +133,7 @@ func AltSchedulers(spec MachineSpec, rooms int, sc Scale) *stats.Table {
 	t := stats.NewTable(
 		fmt.Sprintf("§8 alternatives: VolanoMark %d rooms on %s", rooms, spec.Label),
 		"Scheduler", "Throughput", "cyc/sched", "examined", "recalcs", "migrations")
-	for _, policy := range []string{Reg, ELSC, Heap, MQ} {
+	for _, policy := range Policies {
 		r := RunVolano(spec, policy, rooms, sc)
 		t.AddRow(policy,
 			int(r.Result.Throughput),
@@ -141,6 +141,35 @@ func AltSchedulers(spec MachineSpec, rooms int, sc Scale) *stats.Table {
 			r.Stats.ExaminedPerSchedule(),
 			r.Stats.Recalcs,
 			r.Stats.Migrations)
+	}
+	return t
+}
+
+// LockContention races every scheduler on one VolanoMark configuration
+// and reports run-queue lock behavior: spin cycles per schedule() call,
+// the fraction of acquisitions that hit a held lock, and throughput. On
+// the 8P spec this isolates the benefit of splitting the global lock —
+// the per-CPU policies (mq, o1) should show an order less lock wait than
+// the global-lock ones.
+func LockContention(spec MachineSpec, rooms int, sc Scale) *stats.Table {
+	t := stats.NewTable(
+		fmt.Sprintf("Run-queue lock wait: VolanoMark %d rooms on %s", rooms, spec.Label),
+		"Scheduler", "Throughput", "spin cyc/sched", "contended %", "acquisitions")
+	for _, policy := range Policies {
+		r := RunVolano(spec, policy, rooms, sc)
+		spin := 0.0
+		if r.Stats.SchedCalls > 0 {
+			spin = float64(r.Stats.SpinCycles) / float64(r.Stats.SchedCalls)
+		}
+		contended := 0.0
+		if r.Stats.LockAcquisitions > 0 {
+			contended = 100 * float64(r.Stats.LockContended) / float64(r.Stats.LockAcquisitions)
+		}
+		t.AddRow(policy,
+			int(r.Result.Throughput),
+			int(spin),
+			contended,
+			r.Stats.LockAcquisitions)
 	}
 	return t
 }

@@ -1,0 +1,404 @@
+// Package conformance holds the cross-scheduler invariant suite: every
+// scheduling policy in the repository — the stock 2.3.99 scheduler, ELSC,
+// and the three future-work designs (heap, mq, o1) — is run table-driven
+// through the same sched.Scheduler contract checks. The paper's design
+// goal 1 ("Do not change current interfaces") is what makes the policies
+// drop-in replacements; this suite is what keeps them that way as the
+// lineup grows.
+//
+// The suite emulates the kernel's calling conventions exactly: Schedule
+// is invoked with the previous task still marked HasCPU, the HasCPU flip
+// happens after Schedule returns, and policies implementing NoteRunning
+// (the stock scheduler keeps running tasks on the queue) are notified of
+// the flips, as kernel.reschedule does.
+package conformance
+
+import (
+	"fmt"
+	"testing"
+
+	"elsc/internal/experiments"
+	"elsc/internal/sched"
+	"elsc/internal/task"
+)
+
+// forEach runs fn once per registered policy as a subtest. The policy
+// list and factories come from the experiments registry, so a scheduler
+// added there is automatically held to this contract.
+func forEach(t *testing.T, ncpu int, ntasks int, fn func(t *testing.T, s sched.Scheduler, env *sched.Env)) {
+	t.Helper()
+	for _, name := range experiments.Policies {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			env := sched.NewEnv(ncpu, ncpu > 1, func() int { return ntasks })
+			fn(t, experiments.Factory(name)(env), env)
+		})
+	}
+}
+
+func mkTask(env *sched.Env, id, prio, counter int) *task.Task {
+	t := task.New(id, fmt.Sprintf("t%d", id), nil, env.Epoch)
+	t.Priority = prio
+	t.SetCounter(env.Epoch, counter)
+	return t
+}
+
+func mkIdle(cpu int) *task.Task {
+	t := task.New(-(cpu + 1), fmt.Sprintf("idle/%d", cpu), nil, nil)
+	t.IsIdle = true
+	t.Processor = cpu
+	return t
+}
+
+// runningNoter mirrors the kernel's interface for policies that keep
+// running tasks on the run queue.
+type runningNoter interface {
+	NoteRunning(t *task.Task, running bool)
+}
+
+// harness drives one scheduler exactly as kernel.reschedule does,
+// tracking which task each CPU is running.
+type harness struct {
+	s       sched.Scheduler
+	idles   []*task.Task
+	current []*task.Task
+}
+
+func newHarness(s sched.Scheduler, ncpu int) *harness {
+	h := &harness{s: s, idles: make([]*task.Task, ncpu), current: make([]*task.Task, ncpu)}
+	for i := range h.idles {
+		h.idles[i] = mkIdle(i)
+	}
+	return h
+}
+
+// schedule performs one kernel-faithful schedule() on cpu and returns the
+// chosen task (nil for idle).
+func (h *harness) schedule(cpu int) *task.Task {
+	prev := h.current[cpu]
+	prevTask := h.idles[cpu]
+	if prev != nil {
+		prevTask = prev
+	}
+	h.current[cpu] = nil
+	res := h.s.Schedule(cpu, prevTask)
+	noter, _ := h.s.(runningNoter)
+	if prev != nil {
+		if noter != nil && prev.OnRunqueue() {
+			noter.NoteRunning(prev, false)
+		}
+		prev.HasCPU = false
+	}
+	if next := res.Next; next != nil {
+		next.HasCPU = true
+		next.Processor = cpu
+		next.EverRan = true
+		if noter != nil && next.OnRunqueue() {
+			noter.NoteRunning(next, true)
+		}
+		h.current[cpu] = next
+	}
+	return res.Next
+}
+
+// block marks cpu's current task no longer runnable; the next schedule()
+// on that CPU dequeues it, as the kernel does inside schedule().
+func (h *harness) block(cpu int) {
+	if h.current[cpu] != nil {
+		h.current[cpu].State = task.Interruptible
+	}
+}
+
+func TestAddDelNoLossNoDuplication(t *testing.T) {
+	const n = 12
+	forEach(t, 1, n, func(t *testing.T, s sched.Scheduler, env *sched.Env) {
+		tasks := make([]*task.Task, n)
+		for i := range tasks {
+			tasks[i] = mkTask(env, i+1, 1+(i*3)%40, 5+i)
+			s.AddToRunqueue(tasks[i])
+			if !s.OnRunqueue(tasks[i]) {
+				t.Fatalf("task %d not on run queue after add", i)
+			}
+		}
+		if got := s.Runnable(); got != n {
+			t.Fatalf("Runnable = %d after %d adds, want %d", got, n, n)
+		}
+		// Double add must be idempotent — a task can never be queued twice.
+		for _, tk := range tasks {
+			s.AddToRunqueue(tk)
+		}
+		if got := s.Runnable(); got != n {
+			t.Fatalf("Runnable = %d after double adds, want %d", got, n)
+		}
+		// Delete half, re-add, delete all: nothing lost, nothing left.
+		for i := 0; i < n; i += 2 {
+			s.DelFromRunqueue(tasks[i])
+			if s.OnRunqueue(tasks[i]) {
+				t.Fatalf("task %d still on run queue after del", i)
+			}
+		}
+		if got := s.Runnable(); got != n/2 {
+			t.Fatalf("Runnable = %d after deleting half, want %d", got, n/2)
+		}
+		for i := 0; i < n; i += 2 {
+			s.AddToRunqueue(tasks[i])
+		}
+		for _, tk := range tasks {
+			s.DelFromRunqueue(tk)
+			s.DelFromRunqueue(tk) // double delete must be a no-op
+		}
+		if got := s.Runnable(); got != 0 {
+			t.Fatalf("Runnable = %d after deleting all, want 0", got)
+		}
+	})
+}
+
+func TestEveryTaskScheduledExactlyOnce(t *testing.T) {
+	const n = 16
+	forEach(t, 1, n, func(t *testing.T, s sched.Scheduler, env *sched.Env) {
+		tasks := make([]*task.Task, n)
+		for i := range tasks {
+			tasks[i] = mkTask(env, i+1, 1+(i*7)%40, 4+i%10)
+			s.AddToRunqueue(tasks[i])
+		}
+		h := newHarness(s, 1)
+		picked := map[*task.Task]int{}
+		for i := 0; i <= n; i++ {
+			next := h.schedule(0)
+			if next == nil {
+				break
+			}
+			picked[next]++
+			h.block(0) // task runs once, then blocks
+		}
+		for i, tk := range tasks {
+			if picked[tk] != 1 {
+				t.Fatalf("task %d scheduled %d times, want exactly once", i, picked[tk])
+			}
+		}
+		if len(picked) != n {
+			t.Fatalf("%d distinct tasks scheduled, want %d", len(picked), n)
+		}
+	})
+}
+
+func TestBlockedTaskLeavesQueue(t *testing.T) {
+	forEach(t, 1, 2, func(t *testing.T, s sched.Scheduler, env *sched.Env) {
+		a := mkTask(env, 1, 20, 10)
+		b := mkTask(env, 2, 20, 10)
+		s.AddToRunqueue(a)
+		s.AddToRunqueue(b)
+		h := newHarness(s, 1)
+		first := h.schedule(0)
+		if first == nil {
+			t.Fatal("nothing scheduled")
+		}
+		h.block(0)
+		second := h.schedule(0)
+		if second == first || second == nil {
+			t.Fatalf("after blocking, picked %v", second)
+		}
+		if s.OnRunqueue(first) {
+			t.Fatal("blocked task still on the run queue")
+		}
+	})
+}
+
+func TestAffinityMaskRespected(t *testing.T) {
+	forEach(t, 2, 4, func(t *testing.T, s sched.Scheduler, env *sched.Env) {
+		pinned := make([]*task.Task, 4)
+		for i := range pinned {
+			pinned[i] = mkTask(env, i+1, 20, 10)
+			pinned[i].CPUsAllowed = 1 << 1 // CPU 1 only
+			s.AddToRunqueue(pinned[i])
+		}
+		h := newHarness(s, 2)
+		if got := h.schedule(0); got != nil {
+			t.Fatalf("CPU 0 scheduled %v despite every task being pinned to CPU 1", got)
+		}
+		if got := h.schedule(1); got == nil {
+			t.Fatal("CPU 1 found nothing although four tasks are pinned to it")
+		}
+	})
+}
+
+func TestAffinitySplitAcrossCPUs(t *testing.T) {
+	forEach(t, 2, 2, func(t *testing.T, s sched.Scheduler, env *sched.Env) {
+		a := mkTask(env, 1, 20, 10)
+		a.CPUsAllowed = 1 << 0
+		b := mkTask(env, 2, 20, 10)
+		b.CPUsAllowed = 1 << 1
+		s.AddToRunqueue(a)
+		s.AddToRunqueue(b)
+		h := newHarness(s, 2)
+		if got := h.schedule(0); got != a {
+			t.Fatalf("CPU 0 ran %v, want its pinned task", got)
+		}
+		if got := h.schedule(1); got != b {
+			t.Fatalf("CPU 1 ran %v, want its pinned task", got)
+		}
+	})
+}
+
+func TestRealTimeAlwaysBeatsTimesharing(t *testing.T) {
+	forEach(t, 1, 2, func(t *testing.T, s sched.Scheduler, env *sched.Env) {
+		// The best possible SCHED_OTHER task: max priority, full quantum,
+		// cache-affine to the scheduling CPU.
+		best := mkTask(env, 1, task.MaxPriority, 2*task.MaxPriority)
+		best.EverRan = true
+		best.Processor = 0
+		// The weakest possible real-time task.
+		rt := task.NewRT(2, "rt", task.FIFO, task.MinRTPriority, env.Epoch)
+		s.AddToRunqueue(best)
+		s.AddToRunqueue(rt)
+		h := newHarness(s, 1)
+		if got := h.schedule(0); got != rt {
+			t.Fatalf("scheduled %v, want the real-time task first", got)
+		}
+	})
+}
+
+func TestHigherRTPriorityWins(t *testing.T) {
+	forEach(t, 1, 2, func(t *testing.T, s sched.Scheduler, env *sched.Env) {
+		lo := task.NewRT(1, "rt10", task.FIFO, 10, env.Epoch)
+		hi := task.NewRT(2, "rt90", task.FIFO, 90, env.Epoch)
+		s.AddToRunqueue(lo)
+		s.AddToRunqueue(hi)
+		h := newHarness(s, 1)
+		if got := h.schedule(0); got != hi {
+			t.Fatalf("scheduled %v, want rt_priority 90 before 10", got)
+		}
+	})
+}
+
+func TestMoveFirstWinsTie(t *testing.T) {
+	forEach(t, 1, 2, func(t *testing.T, s sched.Scheduler, env *sched.Env) {
+		a := mkTask(env, 1, 20, 10)
+		b := mkTask(env, 2, 20, 10)
+		s.AddToRunqueue(a)
+		s.AddToRunqueue(b) // added last: b currently leads the tie
+		s.MoveFirstRunqueue(a)
+		h := newHarness(s, 1)
+		if got := h.schedule(0); got != a {
+			t.Fatalf("scheduled %v, want the MoveFirst task to win the tie", got)
+		}
+	})
+}
+
+func TestMoveLastLosesTie(t *testing.T) {
+	forEach(t, 1, 2, func(t *testing.T, s sched.Scheduler, env *sched.Env) {
+		a := mkTask(env, 1, 20, 10)
+		b := mkTask(env, 2, 20, 10)
+		s.AddToRunqueue(a)
+		s.AddToRunqueue(b) // b leads the tie...
+		s.MoveLastRunqueue(b)
+		h := newHarness(s, 1)
+		if got := h.schedule(0); got != a {
+			t.Fatalf("scheduled %v, want the MoveLast task to lose the tie", got)
+		}
+	})
+}
+
+func TestMoveOnUnqueuedTaskIsNoop(t *testing.T) {
+	forEach(t, 1, 1, func(t *testing.T, s sched.Scheduler, env *sched.Env) {
+		a := mkTask(env, 1, 20, 10)
+		s.MoveFirstRunqueue(a)
+		s.MoveLastRunqueue(a)
+		if s.Runnable() != 0 || s.OnRunqueue(a) {
+			t.Fatal("move on an unqueued task must not enqueue it")
+		}
+	})
+}
+
+func TestYieldBitConsumed(t *testing.T) {
+	forEach(t, 1, 2, func(t *testing.T, s sched.Scheduler, env *sched.Env) {
+		a := mkTask(env, 1, 20, 10)
+		b := mkTask(env, 2, 20, 10)
+		s.AddToRunqueue(a)
+		s.AddToRunqueue(b)
+		h := newHarness(s, 1)
+		first := h.schedule(0)
+		if first == nil {
+			t.Fatal("nothing scheduled")
+		}
+		first.Yielded = true
+		next := h.schedule(0)
+		if first.Yielded {
+			t.Fatal("schedule() must consume the SCHED_YIELD bit")
+		}
+		if next != a && next != b {
+			t.Fatalf("scheduled %v after yield, want a runnable task", next)
+		}
+		// Neither task may be lost across the yield.
+		queued := 0
+		for _, tk := range []*task.Task{a, b} {
+			if s.OnRunqueue(tk) || tk == next {
+				queued++
+			}
+		}
+		if queued != 2 {
+			t.Fatalf("%d of 2 tasks tracked after yield, want both", queued)
+		}
+	})
+}
+
+func TestLoneYielderIsRerun(t *testing.T) {
+	forEach(t, 1, 1, func(t *testing.T, s sched.Scheduler, env *sched.Env) {
+		a := mkTask(env, 1, 20, 10)
+		s.AddToRunqueue(a)
+		h := newHarness(s, 1)
+		if got := h.schedule(0); got != a {
+			t.Fatal("lone task not scheduled")
+		}
+		a.Yielded = true
+		if got := h.schedule(0); got != a {
+			t.Fatalf("lone yielding task must be re-run, got %v", got)
+		}
+	})
+}
+
+func TestEmptyQueueSchedulesIdle(t *testing.T) {
+	forEach(t, 1, 0, func(t *testing.T, s sched.Scheduler, env *sched.Env) {
+		h := newHarness(s, 1)
+		if got := h.schedule(0); got != nil {
+			t.Fatalf("empty queue scheduled %v, want idle", got)
+		}
+		if s.Runnable() != 0 {
+			t.Fatal("Runnable nonzero on an empty scheduler")
+		}
+	})
+}
+
+// TestMultiCPUNoDoubleRun drives two CPUs over a shared task set and
+// checks a task is never running on both at once and none disappears.
+func TestMultiCPUNoDoubleRun(t *testing.T) {
+	const n = 8
+	forEach(t, 2, n, func(t *testing.T, s sched.Scheduler, env *sched.Env) {
+		tasks := make([]*task.Task, n)
+		for i := range tasks {
+			tasks[i] = mkTask(env, i+1, 20, 10)
+			s.AddToRunqueue(tasks[i])
+		}
+		h := newHarness(s, 2)
+		for round := 0; round < 50; round++ {
+			for cpu := 0; cpu < 2; cpu++ {
+				h.schedule(cpu)
+				if h.current[0] != nil && h.current[0] == h.current[1] {
+					t.Fatalf("round %d: task %v running on both CPUs", round, h.current[0])
+				}
+			}
+			// Account for every task: queued or running, never both,
+			// never neither.
+			for i, tk := range tasks {
+				queued := s.OnRunqueue(tk) && !tk.HasCPU
+				running := tk.HasCPU
+				if !queued && !running {
+					// ELSC's manual dequeue keeps OnRunqueue true for
+					// the running task; for all policies a task must be
+					// somewhere.
+					t.Fatalf("round %d: task %d neither queued nor running", round, i)
+				}
+			}
+		}
+	})
+}

@@ -43,6 +43,12 @@ type CostModel struct {
 	// compute the list index and maintain top/next_top.
 	TableIndexCost uint64
 
+	// BitmapOp is one priority-bitmap operation of the O(1) scheduler:
+	// a find-first-set over one word, or setting/clearing a level bit.
+	// Cheap by construction — the point of that design is that the pick
+	// path costs a few of these instead of a per-task scan.
+	BitmapOp uint64
+
 	// LockOp is the uncontended cost of acquiring+releasing the
 	// run-queue spinlock once.
 	LockOp uint64
@@ -88,6 +94,7 @@ func DefaultCostModel() CostModel {
 		DelRunqueue:        60,
 		MoveRunqueue:       90,
 		TableIndexCost:     70,
+		BitmapOp:           20,
 		LockOp:             60,
 		ContextSwitch:      400,
 		MMSwitch:           900,

@@ -1,0 +1,455 @@
+// Package o1 implements the design the multi-queue scheduler (internal/
+// sched/mq) points toward as the historical endpoint of the paper's §8
+// future work: the Linux 2.5 O(1) scheduler. Every processor owns a
+// private run queue (the kernel detects the PerCPU marker and splits the
+// global run-queue lock), and each queue holds two priority arrays —
+// active and expired — with one list per priority level and a find-first-
+// set bitmap over the levels.
+//
+// schedule() therefore never scans tasks: it reads the bitmap, takes the
+// head of the highest populated list, and runs it. No goodness() is
+// computed on the pick path, which is exactly the contrast the ablation
+// benchmarks quantify against the stock O(n) scan. The counter-
+// recalculation loop disappears entirely: a task that exhausts its
+// quantum is recharged immediately and filed into the expired array, and
+// when the active array empties the two arrays swap in O(1). Recalcs is
+// always zero for this policy.
+//
+// Priority levels follow the 2.5 kernel's convention: lower index is
+// higher priority. Real-time tasks map rt_priority onto the top 100
+// levels; SCHED_OTHER tasks map their static priority onto the 40 levels
+// below, so a real-time task always outranks a timesharing one and the
+// bitmap search honors rt_priority order for free.
+//
+// Balancing is pull-based, as in 2.5: a CPU whose queue empties steals
+// the best movable task from the longest queue, and every balanceEvery
+// schedule() invocations a CPU with at least two fewer queued tasks than
+// the busiest queue pulls one task across.
+package o1
+
+import (
+	"math/bits"
+
+	"elsc/internal/klist"
+	"elsc/internal/sched"
+	"elsc/internal/task"
+)
+
+const (
+	// rtLevels reserves one level per rt_priority value (0..99).
+	rtLevels = task.MaxRTPriority + 1
+	// numLevels adds one level per SCHED_OTHER static priority (1..40).
+	numLevels = rtLevels + task.MaxPriority
+	// nWords is the bitmap size: one bit per level.
+	nWords = (numLevels + 63) / 64
+
+	// balanceEvery is the pull-balancing period in schedule() calls per
+	// CPU, and balanceImbalance the queue-length gap that triggers a
+	// pull — the 2.5 kernel's "25% imbalance" rule at small queue sizes.
+	balanceEvery     = 32
+	balanceImbalance = 2
+)
+
+// levelOf maps a task to its priority level; lower level = higher
+// priority, so the bitmap find-first-set returns the best level directly.
+func levelOf(t *task.Task) int {
+	if t.RealTime() {
+		return task.MaxRTPriority - t.RTPriority
+	}
+	return rtLevels + task.MaxPriority - t.Priority
+}
+
+// prioArray is one priority array: a bitmap over levels plus one FIFO
+// list per level, mirroring struct prio_array.
+type prioArray struct {
+	bitmap [nWords]uint64
+	lists  [numLevels]klist.Head
+	count  int
+}
+
+func (a *prioArray) init() {
+	for i := range a.lists {
+		a.lists[i].Init()
+	}
+}
+
+// firstSet returns the highest-priority populated level, or -1.
+func (a *prioArray) firstSet() int {
+	for w := 0; w < nWords; w++ {
+		if a.bitmap[w] != 0 {
+			return w*64 + bits.TrailingZeros64(a.bitmap[w])
+		}
+	}
+	return -1
+}
+
+// nextSet returns the first populated level >= from, or -1.
+func (a *prioArray) nextSet(from int) int {
+	if from >= numLevels {
+		return -1
+	}
+	w := from / 64
+	word := a.bitmap[w] &^ (1<<uint(from%64) - 1)
+	for {
+		if word != 0 {
+			return w*64 + bits.TrailingZeros64(word)
+		}
+		w++
+		if w >= nWords {
+			return -1
+		}
+		word = a.bitmap[w]
+	}
+}
+
+func (a *prioArray) setBit(lvl int)   { a.bitmap[lvl/64] |= 1 << uint(lvl%64) }
+func (a *prioArray) clearBit(lvl int) { a.bitmap[lvl/64] &^= 1 << uint(lvl%64) }
+
+// runqueue is one CPU's pair of arrays; activeIdx selects the active one
+// so the array swap is a single index flip, never a task walk.
+type runqueue struct {
+	arrays       [2]prioArray
+	activeIdx    int
+	sinceBalance int
+}
+
+func (rq *runqueue) active() *prioArray  { return &rq.arrays[rq.activeIdx] }
+func (rq *runqueue) expired() *prioArray { return &rq.arrays[1-rq.activeIdx] }
+func (rq *runqueue) len() int            { return rq.arrays[0].count + rq.arrays[1].count }
+
+// Sched is the O(1) scheduler. Create with New.
+type Sched struct {
+	env *sched.Env
+	rqs []runqueue
+}
+
+// New returns an O(1) scheduler bound to env.
+func New(env *sched.Env) *Sched {
+	s := &Sched{env: env, rqs: make([]runqueue, env.NCPU)}
+	for i := range s.rqs {
+		s.rqs[i].arrays[0].init()
+		s.rqs[i].arrays[1].init()
+	}
+	return s
+}
+
+// Name implements sched.Scheduler.
+func (s *Sched) Name() string { return "o1" }
+
+// PerCPU marks the policy as using per-CPU run-queue locks.
+func (s *Sched) PerCPU() bool { return true }
+
+// homeOf picks the queue for t: its last CPU when the affinity mask
+// allows it, otherwise the least-loaded allowed queue.
+func (s *Sched) homeOf(t *task.Task) int {
+	if t.EverRan && t.Processor < len(s.rqs) && t.AllowedOn(t.Processor) {
+		return t.Processor
+	}
+	best := -1
+	for i := range s.rqs {
+		if !t.AllowedOn(i) {
+			continue
+		}
+		if best < 0 || s.rqs[i].len() < s.rqs[best].len() {
+			best = i
+		}
+	}
+	if best < 0 {
+		best = 0 // inconsistent mask: fall back rather than lose the task
+	}
+	return best
+}
+
+// Task bookkeeping: QIndex holds the home CPU (the kernel maps it to the
+// per-CPU lock), QStamp packs the array index and level so removal never
+// searches, and QZero is unused.
+func stampOf(arrayIdx, lvl int) uint64 { return uint64(arrayIdx)<<8 | uint64(lvl) }
+
+func unstamp(st uint64) (arrayIdx, lvl int) { return int(st >> 8 & 1), int(st & 0xff) }
+
+// enqueue files t at level lvl of the given array on cpu's queue.
+// front selects head insertion (newly woken tasks, preempted tasks)
+// versus tail (round-robin rotation, expired tasks).
+func (s *Sched) enqueue(t *task.Task, cpu, arrayIdx int, front bool) {
+	rq := &s.rqs[cpu]
+	arr := &rq.arrays[arrayIdx]
+	lvl := levelOf(t)
+	if front {
+		arr.lists[lvl].PushFront(&t.RunList)
+	} else {
+		arr.lists[lvl].PushBack(&t.RunList)
+	}
+	arr.setBit(lvl)
+	arr.count++
+	t.QIndex = cpu
+	t.QStamp = stampOf(arrayIdx, lvl)
+}
+
+// enqueueExpired files t into cpu's expired array, recharging an empty
+// quantum on the way in — the O(1) replacement for the stock scheduler's
+// global recalculation loop.
+func (s *Sched) enqueueExpired(t *task.Task, cpu int) {
+	if !t.RealTime() && t.Counter(s.env.Epoch) == 0 {
+		t.SetCounter(s.env.Epoch, t.Priority)
+	}
+	s.enqueue(t, cpu, 1-s.rqs[cpu].activeIdx, false)
+}
+
+// AddToRunqueue files a newly runnable task at the front of its level in
+// its home CPU's active array; a task arriving with an exhausted quantum
+// is recharged and parked in the expired array instead.
+func (s *Sched) AddToRunqueue(t *task.Task) {
+	if t.IsIdle {
+		panic("o1: idle task on run queue")
+	}
+	if t.OnRunqueue() {
+		return
+	}
+	t.SyncCounter(s.env.Epoch)
+	home := s.homeOf(t)
+	if !t.RealTime() && t.Counter(s.env.Epoch) == 0 {
+		s.enqueueExpired(t, home)
+		return
+	}
+	s.enqueue(t, home, s.rqs[home].activeIdx, true)
+}
+
+// DelFromRunqueue unlinks t from whichever array list holds it.
+func (s *Sched) DelFromRunqueue(t *task.Task) {
+	if !t.OnRunqueue() {
+		return
+	}
+	arrayIdx, lvl := unstamp(t.QStamp)
+	arr := &s.rqs[t.QIndex].arrays[arrayIdx]
+	arr.lists[lvl].Remove(&t.RunList)
+	arr.count--
+	if arr.lists[lvl].Empty() {
+		arr.clearBit(lvl)
+	}
+}
+
+// MoveFirstRunqueue moves t to the head of its level list, so it wins
+// the FIFO tie-break against equal-priority tasks.
+func (s *Sched) MoveFirstRunqueue(t *task.Task) {
+	if !t.OnRunqueue() {
+		return
+	}
+	arrayIdx, lvl := unstamp(t.QStamp)
+	s.rqs[t.QIndex].arrays[arrayIdx].lists[lvl].MoveFront(&t.RunList)
+}
+
+// MoveLastRunqueue moves t to the tail of its level list, so it loses
+// the tie-break (SCHED_RR rotation).
+func (s *Sched) MoveLastRunqueue(t *task.Task) {
+	if !t.OnRunqueue() {
+		return
+	}
+	arrayIdx, lvl := unstamp(t.QStamp)
+	s.rqs[t.QIndex].arrays[arrayIdx].lists[lvl].MoveBack(&t.RunList)
+}
+
+// Runnable returns the number of queued tasks; running tasks are
+// dequeued while they execute, as in 2.5.
+func (s *Sched) Runnable() int {
+	n := 0
+	for i := range s.rqs {
+		n += s.rqs[i].len()
+	}
+	return n
+}
+
+// OnRunqueue reports whether the scheduler currently tracks t.
+func (s *Sched) OnRunqueue(t *task.Task) bool { return t.OnRunqueue() }
+
+// QueueLen returns CPU q's total queued tasks (both arrays), for tests.
+func (s *Sched) QueueLen(q int) int { return s.rqs[q].len() }
+
+// ActiveLen and ExpiredLen expose per-array occupancy, for tests.
+func (s *Sched) ActiveLen(q int) int  { return s.rqs[q].active().count }
+func (s *Sched) ExpiredLen(q int) int { return s.rqs[q].expired().count }
+
+// Schedule implements the O(1) pick: file the previous task, swap arrays
+// if the active one drained, read the bitmap, take the head of the best
+// list. Cost is charged per bitmap word touched and per list head
+// examined — never per queued task.
+func (s *Sched) Schedule(cpu int, prev *task.Task) sched.Result {
+	env := s.env
+	res := sched.Result{Cycles: env.Cost.ScheduleBase}
+	rq := &s.rqs[cpu]
+
+	yielded := false
+	if !prev.IsIdle {
+		yielded = prev.Yielded
+		prev.Yielded = false
+		rrExpired := false
+		if prev.Policy == task.RR && prev.Counter(env.Epoch) == 0 {
+			prev.SetCounter(env.Epoch, prev.Priority)
+			rrExpired = true
+		}
+		if prev.Runnable() && !prev.OnRunqueue() {
+			home := s.homeOf(prev)
+			switch {
+			case !prev.RealTime() && prev.Counter(env.Epoch) == 0:
+				// Quantum expiry: recharge and park in expired.
+				s.enqueueExpired(prev, home)
+			case yielded && !prev.RealTime():
+				// sched_yield sends a timesharing task behind every
+				// active task, 2.6-style, so yield-spinning locks
+				// cannot starve a lower-priority lock holder.
+				s.enqueueExpired(prev, home)
+			case yielded || rrExpired:
+				// Real-time yield/rotation: tail of its own level.
+				s.enqueue(prev, home, s.rqs[home].activeIdx, false)
+			default:
+				// Preempted with quantum left: keep its spot.
+				s.enqueue(prev, home, s.rqs[home].activeIdx, true)
+			}
+			res.Cycles += env.Cost.AddRunqueue + env.Cost.BitmapOp
+		}
+	}
+
+	if env.NCPU > 1 {
+		rq.sinceBalance++
+		if rq.sinceBalance >= balanceEvery {
+			rq.sinceBalance = 0
+			s.pullBalance(cpu, &res)
+		}
+	}
+
+	best := s.pickLocal(cpu, &res)
+	if best == nil {
+		best = s.steal(cpu, &res)
+	}
+	if best != nil {
+		s.DelFromRunqueue(best)
+		res.Cycles += env.Cost.DelRunqueue + env.Cost.BitmapOp
+		res.Next = best
+	}
+	return res
+}
+
+// pickLocal selects from cpu's own queue, swapping in the expired array
+// when the active one yields nothing. The swap triggers on "no pickable
+// task", not "array empty": an unpickable straggler (an inconsistent
+// affinity mask filed here by homeOf's fallback) must not pin the
+// arrays and starve the expired tasks behind it.
+func (s *Sched) pickLocal(cpu int, res *sched.Result) *task.Task {
+	rq := &s.rqs[cpu]
+	if t := s.pickArray(rq.active(), cpu, res); t != nil {
+		return t
+	}
+	if rq.expired().count > 0 {
+		// O(1) array swap: the expired tasks were recharged when they
+		// were filed, so no walk happens here.
+		rq.activeIdx = 1 - rq.activeIdx
+		res.Cycles += s.env.Cost.BitmapOp
+		return s.pickArray(rq.active(), cpu, res)
+	}
+	return nil
+}
+
+// pickArray walks the bitmap from the highest-priority populated level
+// down, returning the first head task runnable on cpu. Tasks pinned
+// elsewhere (the rare leftovers of an affinity change) are skipped.
+func (s *Sched) pickArray(arr *prioArray, cpu int, res *sched.Result) *task.Task {
+	env := s.env
+	for lvl := arr.firstSet(); lvl >= 0; lvl = arr.nextSet(lvl + 1) {
+		res.Cycles += env.Cost.BitmapOp
+		var found *task.Task
+		arr.lists[lvl].ForEach(func(n *klist.Node) bool {
+			t := task.FromNode(n)
+			res.Examined++
+			res.Cycles += env.Cost.Touch(env.NCPU)
+			if (t.HasCPU && t.Processor != cpu) || !t.AllowedOn(cpu) {
+				return true
+			}
+			found = t
+			return false
+		})
+		if found != nil {
+			return found
+		}
+	}
+	return nil
+}
+
+// steal takes the best movable task from another queue — the 2.5
+// idle-balance path. The longest queue is tried first, but a queue full
+// of pinned tasks must not end the hunt while a shorter queue holds
+// stealable work, so the remaining queues are tried in index order.
+// Each victim queue's lock is charged.
+func (s *Sched) steal(cpu int, res *sched.Result) *task.Task {
+	first := s.busiest(cpu, 0)
+	if first < 0 {
+		return nil
+	}
+	if t := s.stealFrom(first, cpu, res); t != nil {
+		return t
+	}
+	for i := range s.rqs {
+		if i == cpu || i == first || s.rqs[i].len() == 0 {
+			continue
+		}
+		if t := s.stealFrom(i, cpu, res); t != nil {
+			return t
+		}
+	}
+	return nil
+}
+
+// stealFrom scans one victim queue, expired array first: those tasks
+// wait longest and are the coldest, so migrating them costs the least.
+func (s *Sched) stealFrom(victim, cpu int, res *sched.Result) *task.Task {
+	res.Cycles += s.env.Cost.LockOp
+	vrq := &s.rqs[victim]
+	if t := s.pickArray(vrq.expired(), cpu, res); t != nil {
+		return t
+	}
+	return s.pickArray(vrq.active(), cpu, res)
+}
+
+// busiest returns the index of the longest queue other than cpu with
+// strictly more than floor queued tasks, or -1.
+func (s *Sched) busiest(cpu, floor int) int {
+	victim := -1
+	most := floor
+	for i := range s.rqs {
+		if i == cpu {
+			continue
+		}
+		if n := s.rqs[i].len(); n > most {
+			most = n
+			victim = i
+		}
+	}
+	return victim
+}
+
+// pullBalance moves one task from the busiest queue to cpu when the
+// imbalance reaches balanceImbalance — the periodic half of 2.5's
+// load_balance.
+func (s *Sched) pullBalance(cpu int, res *sched.Result) {
+	rq := &s.rqs[cpu]
+	victim := s.busiest(cpu, rq.len()+balanceImbalance-1)
+	if victim < 0 {
+		return
+	}
+	// Expired-first, as 2.5's load_balance: those tasks are the
+	// cache-coldest and the victim will not miss them soon, whereas its
+	// active head is exactly what it would dispatch next.
+	res.Cycles += s.env.Cost.LockOp
+	vrq := &s.rqs[victim]
+	t := s.pickArray(vrq.expired(), cpu, res)
+	if t == nil {
+		t = s.pickArray(vrq.active(), cpu, res)
+	}
+	if t == nil {
+		return
+	}
+	s.DelFromRunqueue(t)
+	// Migrated tasks enter at the tail of their level: they lost their
+	// cache footprint, so they should not jump local tasks of equal
+	// priority.
+	s.enqueue(t, cpu, rq.activeIdx, false)
+	res.Cycles += s.env.Cost.MoveRunqueue + s.env.Cost.BitmapOp
+}

@@ -1,0 +1,416 @@
+package o1
+
+import (
+	"testing"
+
+	"elsc/internal/kernel"
+	"elsc/internal/sched"
+	"elsc/internal/task"
+	"elsc/internal/workload/volano"
+)
+
+func newEnv(ncpu, ntasks int) *sched.Env {
+	return sched.NewEnv(ncpu, ncpu > 1, func() int { return ntasks })
+}
+
+func mkTask(env *sched.Env, id, prio, counter int) *task.Task {
+	t := task.New(id, "t", nil, env.Epoch)
+	t.Priority = prio
+	t.SetCounter(env.Epoch, counter)
+	return t
+}
+
+func idlePrev() *task.Task {
+	t := task.New(-1, "idle", nil, nil)
+	t.IsIdle = true
+	return t
+}
+
+func TestLevelOrdering(t *testing.T) {
+	env := newEnv(1, 2)
+	rtHi := task.NewRT(1, "rt99", task.FIFO, 99, env.Epoch)
+	rtLo := task.NewRT(2, "rt0", task.FIFO, 0, env.Epoch)
+	best := mkTask(env, 3, task.MaxPriority, 80)
+	worst := mkTask(env, 4, task.MinPriority, 2)
+	if !(levelOf(rtHi) < levelOf(rtLo) && levelOf(rtLo) < levelOf(best) && levelOf(best) < levelOf(worst)) {
+		t.Fatalf("level order broken: rt99=%d rt0=%d prio40=%d prio1=%d",
+			levelOf(rtHi), levelOf(rtLo), levelOf(best), levelOf(worst))
+	}
+	if levelOf(worst) != numLevels-1 {
+		t.Fatalf("lowest task at level %d, want %d", levelOf(worst), numLevels-1)
+	}
+}
+
+func TestBitmapFindFirstSet(t *testing.T) {
+	var a prioArray
+	a.init()
+	if a.firstSet() != -1 {
+		t.Fatal("empty array must report no level")
+	}
+	a.setBit(7)
+	a.setBit(130)
+	if a.firstSet() != 7 {
+		t.Fatalf("firstSet = %d, want 7", a.firstSet())
+	}
+	if got := a.nextSet(8); got != 130 {
+		t.Fatalf("nextSet(8) = %d, want 130", got)
+	}
+	if got := a.nextSet(131); got != -1 {
+		t.Fatalf("nextSet(131) = %d, want -1", got)
+	}
+	a.clearBit(7)
+	if a.firstSet() != 130 {
+		t.Fatalf("firstSet after clear = %d, want 130", a.firstSet())
+	}
+}
+
+func TestPickIsHighestPriorityHead(t *testing.T) {
+	env := newEnv(1, 3)
+	s := New(env)
+	lo := mkTask(env, 1, 10, 10)
+	hi := mkTask(env, 2, 30, 10)
+	rt := task.NewRT(3, "rt", task.FIFO, 5, env.Epoch)
+	s.AddToRunqueue(lo)
+	s.AddToRunqueue(hi)
+	s.AddToRunqueue(rt)
+	res := s.Schedule(0, idlePrev())
+	if res.Next != rt {
+		t.Fatalf("picked %v, want real-time task", res.Next)
+	}
+	if res.Recalcs != 0 {
+		t.Fatal("o1 must never enter the recalculation loop")
+	}
+	res = s.Schedule(0, rtDone(rt))
+	if res.Next != hi {
+		t.Fatalf("picked %v, want the higher static priority", res.Next)
+	}
+}
+
+// rtDone marks a previously picked task no longer runnable so the next
+// Schedule call treats it as blocked.
+func rtDone(prev *task.Task) *task.Task {
+	prev.State = task.Interruptible
+	return prev
+}
+
+func TestExpiredArrayAndSwap(t *testing.T) {
+	env := newEnv(1, 2)
+	s := New(env)
+	a := mkTask(env, 1, 20, 10)
+	b := mkTask(env, 2, 20, 10)
+	s.AddToRunqueue(a)
+	s.AddToRunqueue(b)
+
+	res := s.Schedule(0, idlePrev())
+	first := res.Next
+	if first == nil {
+		t.Fatal("no task picked")
+	}
+	// Simulate the quantum running out, then a forced reschedule.
+	first.SetCounter(env.Epoch, 0)
+	res = s.Schedule(0, first)
+	if res.Next == first {
+		t.Fatal("expired task re-picked while a fresh task waits")
+	}
+	if s.ExpiredLen(0) != 1 {
+		t.Fatalf("expired array holds %d, want the exhausted task", s.ExpiredLen(0))
+	}
+	if first.RawCounter() == 0 {
+		t.Fatal("exhausted task must be recharged when filed into expired")
+	}
+
+	// Second task expires too: the active array drains and the swap must
+	// bring the expired tasks back without a recalculation.
+	second := res.Next
+	second.SetCounter(env.Epoch, 0)
+	res = s.Schedule(0, second)
+	if res.Next != first {
+		t.Fatalf("after swap picked %v, want %v", res.Next, first)
+	}
+	if res.Recalcs != 0 || env.Epoch.N() != 0 {
+		t.Fatal("array swap must not bump the recalculation epoch")
+	}
+}
+
+func TestYieldSendsTaskBehindActive(t *testing.T) {
+	env := newEnv(1, 2)
+	s := New(env)
+	y := mkTask(env, 1, 30, 10) // higher priority, but yields
+	other := mkTask(env, 2, 10, 10)
+	s.AddToRunqueue(y)
+	s.AddToRunqueue(other)
+
+	res := s.Schedule(0, idlePrev())
+	if res.Next != y {
+		t.Fatalf("picked %v, want the high-priority task first", res.Next)
+	}
+	y.Yielded = true
+	res = s.Schedule(0, y)
+	if res.Next != other {
+		t.Fatalf("picked %v after yield, want the other task", res.Next)
+	}
+	if y.Yielded {
+		t.Fatal("schedule must consume the yield bit")
+	}
+}
+
+func TestYieldLoneTaskReruns(t *testing.T) {
+	env := newEnv(1, 1)
+	s := New(env)
+	y := mkTask(env, 1, 20, 10)
+	s.AddToRunqueue(y)
+	res := s.Schedule(0, idlePrev())
+	if res.Next != y {
+		t.Fatal("lone task not picked")
+	}
+	y.Yielded = true
+	res = s.Schedule(0, y)
+	if res.Next != y {
+		t.Fatalf("lone yielding task must be re-run, got %v", res.Next)
+	}
+	if res.Recalcs != 0 {
+		t.Fatal("yield must not trigger recalculation in o1")
+	}
+}
+
+func TestStealWhenLocalEmpty(t *testing.T) {
+	env := newEnv(2, 2)
+	s := New(env)
+	a := mkTask(env, 1, 20, 10)
+	a.EverRan = true
+	a.Processor = 1
+	b := mkTask(env, 2, 20, 10)
+	b.EverRan = true
+	b.Processor = 1
+	s.AddToRunqueue(a)
+	s.AddToRunqueue(b)
+	if s.QueueLen(0) != 0 || s.QueueLen(1) != 2 {
+		t.Fatalf("queues = %d/%d, want 0/2", s.QueueLen(0), s.QueueLen(1))
+	}
+	res := s.Schedule(0, idlePrev())
+	if res.Next == nil {
+		t.Fatal("idle CPU must steal from the busy queue")
+	}
+}
+
+func TestStealRespectsAffinity(t *testing.T) {
+	env := newEnv(2, 1)
+	s := New(env)
+	pinned := mkTask(env, 1, 20, 10)
+	pinned.CPUsAllowed = 1 << 1
+	s.AddToRunqueue(pinned)
+	if s.QueueLen(1) != 1 {
+		t.Fatal("pinned task must be homed on CPU 1")
+	}
+	res := s.Schedule(0, idlePrev())
+	if res.Next != nil {
+		t.Fatalf("CPU 0 stole %v despite the affinity mask", res.Next)
+	}
+	res = s.Schedule(1, idlePrev())
+	if res.Next != pinned {
+		t.Fatal("CPU 1 must run its pinned task")
+	}
+}
+
+func TestStealFallsThroughPinnedBusiestQueue(t *testing.T) {
+	env := newEnv(3, 4)
+	s := New(env)
+	// CPU 1 is the busiest queue but everything on it is pinned there;
+	// CPU 2 holds the only stealable task.
+	for i := 0; i < 3; i++ {
+		tk := mkTask(env, i+1, 20, 10)
+		tk.CPUsAllowed = 1 << 1
+		s.AddToRunqueue(tk)
+	}
+	free := mkTask(env, 9, 20, 10)
+	free.EverRan = true
+	free.Processor = 2
+	s.AddToRunqueue(free)
+	res := s.Schedule(0, idlePrev())
+	if res.Next != free {
+		t.Fatalf("picked %v, want the stealable task from the shorter queue", res.Next)
+	}
+}
+
+func TestPullBalancePrefersExpiredTasks(t *testing.T) {
+	env := newEnv(2, 2)
+	s := New(env)
+	hot := mkTask(env, 1, 30, 10)
+	hot.EverRan = true
+	hot.Processor = 1
+	s.AddToRunqueue(hot) // victim's active array: its next dispatch
+	cold := mkTask(env, 2, 20, 10)
+	cold.EverRan = true
+	cold.Processor = 1
+	cold.SetCounter(env.Epoch, 0)
+	s.AddToRunqueue(cold) // exhausted: victim's expired array
+	var res sched.Result
+	s.pullBalance(0, &res)
+	if s.QueueLen(0) != 1 || cold.QIndex != 0 {
+		t.Fatalf("pull took the wrong task: queue0=%d hot.QIndex=%d cold.QIndex=%d (want the expired, cache-cold task)",
+			s.QueueLen(0), hot.QIndex, cold.QIndex)
+	}
+}
+
+func TestPullBalanceMovesWork(t *testing.T) {
+	env := newEnv(2, 9)
+	s := New(env)
+	// CPU 0 always has local work, so the idle-steal path never fires
+	// and only the periodic balancer can move tasks across.
+	runner := mkTask(env, 100, 20, 10)
+	runner.EverRan = true
+	runner.Processor = 0
+	s.AddToRunqueue(runner)
+	for i := 0; i < 8; i++ {
+		tk := mkTask(env, i+1, 20, 10)
+		tk.EverRan = true
+		tk.Processor = 1
+		s.AddToRunqueue(tk)
+	}
+	prev := idlePrev()
+	for i := 0; i < balanceEvery+2; i++ {
+		res := s.Schedule(0, prev)
+		if res.Next == nil {
+			t.Fatal("CPU 0 went idle with local work queued")
+		}
+		prev = res.Next
+	}
+	if s.QueueLen(1) == 8 {
+		t.Fatal("pull balancing never moved work off the overloaded queue")
+	}
+}
+
+func TestNoTaskLostOrDuplicated(t *testing.T) {
+	env := newEnv(2, 16)
+	s := New(env)
+	tasks := make([]*task.Task, 16)
+	for i := range tasks {
+		tasks[i] = mkTask(env, i+1, 1+i*2, 5)
+		s.AddToRunqueue(tasks[i])
+		s.AddToRunqueue(tasks[i]) // double add must be a no-op
+	}
+	if s.Runnable() != 16 {
+		t.Fatalf("Runnable = %d, want 16", s.Runnable())
+	}
+	seen := map[*task.Task]int{}
+	for cpu := 0; s.Runnable() > 0; cpu = 1 - cpu {
+		res := s.Schedule(cpu, idlePrev())
+		if res.Next == nil {
+			t.Fatal("queue non-empty but nothing picked")
+		}
+		seen[res.Next]++
+	}
+	for _, tk := range tasks {
+		if seen[tk] != 1 {
+			t.Fatalf("task %v scheduled %d times, want exactly once", tk, seen[tk])
+		}
+	}
+}
+
+func TestExpiredNotStarvedByUnpickableStraggler(t *testing.T) {
+	env := newEnv(2, 2)
+	s := New(env)
+	// A task whose mask allows no present CPU lands on CPU 0 via the
+	// homeOf fallback; it can never be picked, but it must not pin the
+	// arrays and starve expired tasks behind it.
+	ghost := mkTask(env, 1, 20, 10)
+	ghost.CPUsAllowed = 1 << 5
+	s.AddToRunqueue(ghost)
+	if s.QueueLen(0) != 1 {
+		t.Fatal("setup: inconsistent-mask task must fall back to CPU 0")
+	}
+	starved := mkTask(env, 2, 20, 10)
+	starved.CPUsAllowed = 1 << 0
+	starved.SetCounter(env.Epoch, 0) // exhausted: filed into expired
+	s.AddToRunqueue(starved)
+	res := s.Schedule(0, idlePrev())
+	if res.Next != starved {
+		t.Fatalf("picked %v, want the expired task despite the unpickable straggler", res.Next)
+	}
+}
+
+func TestDelFromExpired(t *testing.T) {
+	env := newEnv(1, 1)
+	s := New(env)
+	a := mkTask(env, 1, 20, 10)
+	a.SetCounter(env.Epoch, 0)
+	s.AddToRunqueue(a)
+	if s.ExpiredLen(0) != 1 {
+		t.Fatal("exhausted task must land in expired")
+	}
+	s.DelFromRunqueue(a)
+	if a.OnRunqueue() || s.Runnable() != 0 {
+		t.Fatal("delete from expired array failed")
+	}
+}
+
+func TestMoveFirstLastWithinLevel(t *testing.T) {
+	env := newEnv(1, 2)
+	s := New(env)
+	a := mkTask(env, 1, 20, 10)
+	b := mkTask(env, 2, 20, 10)
+	s.AddToRunqueue(a)
+	s.AddToRunqueue(b) // front: b before a
+	s.MoveFirstRunqueue(a)
+	res := s.Schedule(0, idlePrev())
+	if res.Next != a {
+		t.Fatalf("after MoveFirst picked %v, want a", res.Next)
+	}
+	s.MoveLastRunqueue(b)
+	// a is running (dequeued); b is alone, still picked.
+	res = s.Schedule(0, rtDone(a))
+	if res.Next != b {
+		t.Fatalf("picked %v, want b", res.Next)
+	}
+}
+
+func TestScheduleCostIndependentOfQueueLength(t *testing.T) {
+	cost := func(n int) uint64 {
+		env := newEnv(1, n)
+		s := New(env)
+		for i := 0; i < n; i++ {
+			s.AddToRunqueue(mkTask(env, i+1, 20, 10))
+		}
+		res := s.Schedule(0, idlePrev())
+		if res.Next == nil {
+			panic("no pick")
+		}
+		return res.Cycles
+	}
+	small, large := cost(4), cost(1024)
+	if large != small {
+		t.Fatalf("schedule cost grew with queue length: %d cycles at 4 tasks, %d at 1024", small, large)
+	}
+}
+
+func TestExaminedStaysConstant(t *testing.T) {
+	env := newEnv(1, 256)
+	s := New(env)
+	for i := 0; i < 256; i++ {
+		s.AddToRunqueue(mkTask(env, i+1, 1+i%40, 5))
+	}
+	res := s.Schedule(0, idlePrev())
+	if res.Examined != 1 {
+		t.Fatalf("examined %d tasks, want 1 (the O(1) property)", res.Examined)
+	}
+}
+
+func TestFullMachineVolano(t *testing.T) {
+	m := kernel.NewMachine(kernel.Config{
+		CPUs: 4, SMP: true, Seed: 9,
+		NewScheduler: func(env *sched.Env) sched.Scheduler { return New(env) },
+		MaxCycles:    600 * kernel.DefaultHz,
+	})
+	res := volano.Build(m, volano.Config{Rooms: 2, UsersPerRoom: 4, MessagesPerUser: 3}).Run()
+	want := uint64(2 * 4 * 4 * 3)
+	if res.Deliveries != want {
+		t.Fatalf("deliveries = %d, want %d", res.Deliveries, want)
+	}
+	st := m.Stats()
+	if st.Recalcs != 0 {
+		t.Fatalf("o1 recorded %d recalculations, want 0", st.Recalcs)
+	}
+	if st.SchedCalls == 0 {
+		t.Fatal("no schedule() calls recorded")
+	}
+}
