@@ -182,6 +182,69 @@ func BenchmarkLockWait_8CPU(b *testing.B) {
 	}
 }
 
+// BenchmarkLockWait_Scale extends the lock-wait headline to 16 and 32
+// processors: the global-lock policies' spin grows with every doubling,
+// while the per-CPU-lock policies stay near zero.
+func BenchmarkLockWait_Scale(b *testing.B) {
+	for _, label := range []string{"16P", "32P"} {
+		for _, policy := range experiments.Policies {
+			b.Run(fmt.Sprintf("%s/%s", policy, label), func(b *testing.B) {
+				benchVolano(b, policy, label, 10, func(b *testing.B, r experiments.VolanoRun) {
+					spin := 0.0
+					if r.Stats.SchedCalls > 0 {
+						spin = float64(r.Stats.SpinCycles) / float64(r.Stats.SchedCalls)
+					}
+					b.ReportMetric(spin, "spin-cyc/sched")
+					b.ReportMetric(r.Result.Throughput, "msgs/sec")
+				})
+			})
+		}
+	}
+}
+
+// BenchmarkNUMA_DomainAwareness races domain-aware o1 against its
+// topology-blind ablation on the 32P-NUMA spec at marginal load, the
+// regime where the steal path runs constantly. Metrics: throughput and
+// cross-domain migrations — the acceptance pair for the NUMA work.
+func BenchmarkNUMA_DomainAwareness(b *testing.B) {
+	spec := experiments.SpecByLabel("32P-NUMA")
+	for _, blind := range []bool{false, true} {
+		name := "domain-aware"
+		if blind {
+			name = "topology-blind"
+		}
+		b.Run(name, func(b *testing.B) {
+			var r experiments.VolanoRun
+			for i := 0; i < b.N; i++ {
+				r = experiments.RunO1Topology(spec, blind, 3, benchScale())
+			}
+			b.ReportMetric(r.Result.Throughput, "msgs/sec")
+			b.ReportMetric(float64(r.Stats.CrossDomainMigrations), "cross-dom")
+			b.ReportMetric(float64(r.Stats.RemoteCycles)/1e6, "remote-Mcyc")
+		})
+	}
+}
+
+// BenchmarkNUMA_Policies reports every policy's throughput on the
+// 32P-NUMA machine with the scalable network stack — the 32-processor
+// successor to the 8P lock-wait table.
+func BenchmarkNUMA_Policies(b *testing.B) {
+	spec := experiments.SpecByLabel("32P-NUMA")
+	for _, policy := range experiments.Policies {
+		b.Run(policy, func(b *testing.B) {
+			var r experiments.VolanoRun
+			for i := 0; i < b.N; i++ {
+				r = experiments.RunVolanoConfig(spec, policy, volano.Config{
+					Rooms: 10, MessagesPerUser: benchScale().Messages,
+					Costs: volano.ScalableStackCosts(),
+				}, benchScale())
+			}
+			b.ReportMetric(r.Result.Throughput, "msgs/sec")
+			b.ReportMetric(float64(r.Stats.CrossDomainMigrations), "cross-dom")
+		})
+	}
+}
+
 // BenchmarkFutureWork_Webserver regenerates the §8 Apache question:
 // throughput and latency under each scheduler.
 func BenchmarkFutureWork_Webserver(b *testing.B) {

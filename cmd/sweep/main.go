@@ -7,12 +7,14 @@
 //	sweep                 # everything at paper scale (takes a few minutes)
 //	sweep -exp fig3       # one experiment
 //	sweep -quick          # reduced scale for a fast look
+//	sweep -exp numa -json # domain tables + machine-readable BENCH_sweep.json
 //
 // Experiments: table2, fig2, fig3, fig4, fig5, fig6, profile, alt, web,
-// lock, ablate, all.
+// lock, numa, ablate, all.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -20,17 +22,19 @@ import (
 	"time"
 
 	"elsc/internal/experiments"
+	"elsc/internal/stats"
 	"elsc/internal/workload/kbuild"
 	"elsc/internal/workload/webserver"
 )
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment to run (table2 fig2 fig3 fig4 fig5 fig6 profile alt web latency lock ablate all)")
+		exp      = flag.String("exp", "all", "experiment to run (table2 fig2 fig3 fig4 fig5 fig6 profile alt web latency lock numa ablate all)")
 		quick    = flag.Bool("quick", false, "reduced message counts for a fast pass")
 		messages = flag.Int("messages", 0, "override messages per user")
 		seed     = flag.Int64("seed", 42, "simulation seed")
 		parallel = flag.Int("parallel", 0, "concurrent runs (default GOMAXPROCS)")
+		jsonOut  = flag.Bool("json", false, "also write every table to "+jsonPath)
 	)
 	flag.Parse()
 
@@ -60,7 +64,9 @@ func main() {
 			experiments.PaperSpecs, experiments.PaperRooms, sc)
 	}
 
-	section := func(t interface{ Render() string }) {
+	var tables []*stats.Table
+	section := func(t *stats.Table) {
+		tables = append(tables, t)
 		fmt.Println(t.Render())
 	}
 
@@ -100,7 +106,19 @@ func main() {
 		section(experiments.Webserver(experiments.SpecByLabel("2P"), wcfg, sc))
 	}
 	if want("lock") {
-		section(experiments.LockContention(experiments.SpecByLabel("8P"), 10, sc))
+		// The lock-wait headline, scaled past the paper's hardware: the
+		// global-lock policies collapse as CPUs double, the per-CPU-lock
+		// ones do not.
+		for _, label := range []string{"8P", "16P", "32P"} {
+			section(experiments.LockContention(experiments.SpecByLabel(label), 10, sc))
+		}
+	}
+	if want("numa") {
+		spec := experiments.SpecByLabel("32P-NUMA")
+		section(experiments.Numa(spec, 10, sc))
+		// Marginal load (3 rooms on 32 CPUs) keeps the steal path hot —
+		// the regime where domain awareness pays.
+		section(experiments.AblateTopology(spec, 3, sc))
 	}
 	if want("latency") {
 		section(experiments.WakeLatency(experiments.SpecByLabel("UP"),
@@ -115,7 +133,7 @@ func main() {
 	}
 
 	known := false
-	for _, name := range strings.Fields("table2 fig2 fig3 fig4 fig5 fig6 profile alt web latency lock ablate all") {
+	for _, name := range strings.Fields("table2 fig2 fig3 fig4 fig5 fig6 profile alt web latency lock numa ablate all") {
 		if *exp == name {
 			known = true
 			break
@@ -125,5 +143,42 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(2)
 	}
+	if *jsonOut {
+		if err := writeJSON(jsonPath, *exp, *quick, sc, tables); err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", jsonPath, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d tables to %s\n", len(tables), jsonPath)
+	}
 	fmt.Fprintf(os.Stderr, "done in %.1fs\n", time.Since(t0).Seconds())
+}
+
+// jsonPath is where -json drops the machine-readable results, so the
+// perf trajectory can be tracked across PRs.
+const jsonPath = "BENCH_sweep.json"
+
+// sweepJSON is the file schema: enough run metadata to reproduce the
+// numbers, plus every rendered table.
+type sweepJSON struct {
+	Experiment string         `json:"experiment"`
+	Quick      bool           `json:"quick"`
+	Seed       int64          `json:"seed"`
+	Messages   int            `json:"messages_per_user"`
+	Horizon    uint64         `json:"horizon_seconds"`
+	Tables     []*stats.Table `json:"tables"`
+}
+
+func writeJSON(path, exp string, quick bool, sc experiments.Scale, tables []*stats.Table) error {
+	out, err := json.MarshalIndent(sweepJSON{
+		Experiment: exp,
+		Quick:      quick,
+		Seed:       sc.Seed,
+		Messages:   sc.Messages,
+		Horizon:    sc.HorizonSeconds,
+		Tables:     tables,
+	}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
 }

@@ -31,7 +31,29 @@
 //     (its future-work question).
 //   - Experiments: regenerate every table and figure from the paper's
 //     evaluation section, plus lock-contention and scaling studies on
-//     machines past the paper's hardware (8 CPUs).
+//     machines past the paper's hardware (8, 16 and 32 CPUs).
+//
+// # Topology and cache domains
+//
+// Machines past the paper's hardware can declare a NUMA-style topology
+// (MachineConfig.CacheDomains, or kernel.Config.Topology): CPUs are
+// grouped into cache domains, contiguous blocks sharing a last-level
+// cache. The cost model then distinguishes three tiers of migration:
+// staying on the last CPU (pollution-scaled refill), moving inside the
+// domain (CacheRefillMax), and crossing domains (CrossDomainRefillMax,
+// plus a sustained RemoteAccessPct execution penalty until the task's
+// pages rehome after RehomeCycles of foreign execution — first-touch
+// memory with AutoNUMA-style page migration).
+//
+// The O(1) scheduler is topology-aware, mirroring the 2.5→2.6
+// sched_domains evolution: idle steal exhausts in-domain victims before
+// crossing, a cross-domain steal requires a real imbalance rather than a
+// lone queued task, the periodic balancer demands a doubled imbalance
+// threshold across domains and then pulls a batch to amortize the
+// interconnect refill, and a starvation guard force-swaps the arrays
+// when the expired array has waited too long. O1Config exposes the knobs
+// (TopologyBlind is the ablation baseline); the experiments package
+// regenerates the numa table and the domain-awareness ablation.
 //
 // # Quick start
 //

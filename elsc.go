@@ -46,6 +46,14 @@ func DefaultCostModel() CostModel { return sched.DefaultCostModel() }
 // shortcut) for ablation studies.
 type ELSCConfig = elsc.Config
 
+// O1Config re-exports the O(1) scheduler's balancing knobs (topology
+// blindness, cross-domain imbalance threshold and batch size, expired
+// starvation limit) for ablation studies.
+type O1Config = o1.Config
+
+// Topology re-exports the cache-domain layout type.
+type Topology = sched.Topology
+
 // MachineConfig describes the simulated machine.
 type MachineConfig struct {
 	// CPUs is the processor count (default 1).
@@ -53,10 +61,19 @@ type MachineConfig struct {
 	// SMP selects an SMP kernel build. The paper's "UP" is CPUs=1 with
 	// SMP false; "1P" is CPUs=1 with SMP true.
 	SMP bool
+	// CacheDomains groups the CPUs into that many NUMA-style cache
+	// domains (contiguous, as even as possible). 0 or 1 leaves the
+	// machine flat: no dispatch is ever cross-domain. A migration that
+	// crosses a domain pays the cost model's CrossDomainRefillMax
+	// instead of CacheRefillMax, and domain-aware policies (O1) keep
+	// load balancing inside a domain when they can.
+	CacheDomains int
 	// Scheduler picks the policy (default ELSC).
 	Scheduler SchedulerKind
 	// ELSC optionally tunes the ELSC policy; ignored for other kinds.
 	ELSC *ELSCConfig
+	// O1 optionally tunes the O(1) policy; ignored for other kinds.
+	O1 *O1Config
 	// Seed drives all randomness (default 1).
 	Seed int64
 	// MaxSeconds bounds virtual run time (default 3000 virtual seconds).
@@ -87,10 +104,15 @@ func NewMachine(cfg MachineConfig) *Machine {
 	if cfg.MaxSeconds == 0 {
 		cfg.MaxSeconds = 3000
 	}
-	factory := factoryFor(cfg.Scheduler, cfg.ELSC)
+	factory := factoryFor(cfg.Scheduler, cfg.ELSC, cfg.O1)
+	var topo *sched.Topology
+	if cfg.CacheDomains > 1 {
+		topo = sched.UniformTopology(cfg.CPUs, cfg.CacheDomains)
+	}
 	m := kernel.NewMachine(kernel.Config{
 		CPUs:                cfg.CPUs,
 		SMP:                 cfg.SMP,
+		Topology:            topo,
 		Seed:                cfg.Seed,
 		NewScheduler:        factory,
 		Cost:                cfg.Cost,
@@ -100,7 +122,7 @@ func NewMachine(cfg MachineConfig) *Machine {
 	return &Machine{m: m}
 }
 
-func factoryFor(kind SchedulerKind, ecfg *ELSCConfig) kernel.SchedulerFactory {
+func factoryFor(kind SchedulerKind, ecfg *ELSCConfig, ocfg *O1Config) kernel.SchedulerFactory {
 	switch kind {
 	case Vanilla:
 		return func(env *sched.Env) sched.Scheduler { return vanilla.New(env) }
@@ -116,7 +138,12 @@ func factoryFor(kind SchedulerKind, ecfg *ELSCConfig) kernel.SchedulerFactory {
 	case MultiQueue:
 		return func(env *sched.Env) sched.Scheduler { return mq.New(env) }
 	case O1:
-		return func(env *sched.Env) sched.Scheduler { return o1.New(env) }
+		return func(env *sched.Env) sched.Scheduler {
+			if ocfg != nil {
+				return o1.NewWithConfig(env, *ocfg)
+			}
+			return o1.New(env)
+		}
 	default:
 		panic("elsc: unknown scheduler kind " + string(kind))
 	}

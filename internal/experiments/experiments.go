@@ -8,7 +8,6 @@ package experiments
 import (
 	"fmt"
 	"runtime"
-	"sync"
 
 	"elsc/internal/kernel"
 	"elsc/internal/sched"
@@ -59,11 +58,22 @@ func Factory(name string) kernel.SchedulerFactory {
 
 // MachineSpec is one hardware configuration from the paper: UP is a
 // non-SMP build on one processor, 1P an SMP build on one processor, 2P and
-// 4P SMP builds on two and four.
+// 4P SMP builds on two and four. Specs past the paper's hardware may also
+// declare cache domains (Domains > 1), giving the machine a NUMA-style
+// topology in which off-domain migrations pay the interconnect refill.
 type MachineSpec struct {
-	Label string
-	CPUs  int
-	SMP   bool
+	Label   string
+	CPUs    int
+	SMP     bool
+	Domains int // cache domains; 0 or 1 means flat
+}
+
+// Topology returns the spec's cache-domain layout, nil for flat machines.
+func (s MachineSpec) Topology() *sched.Topology {
+	if s.Domains <= 1 {
+		return nil
+	}
+	return sched.UniformTopology(s.CPUs, s.Domains)
 }
 
 // PaperSpecs are the four configurations of §6.
@@ -74,11 +84,16 @@ var PaperSpecs = []MachineSpec{
 	{Label: "4P", CPUs: 4, SMP: true},
 }
 
-// AllSpecs extends PaperSpecs with an eight-processor machine, past the
-// paper's hardware, where the per-CPU-lock designs separate decisively
-// from the global-lock ones.
+// AllSpecs extends PaperSpecs with machines past the paper's hardware:
+// 8, 16 and 32 flat processors, where the per-CPU-lock designs separate
+// decisively from the global-lock ones, and a 32-processor machine with
+// four 8-CPU cache domains — the NUMA-style spec the domain-aware
+// balancing experiments run on.
 var AllSpecs = append(append([]MachineSpec{}, PaperSpecs...),
-	MachineSpec{Label: "8P", CPUs: 8, SMP: true})
+	MachineSpec{Label: "8P", CPUs: 8, SMP: true},
+	MachineSpec{Label: "16P", CPUs: 16, SMP: true},
+	MachineSpec{Label: "32P", CPUs: 32, SMP: true},
+	MachineSpec{Label: "32P-NUMA", CPUs: 32, SMP: true, Domains: 4})
 
 // SpecByLabel returns the named spec.
 func SpecByLabel(label string) MachineSpec {
@@ -125,11 +140,18 @@ func (s Scale) workers() int {
 
 // NewMachine builds a machine for a spec and policy.
 func NewMachine(spec MachineSpec, policy string, sc Scale) *kernel.Machine {
+	return NewMachineWith(spec, Factory(policy), sc)
+}
+
+// NewMachineWith builds a machine for a spec with an explicit scheduler
+// factory — the entry for ablation variants that tune a policy's config.
+func NewMachineWith(spec MachineSpec, factory kernel.SchedulerFactory, sc Scale) *kernel.Machine {
 	return kernel.NewMachine(kernel.Config{
 		CPUs:         spec.CPUs,
 		SMP:          spec.SMP,
+		Topology:     spec.Topology(),
 		Seed:         sc.Seed,
-		NewScheduler: Factory(policy),
+		NewScheduler: factory,
 		MaxCycles:    sc.HorizonSeconds * kernel.DefaultHz,
 	})
 }
@@ -141,6 +163,18 @@ type VolanoRun struct {
 	Rooms  int
 	Result volano.Result
 	Stats  kernel.Stats
+
+	// IntraSteals and CrossSteals are the balancer's own same-domain and
+	// cross-domain move counts, for policies that track them (HasSteals).
+	IntraSteals uint64
+	CrossSteals uint64
+	HasSteals   bool
+}
+
+// domainStealer is implemented by policies whose balancer counts its own
+// intra- versus cross-domain moves (o1).
+type domainStealer interface {
+	DomainSteals() (intra, cross uint64)
 }
 
 // Key renders "elsc-4P@20" style identifiers.
@@ -150,10 +184,26 @@ func (r VolanoRun) Key() string {
 
 // RunVolano executes one VolanoMark configuration.
 func RunVolano(spec MachineSpec, policy string, rooms int, sc Scale) VolanoRun {
-	m := NewMachine(spec, policy, sc)
-	b := volano.Build(m, volano.Config{Rooms: rooms, MessagesPerUser: sc.Messages})
-	res := b.Run()
-	return VolanoRun{Spec: spec, Policy: policy, Rooms: rooms, Result: res, Stats: *m.Stats()}
+	return RunVolanoConfig(spec, policy,
+		volano.Config{Rooms: rooms, MessagesPerUser: sc.Messages}, sc)
+}
+
+// RunVolanoConfig executes one VolanoMark run with a fully specified
+// workload config (the NUMA experiments run the scalable-stack variant).
+func RunVolanoConfig(spec MachineSpec, policy string, vcfg volano.Config, sc Scale) VolanoRun {
+	return runVolanoOn(NewMachine(spec, policy, sc), spec, policy, vcfg)
+}
+
+// runVolanoOn runs the workload on a prepared machine and harvests the
+// result, stats, and the balancer's steal counters when tracked.
+func runVolanoOn(m *kernel.Machine, spec MachineSpec, policy string, vcfg volano.Config) VolanoRun {
+	res := volano.Build(m, vcfg).Run()
+	run := VolanoRun{Spec: spec, Policy: policy, Rooms: vcfg.Rooms, Result: res, Stats: *m.Stats()}
+	if ds, ok := m.Scheduler().(domainStealer); ok {
+		run.IntraSteals, run.CrossSteals = ds.DomainSteals()
+		run.HasSteals = true
+	}
+	return run
 }
 
 // matrixJob identifies one cell of a sweep.
@@ -174,20 +224,10 @@ func RunVolanoMatrix(policies []string, specs []MachineSpec, rooms []int, sc Sca
 			}
 		}
 	}
-	out := make([]VolanoRun, len(jobs))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, sc.workers())
-	for i, j := range jobs {
-		wg.Add(1)
-		go func(i int, j matrixJob) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			out[i] = RunVolano(j.spec, j.policy, j.rooms, sc)
-		}(i, j)
-	}
-	wg.Wait()
-	return out
+	return forEachParallel(len(jobs), sc, func(i int) VolanoRun {
+		j := jobs[i]
+		return RunVolano(j.spec, j.policy, j.rooms, sc)
+	})
 }
 
 // Find returns the run matching the key parameters, or panics; matrices

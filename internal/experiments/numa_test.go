@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"elsc/internal/sched/o1"
+)
+
+// numaTinyScale keeps the 32-processor table tests fast.
+func numaTinyScale() Scale {
+	return Scale{Messages: 4, Seed: 42, HorizonSeconds: 600}
+}
+
+func TestNumaTableListsAllPolicies(t *testing.T) {
+	tab := Numa(SpecByLabel("32P-NUMA"), 2, numaTinyScale())
+	out := tab.Render()
+	for _, want := range Policies {
+		if !strings.Contains(out, want) {
+			t.Fatalf("numa table missing %q:\n%s", want, out)
+		}
+	}
+	if tab.NumRows() != len(Policies) {
+		t.Fatalf("numa table rows = %d, want %d", tab.NumRows(), len(Policies))
+	}
+	// The o1 row must carry real steal counters, not the "-" placeholder
+	// the steal-blind policies get.
+	for _, row := range tab.Rows() {
+		hasCounters := row[len(row)-1] != "-" && row[len(row)-2] != "-"
+		if (row[0] == O1) != hasCounters {
+			t.Fatalf("steal counters misplaced in row %v", row)
+		}
+	}
+}
+
+// TestNumaTableDeterminism is the regression for the numa experiment: the
+// same scale must render byte-identical tables, like every other figure.
+func TestNumaTableDeterminism(t *testing.T) {
+	spec := SpecByLabel("32P-NUMA")
+	a := Numa(spec, 2, numaTinyScale()).Render()
+	b := Numa(spec, 2, numaTinyScale()).Render()
+	if a != b {
+		t.Fatalf("numa table not deterministic:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func TestAblateTopologyRenders(t *testing.T) {
+	tab := AblateTopology(SpecByLabel("32P-NUMA"), 2, numaTinyScale())
+	out := tab.Render()
+	if tab.NumRows() != 2 {
+		t.Fatalf("topology ablation rows = %d, want 2", tab.NumRows())
+	}
+	for _, want := range []string{"domain-aware", "topology-blind"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("ablation table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestDomainAwareO1BeatsBlind pins the headline claim of the NUMA work:
+// on the 32P-NUMA spec at marginal load (steal pressure), domain-aware o1
+// makes an order fewer cross-domain migrations and clears 10% more
+// VolanoMark throughput than the same scheduler run topology-blind. The
+// simulator is deterministic, so the margin cannot flake.
+func TestDomainAwareO1BeatsBlind(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full 32P runs")
+	}
+	spec := SpecByLabel("32P-NUMA")
+	sc := Scale{Messages: 30, Seed: 42, HorizonSeconds: 600}
+	const rooms = 3
+	aware := runO1Variant(spec, o1.Config{}, rooms, sc)
+	blind := runO1Variant(spec, o1.Config{TopologyBlind: true}, rooms, sc)
+
+	if aware.Stats.CrossDomainMigrations*2 >= blind.Stats.CrossDomainMigrations {
+		t.Fatalf("domain awareness did not curb cross-domain migrations: aware %d vs blind %d",
+			aware.Stats.CrossDomainMigrations, blind.Stats.CrossDomainMigrations)
+	}
+	if aware.Result.Throughput < 1.10*blind.Result.Throughput {
+		t.Fatalf("domain-aware throughput %.0f not >=10%% above blind %.0f (ratio %.3f)",
+			aware.Result.Throughput, blind.Result.Throughput,
+			aware.Result.Throughput/blind.Result.Throughput)
+	}
+	if aware.Stats.RemoteCycles >= blind.Stats.RemoteCycles {
+		t.Fatalf("aware o1 burned more remote cycles (%d) than blind (%d)",
+			aware.Stats.RemoteCycles, blind.Stats.RemoteCycles)
+	}
+}

@@ -1,6 +1,8 @@
 package kernel
 
 import (
+	"math/bits"
+
 	"elsc/internal/sim"
 	"elsc/internal/task"
 )
@@ -79,6 +81,9 @@ func (c *CPU) sendResched() {
 }
 
 // interrupt stops the current segment at now, crediting the elapsed work.
+// When the segment was stretched by the remote-access penalty, wall time
+// converts back to work at the segment's own ratio, so an interrupted
+// remote segment never credits more work than it performed.
 func (c *CPU) interrupt(now sim.Time) {
 	p := c.current
 	if p == nil {
@@ -89,16 +94,30 @@ func (c *CPU) interrupt(now sim.Time) {
 		c.runDone = nil
 	}
 	elapsed := uint64(now - c.segStart)
-	if elapsed > p.remaining {
-		elapsed = p.remaining
+	if elapsed > p.segWall {
+		elapsed = p.segWall
 	}
-	p.remaining -= elapsed
-	c.creditWork(p, elapsed)
+	work := elapsed
+	if p.segWall > p.segWork {
+		// Full-width multiply: elapsed*segWork overflows uint64 for
+		// multi-billion-cycle stretched segments. hi < segWall always
+		// holds (elapsed <= segWall), so Div64 cannot panic.
+		hi, lo := bits.Mul64(elapsed, p.segWork)
+		work, _ = bits.Div64(hi, lo, p.segWall)
+		c.m.stats.RemoteCycles += elapsed - work
+	}
+	if work > p.remaining {
+		work = p.remaining
+	}
+	p.remaining -= work
+	c.creditWork(p, work)
 }
 
 // creditWork accounts executed cycles to the proc and machine. Segments
 // with a completion handler or an in-flight syscall are kernel crossings
 // (syscall, yield, sleep, exit); plain compute segments are user work.
+// It also drives the page-migration clock: enough consecutive execution
+// in one foreign domain rebinds the proc's memory there.
 func (c *CPU) creditWork(p *Proc, cycles uint64) {
 	if cycles == 0 {
 		return
@@ -110,6 +129,19 @@ func (c *CPU) creditWork(p *Proc, cycles uint64) {
 	} else {
 		p.Task.UserCycles += cycles
 		c.m.stats.TaskCycles += cycles
+	}
+	if dom := c.m.env.Topo.DomainOf(c.id); p.memDomain >= 0 && dom != p.memDomain {
+		if dom != p.foreignDom {
+			p.foreignDom = dom
+			p.foreignWork = 0
+		}
+		p.foreignWork += cycles
+		if p.foreignWork >= c.m.env.Cost.RehomeCycles {
+			p.memDomain = dom
+			p.foreignWork = 0
+		}
+	} else {
+		p.foreignWork = 0
 	}
 }
 
@@ -143,20 +175,31 @@ func (c *CPU) tick(now sim.Time) {
 	}
 }
 
-// startSegment begins (or resumes) the proc's current work segment.
+// startSegment begins (or resumes) the proc's current work segment. A
+// proc executing outside its memory domain runs stretched: the segment's
+// work takes RemoteAccessPct percent longer in wall time, the sustained
+// price of crossing the interconnect on every access.
 func (c *CPU) startSegment(now sim.Time) {
 	p := c.current
 	if p.remaining == 0 {
 		p.remaining = 1 // keep virtual time strictly advancing
 	}
+	p.segWork = p.remaining
+	p.segWall = p.remaining
+	if p.memDomain >= 0 && c.m.env.Topo.DomainOf(c.id) != p.memDomain {
+		p.segWall += p.remaining * c.m.env.Cost.RemoteAccessPct / 100
+	}
 	c.segStart = now
-	c.runDone = c.m.eng.After(p.remaining, "rundone", c.segmentDone)
+	c.runDone = c.m.eng.After(p.segWall, "rundone", c.segmentDone)
 }
 
 // segmentDone fires when the current segment's cycles have elapsed.
 func (c *CPU) segmentDone(now sim.Time) {
 	p := c.current
 	c.runDone = nil
+	if p.segWall > p.segWork {
+		c.m.stats.RemoteCycles += p.segWall - p.segWork
+	}
 	c.creditWork(p, p.remaining)
 	p.remaining = 0
 	done := p.onDone
@@ -350,8 +393,16 @@ func (m *Machine) reschedule(c *CPU, now sim.Time) {
 		if next.EverRan && next.Processor != c.id {
 			m.stats.Migrations++
 			next.Migrations++
+			if !m.env.Topo.SameDomain(next.Processor, c.id) {
+				m.stats.CrossDomainMigrations++
+			}
 		}
 		next.Dispatches++
+		if nextProc.memDomain < 0 {
+			// First-touch: the task's memory lands in the domain of its
+			// first dispatch.
+			nextProc.memDomain = m.env.Topo.DomainOf(c.id)
+		}
 		// Claim the task immediately so no other CPU's decision can
 		// pick it during the switch window.
 		next.HasCPU = true
@@ -406,6 +457,11 @@ func (m *Machine) cachePenalty(c *CPU, p *Proc) uint64 {
 		return cost.CacheRefillMax / 2 // cold start
 	}
 	if t.Processor != c.id {
+		if !m.env.Topo.SameDomain(t.Processor, c.id) {
+			// The working set lives in a foreign domain's cache (or its
+			// memory): refilling crosses the interconnect.
+			return cost.CrossDomainRefillMax
+		}
 		return cost.CacheRefillMax
 	}
 	pollution := c.work - p.workStamp

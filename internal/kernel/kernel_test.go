@@ -538,3 +538,140 @@ func TestSchedulerShareGrowsWithRunnableCount(t *testing.T) {
 		t.Fatalf("scheduler share did not grow: %f at 4 tasks, %f at 100", small, large)
 	}
 }
+
+// numaMachine builds a 2-CPU machine split into two single-CPU cache
+// domains, the smallest topology where migration crosses a domain.
+func numaMachine(t *testing.T, f SchedulerFactory) *Machine {
+	t.Helper()
+	return NewMachine(Config{
+		CPUs:         2,
+		SMP:          true,
+		Topology:     sched.UniformTopology(2, 2),
+		Seed:         42,
+		NewScheduler: f,
+		MaxCycles:    200 * DefaultHz,
+	})
+}
+
+func TestTopologyCPUCountMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched topology did not panic")
+		}
+	}()
+	NewMachine(Config{
+		CPUs:         4,
+		SMP:          true,
+		Topology:     sched.UniformTopology(2, 2),
+		NewScheduler: vanillaFactory,
+	})
+}
+
+// roamProgram alternates compute chunks with short sleeps, so an
+// affinity change can take effect at the next wake-up. done reports how
+// many compute chunks have finished.
+func roamProgram(chunks int, chunk uint64, done *int) Program {
+	step := 0
+	return ProgramFunc(func(*Proc) Action {
+		step++
+		if step > 2*chunks {
+			return Exit{}
+		}
+		if step%2 == 1 {
+			return Compute{Cycles: chunk}
+		}
+		*done++
+		return Sleep{Cycles: 10_000}
+	})
+}
+
+// TestRemoteExecutionStretch pins a task's first touch to domain 0, then
+// exiles it to domain 1: with RemoteAccessPct at 200, execution there
+// runs at one third speed, so ~2 extra wall cycles accrue per work cycle
+// until the rehome horizon.
+func TestRemoteExecutionStretch(t *testing.T) {
+	m := numaMachine(t, vanillaFactory)
+	const chunk = 1_000_000
+	done := 0
+	p := m.Spawn("roamer", nil, roamProgram(15, chunk, &done))
+	m.SetAffinity(p, 1<<0) // first touch on CPU 0 / domain 0
+	m.Run(func() bool { return done >= 5 })
+	if got := m.Stats().RemoteCycles; got != 0 {
+		t.Fatalf("remote cycles = %d while running in the home domain, want 0", got)
+	}
+	m.SetAffinity(p, 1<<1) // exile to domain 1
+	m.Run(func() bool { return p.Exited() })
+	remote := m.Stats().RemoteCycles
+	// ~10M cycles of work ran in exile (below the 20M rehome horizon),
+	// each stretched 3x: expect about 20M extra wall cycles.
+	if remote < 15_000_000 || remote > 25_000_000 {
+		t.Fatalf("remote cycles = %d, want ~20M for ~10M exiled work at 200%%", remote)
+	}
+	if m.Stats().CrossDomainMigrations == 0 {
+		t.Fatal("the forced exile was not counted as a cross-domain migration")
+	}
+}
+
+// TestRehomeBoundsRemotePenalty runs far past the rehome horizon in the
+// foreign domain: once the pages migrate, the stretch must stop, so the
+// remote total stays pinned near 2 x RehomeCycles no matter how much
+// longer the task runs there.
+func TestRehomeBoundsRemotePenalty(t *testing.T) {
+	m := numaMachine(t, vanillaFactory)
+	const chunk = 1_000_000
+	done := 0
+	p := m.Spawn("settler", nil, roamProgram(65, chunk, &done))
+	m.SetAffinity(p, 1<<0)
+	m.Run(func() bool { return done >= 5 })
+	m.SetAffinity(p, 1<<1)
+	m.Run(func() bool { return p.Exited() })
+	remote := m.Stats().RemoteCycles
+	// 60M of exiled work, but only the first ~20M (RehomeCycles) pays:
+	// ~40M extra wall cycles, then the task is local again.
+	if remote < 35_000_000 || remote > 46_000_000 {
+		t.Fatalf("remote cycles = %d, want ~40M bounded by the rehome horizon", remote)
+	}
+}
+
+// TestFlatTopologyNeverRemote is the guard for every pre-topology
+// experiment: on a flat machine no dispatch is cross-domain and no cycle
+// is remote, whatever the scheduler does.
+func TestFlatTopologyNeverRemote(t *testing.T) {
+	bothSchedulers(t, func(t *testing.T, f SchedulerFactory) {
+		m := newMachine(t, 2, f)
+		for i := 0; i < 6; i++ {
+			m.Spawn("w", nil, computeLoop(30, DefaultTickCycles/3))
+		}
+		m.Run(func() bool { return m.Alive() == 0 })
+		st := m.Stats()
+		if st.CrossDomainMigrations != 0 || st.RemoteCycles != 0 {
+			t.Fatalf("flat machine recorded %d cross-domain migrations, %d remote cycles",
+				st.CrossDomainMigrations, st.RemoteCycles)
+		}
+	})
+}
+
+// TestCrossDomainRefillCharged compares the same forced migration on a
+// flat and a domained 2-CPU machine: crossing the domain must cost more
+// cache-refill cycles than the flat move.
+func TestCrossDomainRefillCharged(t *testing.T) {
+	penalty := func(topo *sched.Topology) uint64 {
+		m := NewMachine(Config{
+			CPUs: 2, SMP: true, Topology: topo, Seed: 42,
+			NewScheduler: vanillaFactory,
+			MaxCycles:    200 * DefaultHz,
+		})
+		done := 0
+		p := m.Spawn("mover", nil, roamProgram(10, 200_000, &done))
+		m.SetAffinity(p, 1<<0)
+		m.Run(func() bool { return done >= 3 })
+		m.SetAffinity(p, 1<<1)
+		m.Run(func() bool { return p.Exited() })
+		return m.Stats().CacheCycles
+	}
+	flat := penalty(nil)
+	domained := penalty(sched.UniformTopology(2, 2))
+	if domained <= flat {
+		t.Fatalf("cross-domain refill (%d) not above intra-domain (%d)", domained, flat)
+	}
+}

@@ -46,6 +46,12 @@ type Config struct {
 	// SMP selects an SMP kernel build. The paper's "UP" rows are
 	// CPUs=1, SMP=false; its "1P" rows are CPUs=1, SMP=true.
 	SMP bool
+	// Topology groups the CPUs into cache domains. Nil means flat: all
+	// CPUs share one domain and no dispatch is ever cross-domain, which
+	// reproduces the paper-era machines. A non-nil topology must cover
+	// exactly CPUs processors; dispatches that cross a domain boundary
+	// pay Cost.CrossDomainRefillMax instead of CacheRefillMax.
+	Topology *sched.Topology
 	// Hz is the CPU clock in cycles/second (default 400 MHz).
 	Hz uint64
 	// TickCycles is the timer period (default Hz/100 = 10 ms).
@@ -124,6 +130,10 @@ func NewMachine(cfg Config) *Machine {
 	if cfg.NewScheduler == nil {
 		panic("kernel: config needs a scheduler factory")
 	}
+	if cfg.Topology != nil && cfg.Topology.NumCPU() != cfg.CPUs {
+		panic(fmt.Sprintf("kernel: topology covers %d CPUs, machine has %d",
+			cfg.Topology.NumCPU(), cfg.CPUs))
+	}
 	if cfg.Hz == 0 {
 		cfg.Hz = DefaultHz
 	}
@@ -137,6 +147,9 @@ func NewMachine(cfg Config) *Machine {
 	}
 	m.eng.MaxDur = sim.Time(cfg.MaxCycles)
 	m.env = sched.NewEnv(cfg.CPUs, cfg.SMP, func() int { return m.alive })
+	if cfg.Topology != nil {
+		m.env.Topo = cfg.Topology
+	}
 	if cfg.Cost != nil {
 		m.env.Cost = *cfg.Cost
 	}
@@ -240,7 +253,7 @@ func (m *Machine) SpawnRT(name string, policy task.Policy, rtprio int, prog Prog
 }
 
 func (m *Machine) spawn(t *task.Task, prog Program) *Proc {
-	p := &Proc{Task: t, M: m, prog: prog}
+	p := &Proc{Task: t, M: m, prog: prog, memDomain: -1}
 	p.WaitNode.Owner = p
 	m.procs = append(m.procs, p)
 	m.byTask[t] = p

@@ -33,6 +33,22 @@ type Proc struct {
 	// it, for the cache-refill model.
 	workStamp uint64
 
+	// NUMA memory model. memDomain is the cache domain holding the
+	// task's working set — first-touch at its first dispatch. Execution
+	// in any other domain is stretched by Cost.RemoteAccessPct; after
+	// RehomeCycles of consecutive execution in one foreign domain the
+	// pages migrate there (memDomain rebinds), as AutoNUMA-style page
+	// migration would.
+	memDomain   int // -1 until first dispatch
+	foreignDom  int
+	foreignWork uint64
+
+	// segWork and segWall describe the armed segment: segWork cycles of
+	// real work scheduled to take segWall cycles of wall time (equal
+	// unless executing remotely).
+	segWork uint64
+	segWall uint64
+
 	exited bool
 	// ExitCode is user-settable before Exit for workload bookkeeping.
 	ExitCode int

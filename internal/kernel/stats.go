@@ -13,24 +13,26 @@ import (
 // kernel-profile claim of §4 (37-55% of kernel time in the scheduler).
 type Stats struct {
 	// Scheduler behavior.
-	SchedCalls    uint64     // entries into schedule()
-	SchedCycles   uint64     // cycles inside schedule() proper
-	SpinCycles    uint64     // cycles spinning on the run-queue lock before schedule()
-	Examined      uint64     // tasks examined across all schedule() calls
-	Recalcs       uint64     // counter-recalculation loop entries
-	Migrations    uint64     // tasks dispatched on a CPU other than their last
-	PerSchedule   stats.Dist // cycles per schedule() call (incl. lock spin)
-	ExaminedDist  stats.Dist // tasks examined per schedule() call
-	IdleSwitches  uint64     // schedule() picked the idle task
-	Preemptions   uint64     // wake-up preempted a running task
-	WakeCalls     uint64     // try_to_wake_up invocations
-	YieldCalls    uint64     // sys_sched_yield invocations
-	QuantumExpiry uint64     // tick found the quantum exhausted
+	SchedCalls            uint64     // entries into schedule()
+	SchedCycles           uint64     // cycles inside schedule() proper
+	SpinCycles            uint64     // cycles spinning on the run-queue lock before schedule()
+	Examined              uint64     // tasks examined across all schedule() calls
+	Recalcs               uint64     // counter-recalculation loop entries
+	Migrations            uint64     // tasks dispatched on a CPU other than their last
+	CrossDomainMigrations uint64     // migrations that also crossed a cache domain
+	PerSchedule           stats.Dist // cycles per schedule() call (incl. lock spin)
+	ExaminedDist          stats.Dist // tasks examined per schedule() call
+	IdleSwitches          uint64     // schedule() picked the idle task
+	Preemptions           uint64     // wake-up preempted a running task
+	WakeCalls             uint64     // try_to_wake_up invocations
+	YieldCalls            uint64     // sys_sched_yield invocations
+	QuantumExpiry         uint64     // tick found the quantum exhausted
 
 	// Context switching.
-	CtxSwitches uint64 // dispatches of a task other than prev
-	MMSwitches  uint64 // dispatches that changed address space
-	CacheCycles uint64 // cache-refill penalty cycles charged
+	CtxSwitches  uint64 // dispatches of a task other than prev
+	MMSwitches   uint64 // dispatches that changed address space
+	CacheCycles  uint64 // cache-refill penalty cycles charged
+	RemoteCycles uint64 // extra wall cycles from executing outside the memory domain
 
 	// Time split.
 	TaskCycles    uint64 // user work executed
@@ -78,6 +80,7 @@ func (s *Stats) Registry() *stats.Registry {
 	set("sched_tasks_examined", s.Examined)
 	set("sched_recalc_entries", s.Recalcs)
 	set("sched_migrations", s.Migrations)
+	set("sched_cross_domain_migrations", s.CrossDomainMigrations)
 	set("sched_idle_switches", s.IdleSwitches)
 	set("sched_preemptions", s.Preemptions)
 	set("wake_calls", s.WakeCalls)
@@ -86,6 +89,7 @@ func (s *Stats) Registry() *stats.Registry {
 	set("ctx_switches", s.CtxSwitches)
 	set("mm_switches", s.MMSwitches)
 	set("cache_refill_cycles", s.CacheCycles)
+	set("remote_access_cycles", s.RemoteCycles)
 	set("task_cycles", s.TaskCycles)
 	set("syscall_cycles", s.SyscallCycles)
 	set("idle_cycles", s.IdleCycles)
@@ -105,6 +109,7 @@ func (s *Stats) Summary() string {
 	fmt.Fprintf(&b, "examined/schedule:       %.1f\n", s.ExaminedPerSchedule())
 	fmt.Fprintf(&b, "recalc loop entries:     %d\n", s.Recalcs)
 	fmt.Fprintf(&b, "migrations:              %d\n", s.Migrations)
+	fmt.Fprintf(&b, "cross-domain migrations: %d\n", s.CrossDomainMigrations)
 	fmt.Fprintf(&b, "scheduler share of kernel: %.1f%%\n", 100*s.SchedulerShareOfKernel())
 	return b.String()
 }

@@ -20,6 +20,7 @@ import (
 	"elsc/internal/experiments"
 	"elsc/internal/sched"
 	"elsc/internal/task"
+	"elsc/internal/workload/volano"
 )
 
 // forEach runs fn once per registered policy as a subtest. The policy
@@ -401,4 +402,81 @@ func TestMultiCPUNoDoubleRun(t *testing.T) {
 			}
 		}
 	})
+}
+
+// TestNUMATopologyHarnessContract drives every policy through the harness
+// on a 32-CPU, 4-domain machine: the topology must change where work
+// lands, never whether it lands. Every task is scheduled exactly once and
+// none is lost, exactly as on the flat machines above.
+func TestNUMATopologyHarnessContract(t *testing.T) {
+	const ncpu, ndom, n = 32, 4, 64
+	for _, name := range experiments.Policies {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			env := sched.NewEnv(ncpu, true, func() int { return n })
+			env.Topo = sched.UniformTopology(ncpu, ndom)
+			s := experiments.Factory(name)(env)
+			tasks := make([]*task.Task, n)
+			for i := range tasks {
+				tasks[i] = mkTask(env, i+1, 1+(i*5)%40, 4+i%12)
+				s.AddToRunqueue(tasks[i])
+			}
+			h := newHarness(s, ncpu)
+			picked := map[*task.Task]int{}
+			for left := n; left > 0; {
+				progressed := false
+				for cpu := 0; cpu < ncpu && left > 0; cpu++ {
+					next := h.schedule(cpu)
+					if next == nil {
+						continue
+					}
+					progressed = true
+					picked[next]++
+					h.block(cpu)
+					h.schedule(cpu) // dequeue the blocked task
+					left--
+				}
+				if !progressed {
+					t.Fatalf("no CPU could schedule with %d tasks outstanding", left)
+				}
+			}
+			for i, tk := range tasks {
+				if picked[tk] != 1 {
+					t.Fatalf("task %d scheduled %d times, want exactly once", i, picked[tk])
+				}
+			}
+		})
+	}
+}
+
+// TestNUMAMachineSpecAllPolicies runs a short VolanoMark on the 32P-NUMA
+// machine spec for every registered policy: messages must flow and no
+// room may starve on the domained machine, the same bar the flat smoke
+// test sets. This is what keeps a future policy honest about topology.
+func TestNUMAMachineSpecAllPolicies(t *testing.T) {
+	const (
+		rooms    = 2
+		users    = 4
+		messages = 2
+	)
+	want := uint64(rooms * users * users * messages)
+	spec := experiments.SpecByLabel("32P-NUMA")
+	for _, name := range experiments.Policies {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			sc := experiments.Scale{Messages: messages, Seed: 5, HorizonSeconds: 600}
+			m := experiments.NewMachine(spec, name, sc)
+			res := volano.Build(m, volano.Config{
+				Rooms: rooms, UsersPerRoom: users, MessagesPerUser: messages,
+			}).Run()
+			if res.Deliveries != want {
+				t.Fatalf("deliveries = %d, want %d (a room starved on the NUMA spec)",
+					res.Deliveries, want)
+			}
+			if res.Throughput <= 0 {
+				t.Fatalf("throughput = %v, want > 0", res.Throughput)
+			}
+		})
+	}
 }

@@ -70,6 +70,27 @@ type CostModel struct {
 	// is the cycles other tasks ran on that CPU since this task left it.
 	CacheRefillPerWork uint64
 
+	// CrossDomainRefillMax is the refill cost of a migration that leaves
+	// the task's cache domain: the working set must be pulled through
+	// the interconnect from a foreign last-level cache or remote memory,
+	// so it dwarfs the intra-domain CacheRefillMax. This is what makes
+	// topology-blind balancing expensive on the NUMA-style specs and
+	// what the o1 scheduler's hierarchical steal exists to avoid.
+	CrossDomainRefillMax uint64
+
+	// RemoteAccessPct is the sustained cost of NUMA-style domains: a
+	// task executing on a CPU outside the domain that holds its memory
+	// runs this percent slower (every load crosses the interconnect),
+	// until its pages rehome. The one-shot refill above is the cost of
+	// arriving; this is the cost of staying.
+	RemoteAccessPct uint64
+
+	// RehomeCycles is how many cycles a task must execute consecutively
+	// in one foreign domain before its pages migrate there and the
+	// remote-access penalty stops — the AutoNUMA-style page-migration
+	// horizon.
+	RehomeCycles uint64
+
 	// SyscallBase is the fixed user/kernel crossing cost (int 0x80,
 	// register save, dispatch).
 	SyscallBase uint64
@@ -85,24 +106,27 @@ type CostModel struct {
 // DefaultCostModel returns the calibrated model described above.
 func DefaultCostModel() CostModel {
 	return CostModel{
-		ScheduleBase:       600,
-		GoodnessCost:       25,
-		ExamineCost:        70,
-		CoherencePenalty:   250,
-		RecalcPerTask:      45,
-		AddRunqueue:        80,
-		DelRunqueue:        60,
-		MoveRunqueue:       90,
-		TableIndexCost:     70,
-		BitmapOp:           20,
-		LockOp:             60,
-		ContextSwitch:      400,
-		MMSwitch:           900,
-		CacheRefillMax:     6000,
-		CacheRefillPerWork: 40,
-		SyscallBase:        700,
-		WakeupCost:         500,
-		TickCost:           500,
+		ScheduleBase:         600,
+		GoodnessCost:         25,
+		ExamineCost:          70,
+		CoherencePenalty:     250,
+		RecalcPerTask:        45,
+		AddRunqueue:          80,
+		DelRunqueue:          60,
+		MoveRunqueue:         90,
+		TableIndexCost:       70,
+		BitmapOp:             20,
+		LockOp:               60,
+		ContextSwitch:        400,
+		MMSwitch:             900,
+		CacheRefillMax:       6000,
+		CacheRefillPerWork:   40,
+		CrossDomainRefillMax: 30000,
+		RemoteAccessPct:      200,
+		RehomeCycles:         20_000_000,
+		SyscallBase:          700,
+		WakeupCost:           500,
+		TickCost:             500,
 	}
 }
 

@@ -25,6 +25,25 @@
 // the best movable task from the longest queue, and every balanceEvery
 // schedule() invocations a CPU with at least two fewer queued tasks than
 // the busiest queue pulls one task across.
+//
+// On machines with cache domains (sched.Env.Topo) the balancer is
+// hierarchical, mirroring the 2.5→2.6 sched_domains evolution: steal and
+// pull prefer victims inside the stealing CPU's domain; a cross-domain
+// move requires a larger imbalance (an idle CPU will not drag a victim's
+// only queued task across the interconnect, and the periodic balancer
+// demands CrossImbalance rather than two), and when a cross-domain pull
+// does fire it moves a batch of tasks so the CrossDomainRefillMax each
+// will pay is amortized over a real rebalance rather than spent on
+// ping-pong. The TopologyBlind config knob disables all of this — the
+// scheduler then sees the machine as one flat domain — and exists so the
+// experiments can measure exactly what domain awareness buys.
+//
+// A starvation guard bounds expired-array wait: if the expired array has
+// been non-empty for StarvationLimit consecutive schedule() calls on its
+// CPU without a swap, the arrays are force-swapped even though the active
+// array still holds runnable tasks (the check 2.6 performs with
+// EXPIRED_STARVING). Without it, a steady stream of fresh wakers could
+// keep the active array populated forever while expired tasks wait.
 package o1
 
 import (
@@ -48,7 +67,47 @@ const (
 	// pull — the 2.5 kernel's "25% imbalance" rule at small queue sizes.
 	balanceEvery     = 32
 	balanceImbalance = 2
+
+	// crossStealMin is the minimum victim queue length for an idle steal
+	// that leaves the thief's cache domain: dragging a victim's only
+	// queued task across the interconnect costs more than letting the
+	// victim run it next.
+	crossStealMin = 2
 )
+
+// Config tunes the o1 scheduler's domain-aware balancing. The zero value
+// gives the default, domain-aware behavior.
+type Config struct {
+	// TopologyBlind makes the balancer ignore cache domains, treating
+	// the machine as one flat domain — the pre-sched_domains behavior,
+	// kept as the ablation baseline for the NUMA experiments.
+	TopologyBlind bool
+	// CrossImbalance is the queue-length gap required before the
+	// periodic balancer pulls across a domain boundary (default 4,
+	// twice the intra-domain threshold).
+	CrossImbalance int
+	// CrossBatch caps the tasks moved per cross-domain pull (default 4).
+	// Batching amortizes the cross-domain cache-refill penalty: one
+	// decisive rebalance instead of a penalty per balancing period.
+	CrossBatch int
+	// StarvationLimit is how many schedule() calls the expired array may
+	// sit non-empty before a forced array swap (default 128; <0
+	// disables the guard).
+	StarvationLimit int
+}
+
+func (c Config) withDefaults() Config {
+	if c.CrossImbalance == 0 {
+		c.CrossImbalance = 2 * balanceImbalance
+	}
+	if c.CrossBatch == 0 {
+		c.CrossBatch = 4
+	}
+	if c.StarvationLimit == 0 {
+		c.StarvationLimit = 128
+	}
+	return c
+}
 
 // levelOf maps a task to its priority level; lower level = higher
 // priority, so the bitmap find-first-set returns the best level directly.
@@ -106,11 +165,17 @@ func (a *prioArray) setBit(lvl int)   { a.bitmap[lvl/64] |= 1 << uint(lvl%64) }
 func (a *prioArray) clearBit(lvl int) { a.bitmap[lvl/64] &^= 1 << uint(lvl%64) }
 
 // runqueue is one CPU's pair of arrays; activeIdx selects the active one
-// so the array swap is a single index flip, never a task walk.
+// so the array swap is a single index flip, never a task walk. schedSeq
+// counts Schedule calls on this queue, and expiredSince records the
+// schedSeq at which the expired array last became (or stayed) non-empty —
+// the clock for the starvation guard, measured in scheduling decisions
+// because the policy has no view of virtual time.
 type runqueue struct {
 	arrays       [2]prioArray
 	activeIdx    int
 	sinceBalance int
+	schedSeq     uint64
+	expiredSince uint64
 }
 
 func (rq *runqueue) active() *prioArray  { return &rq.arrays[rq.activeIdx] }
@@ -119,19 +184,40 @@ func (rq *runqueue) len() int            { return rq.arrays[0].count + rq.arrays
 
 // Sched is the O(1) scheduler. Create with New.
 type Sched struct {
-	env *sched.Env
-	rqs []runqueue
+	env  *sched.Env
+	cfg  Config
+	topo *sched.Topology // flat when TopologyBlind, else env.Topo
+	rqs  []runqueue
+
+	// intraSteals and crossSteals count tasks moved by the balancer
+	// (idle steal or periodic pull) within and across cache domains, as
+	// the scheduler sees them — the numa experiment's per-policy columns.
+	intraSteals uint64
+	crossSteals uint64
 }
 
-// New returns an O(1) scheduler bound to env.
-func New(env *sched.Env) *Sched {
-	s := &Sched{env: env, rqs: make([]runqueue, env.NCPU)}
+// New returns an O(1) scheduler bound to env with the default config.
+func New(env *sched.Env) *Sched { return NewWithConfig(env, Config{}) }
+
+// NewWithConfig returns an O(1) scheduler with tuned balancing knobs.
+func NewWithConfig(env *sched.Env, cfg Config) *Sched {
+	s := &Sched{env: env, cfg: cfg.withDefaults(), rqs: make([]runqueue, env.NCPU)}
+	s.topo = env.Topo
+	if s.cfg.TopologyBlind || s.topo == nil {
+		s.topo = sched.FlatTopology(env.NCPU)
+	}
 	for i := range s.rqs {
 		s.rqs[i].arrays[0].init()
 		s.rqs[i].arrays[1].init()
 	}
 	return s
 }
+
+// DomainSteals reports tasks the balancer moved within and across cache
+// domains. A topology-blind scheduler sees one flat domain, so its moves
+// all count as intra-domain; the machine-level CrossDomainMigrations stat
+// records what they really cost.
+func (s *Sched) DomainSteals() (intra, cross uint64) { return s.intraSteals, s.crossSteals }
 
 // Name implements sched.Scheduler.
 func (s *Sched) Name() string { return "o1" }
@@ -181,6 +267,11 @@ func (s *Sched) enqueue(t *task.Task, cpu, arrayIdx int, front bool) {
 	}
 	arr.setBit(lvl)
 	arr.count++
+	if arrayIdx != rq.activeIdx && arr.count == 1 {
+		// The expired array just became non-empty: start (or restart)
+		// the starvation clock.
+		rq.expiredSince = rq.schedSeq
+	}
 	t.QIndex = cpu
 	t.QStamp = stampOf(arrayIdx, lvl)
 }
@@ -276,6 +367,7 @@ func (s *Sched) Schedule(cpu int, prev *task.Task) sched.Result {
 	env := s.env
 	res := sched.Result{Cycles: env.Cost.ScheduleBase}
 	rq := &s.rqs[cpu]
+	rq.schedSeq++
 
 	yielded := false
 	if !prev.IsIdle {
@@ -335,17 +427,53 @@ func (s *Sched) Schedule(cpu int, prev *task.Task) sched.Result {
 // arrays and starve the expired tasks behind it.
 func (s *Sched) pickLocal(cpu int, res *sched.Result) *task.Task {
 	rq := &s.rqs[cpu]
+	if s.expiredStarving(rq) {
+		// Starvation guard: the expired array has waited too long
+		// behind a never-draining active array. Force the swap; the
+		// former active tasks keep their quantum and will win again
+		// after the next natural swap.
+		s.swapArrays(rq, res)
+	}
 	if t := s.pickArray(rq.active(), cpu, res); t != nil {
 		return t
 	}
 	if rq.expired().count > 0 {
 		// O(1) array swap: the expired tasks were recharged when they
 		// were filed, so no walk happens here.
-		rq.activeIdx = 1 - rq.activeIdx
-		res.Cycles += s.env.Cost.BitmapOp
+		s.swapArrays(rq, res)
 		return s.pickArray(rq.active(), cpu, res)
 	}
 	return nil
+}
+
+// rtWord1Mask covers the real-time levels that spill into the second
+// bitmap word (levels 64..rtLevels-1).
+const rtWord1Mask = 1<<(rtLevels-64) - 1
+
+// holdsRealTime reports whether any real-time level of the array is
+// populated — two word tests, O(1).
+func (a *prioArray) holdsRealTime() bool {
+	return a.bitmap[0] != 0 || a.bitmap[1]&rtWord1Mask != 0
+}
+
+// expiredStarving reports whether the starvation guard should fire: the
+// expired array has been non-empty for StarvationLimit schedule() calls.
+// A queued real-time task vetoes the forced swap — demoting it into the
+// expired array would let SCHED_OTHER tasks run ahead of it, and RT
+// starving OTHER is policy, not a bug.
+func (s *Sched) expiredStarving(rq *runqueue) bool {
+	return s.cfg.StarvationLimit >= 0 &&
+		rq.expired().count > 0 &&
+		rq.schedSeq-rq.expiredSince >= uint64(s.cfg.StarvationLimit) &&
+		!rq.active().holdsRealTime()
+}
+
+// swapArrays flips active and expired in O(1) and restarts the
+// starvation clock for whatever the new expired array holds.
+func (s *Sched) swapArrays(rq *runqueue, res *sched.Result) {
+	rq.activeIdx = 1 - rq.activeIdx
+	rq.expiredSince = rq.schedSeq
+	res.Cycles += s.env.Cost.BitmapOp
 }
 
 // pickArray walks the bitmap from the highest-priority populated level
@@ -374,27 +502,62 @@ func (s *Sched) pickArray(arr *prioArray, cpu int, res *sched.Result) *task.Task
 }
 
 // steal takes the best movable task from another queue — the 2.5
-// idle-balance path. The longest queue is tried first, but a queue full
-// of pinned tasks must not end the hunt while a shorter queue holds
-// stealable work, so the remaining queues are tried in index order.
-// Each victim queue's lock is charged.
+// idle-balance path, made hierarchical: victims inside the thief's cache
+// domain are exhausted before any cross-domain queue is touched, and a
+// cross-domain steal additionally requires the victim to hold at least
+// crossStealMin tasks (an imbalance of one does not justify paying the
+// interconnect refill). Within each tier the longest queue is tried
+// first, but a queue full of pinned tasks must not end the hunt while a
+// shorter queue holds stealable work, so the remaining queues are tried
+// in index order. Each victim queue's lock is charged.
 func (s *Sched) steal(cpu int, res *sched.Result) *task.Task {
-	first := s.busiest(cpu, 0)
+	if t := s.stealTier(cpu, res, true); t != nil {
+		return t
+	}
+	if s.topo.NumDomains() == 1 {
+		return nil // the local tier already covered every queue
+	}
+	return s.stealTier(cpu, res, false)
+}
+
+// stealTier hunts one tier of the hierarchy: the thief's own domain
+// (local=true) or the rest of the machine (local=false).
+func (s *Sched) stealTier(cpu int, res *sched.Result, local bool) *task.Task {
+	minLen := 1
+	if !local {
+		minLen = crossStealMin
+	}
+	eligible := func(i int) bool {
+		return s.topo.SameDomain(i, cpu) == local && s.rqs[i].len() >= minLen
+	}
+	first := s.busiestWhere(cpu, 0, eligible)
 	if first < 0 {
 		return nil
 	}
 	if t := s.stealFrom(first, cpu, res); t != nil {
+		s.noteMove(cpu, first)
 		return t
 	}
 	for i := range s.rqs {
-		if i == cpu || i == first || s.rqs[i].len() == 0 {
+		if i == cpu || i == first || !eligible(i) {
 			continue
 		}
 		if t := s.stealFrom(i, cpu, res); t != nil {
+			s.noteMove(cpu, i)
 			return t
 		}
 	}
 	return nil
+}
+
+// noteMove classifies one balancer-driven migration for the steal
+// counters.
+func (s *Sched) noteMove(cpu, victim int) {
+	if s.topo.SameDomain(cpu, victim) {
+		s.intraSteals++
+	} else {
+		s.crossSteals++
+	}
 }
 
 // stealFrom scans one victim queue, expired array first: those tasks
@@ -408,13 +571,14 @@ func (s *Sched) stealFrom(victim, cpu int, res *sched.Result) *task.Task {
 	return s.pickArray(vrq.active(), cpu, res)
 }
 
-// busiest returns the index of the longest queue other than cpu with
-// strictly more than floor queued tasks, or -1.
-func (s *Sched) busiest(cpu, floor int) int {
+// busiestWhere returns the index of the longest queue other than cpu
+// satisfying the predicate, with strictly more than floor queued tasks,
+// or -1.
+func (s *Sched) busiestWhere(cpu, floor int, ok func(i int) bool) int {
 	victim := -1
 	most := floor
 	for i := range s.rqs {
-		if i == cpu {
+		if i == cpu || !ok(i) {
 			continue
 		}
 		if n := s.rqs[i].len(); n > most {
@@ -425,31 +589,64 @@ func (s *Sched) busiest(cpu, floor int) int {
 	return victim
 }
 
-// pullBalance moves one task from the busiest queue to cpu when the
-// imbalance reaches balanceImbalance — the periodic half of 2.5's
-// load_balance.
+// pullBalance is the periodic half of 2.5's load_balance, run through the
+// domain hierarchy: an in-domain victim at the balanceImbalance threshold
+// moves one task, exactly as before; with no in-domain imbalance, a
+// cross-domain victim is considered only past the larger CrossImbalance
+// gap, and then a batch of tasks moves at once — one decisive rebalance
+// amortizes the per-task interconnect refill that would otherwise recur
+// every balancing period.
 func (s *Sched) pullBalance(cpu int, res *sched.Result) {
 	rq := &s.rqs[cpu]
-	victim := s.busiest(cpu, rq.len()+balanceImbalance-1)
+	inDomain := func(i int) bool { return s.topo.SameDomain(i, cpu) }
+	if victim := s.busiestWhere(cpu, rq.len()+balanceImbalance-1, inDomain); victim >= 0 {
+		s.pullFrom(victim, cpu, 1, res)
+		return
+	}
+	if s.topo.NumDomains() == 1 {
+		return
+	}
+	outDomain := func(i int) bool { return !s.topo.SameDomain(i, cpu) }
+	victim := s.busiestWhere(cpu, rq.len()+s.cfg.CrossImbalance-1, outDomain)
 	if victim < 0 {
 		return
 	}
-	// Expired-first, as 2.5's load_balance: those tasks are the
-	// cache-coldest and the victim will not miss them soon, whereas its
-	// active head is exactly what it would dispatch next.
+	batch := (s.rqs[victim].len() - rq.len()) / 2
+	if batch > s.cfg.CrossBatch {
+		batch = s.cfg.CrossBatch
+	}
+	if batch < 1 {
+		batch = 1
+	}
+	s.pullFrom(victim, cpu, batch, res)
+}
+
+// pullFrom moves up to max movable tasks from victim's queue to cpu,
+// expired-first as 2.5's load_balance: those tasks are the cache-coldest
+// and the victim will not miss them soon, whereas its active head is
+// exactly what it would dispatch next. The victim's lock is charged once
+// for the whole batch.
+func (s *Sched) pullFrom(victim, cpu, max int, res *sched.Result) int {
 	res.Cycles += s.env.Cost.LockOp
 	vrq := &s.rqs[victim]
-	t := s.pickArray(vrq.expired(), cpu, res)
-	if t == nil {
-		t = s.pickArray(vrq.active(), cpu, res)
+	rq := &s.rqs[cpu]
+	moved := 0
+	for moved < max {
+		t := s.pickArray(vrq.expired(), cpu, res)
+		if t == nil {
+			t = s.pickArray(vrq.active(), cpu, res)
+		}
+		if t == nil {
+			break
+		}
+		s.DelFromRunqueue(t)
+		// Migrated tasks enter at the tail of their level: they lost
+		// their cache footprint, so they should not jump local tasks of
+		// equal priority.
+		s.enqueue(t, cpu, rq.activeIdx, false)
+		res.Cycles += s.env.Cost.MoveRunqueue + s.env.Cost.BitmapOp
+		s.noteMove(cpu, victim)
+		moved++
 	}
-	if t == nil {
-		return
-	}
-	s.DelFromRunqueue(t)
-	// Migrated tasks enter at the tail of their level: they lost their
-	// cache footprint, so they should not jump local tasks of equal
-	// priority.
-	s.enqueue(t, cpu, rq.activeIdx, false)
-	res.Cycles += s.env.Cost.MoveRunqueue + s.env.Cost.BitmapOp
+	return moved
 }

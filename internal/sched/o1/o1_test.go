@@ -26,6 +26,22 @@ func idlePrev() *task.Task {
 	return t
 }
 
+// newNumaEnv builds an env whose CPUs are split into cache domains.
+func newNumaEnv(ncpu, domains, ntasks int) *sched.Env {
+	env := sched.NewEnv(ncpu, true, func() int { return ntasks })
+	env.Topo = sched.UniformTopology(ncpu, domains)
+	return env
+}
+
+// homedTask returns a runnable task whose last run was on cpu, so
+// AddToRunqueue files it there.
+func homedTask(env *sched.Env, id, cpu int) *task.Task {
+	tk := mkTask(env, id, 20, 10)
+	tk.EverRan = true
+	tk.Processor = cpu
+	return tk
+}
+
 func TestLevelOrdering(t *testing.T) {
 	env := newEnv(1, 2)
 	rtHi := task.NewRT(1, "rt99", task.FIFO, 99, env.Epoch)
@@ -412,5 +428,185 @@ func TestFullMachineVolano(t *testing.T) {
 	}
 	if st.SchedCalls == 0 {
 		t.Fatal("no schedule() calls recorded")
+	}
+}
+
+func TestStarvationGuardForcesSwap(t *testing.T) {
+	const limit = 8
+	env := newEnv(1, 2)
+	s := NewWithConfig(env, Config{StarvationLimit: limit})
+	starved := mkTask(env, 1, 20, 10)
+	starved.SetCounter(env.Epoch, 0) // exhausted: filed into expired
+	hog := mkTask(env, 2, 30, 10)
+	s.AddToRunqueue(starved)
+	s.AddToRunqueue(hog)
+
+	res := s.Schedule(0, idlePrev())
+	if res.Next != hog {
+		t.Fatalf("first pick %v, want the active hog", res.Next)
+	}
+	// The hog never exhausts its quantum: each Schedule re-files it into
+	// the active array, which would starve the expired task forever.
+	for i := 0; i < limit+2; i++ {
+		res = s.Schedule(0, res.Next)
+		if res.Next == starved {
+			if i < limit-2 {
+				t.Fatalf("guard fired after only %d schedules (limit %d)", i+1, limit)
+			}
+			return
+		}
+	}
+	t.Fatalf("expired task never ran within %d schedules (limit %d)", limit+2, limit)
+}
+
+func TestStarvationGuardDisabled(t *testing.T) {
+	env := newEnv(1, 2)
+	s := NewWithConfig(env, Config{StarvationLimit: -1})
+	starved := mkTask(env, 1, 20, 10)
+	starved.SetCounter(env.Epoch, 0)
+	hog := mkTask(env, 2, 30, 10)
+	s.AddToRunqueue(starved)
+	s.AddToRunqueue(hog)
+	res := s.Schedule(0, idlePrev())
+	for i := 0; i < 300; i++ {
+		res = s.Schedule(0, res.Next)
+		if res.Next == starved {
+			t.Fatalf("disabled guard still swapped at schedule %d", i+1)
+		}
+	}
+}
+
+func TestStealPrefersLocalDomainVictim(t *testing.T) {
+	// Two domains: CPUs {0,1} and {2,3}. CPU 1 holds one task; CPU 2 is
+	// the busiest queue with three. A topology-blind thief on CPU 0
+	// would raid CPU 2; a hierarchical one must take the in-domain task.
+	env := newNumaEnv(4, 2, 4)
+	s := New(env)
+	local := homedTask(env, 1, 1)
+	s.AddToRunqueue(local)
+	for i := 0; i < 3; i++ {
+		s.AddToRunqueue(homedTask(env, 10+i, 2))
+	}
+	res := s.Schedule(0, idlePrev())
+	if res.Next != local {
+		t.Fatalf("stole %v, want the in-domain task", res.Next)
+	}
+	intra, cross := s.DomainSteals()
+	if intra != 1 || cross != 0 {
+		t.Fatalf("steal counters = %d intra / %d cross, want 1/0", intra, cross)
+	}
+}
+
+func TestCrossDomainStealRequiresImbalance(t *testing.T) {
+	// The only queued task sits alone in a foreign domain: dragging it
+	// across the interconnect for an imbalance of one is a loss, so the
+	// idle CPU must stay idle and let the task's home CPU run it.
+	env := newNumaEnv(4, 2, 2)
+	s := New(env)
+	lone := homedTask(env, 1, 2)
+	s.AddToRunqueue(lone)
+	if res := s.Schedule(0, idlePrev()); res.Next != nil {
+		t.Fatalf("stole %v across domains for an imbalance of one", res.Next)
+	}
+	// A second task on the same foreign queue is a real imbalance.
+	s.AddToRunqueue(homedTask(env, 2, 2))
+	res := s.Schedule(0, idlePrev())
+	if res.Next == nil {
+		t.Fatal("idle CPU refused a two-task cross-domain steal")
+	}
+	intra, cross := s.DomainSteals()
+	if intra != 0 || cross != 1 {
+		t.Fatalf("steal counters = %d intra / %d cross, want 0/1", intra, cross)
+	}
+}
+
+func TestTopologyBlindStealsAnywhere(t *testing.T) {
+	// The ablation baseline: with TopologyBlind set the same lone
+	// foreign task is fair game, as in the pre-domain scheduler.
+	env := newNumaEnv(4, 2, 1)
+	s := NewWithConfig(env, Config{TopologyBlind: true})
+	lone := homedTask(env, 1, 2)
+	s.AddToRunqueue(lone)
+	res := s.Schedule(0, idlePrev())
+	if res.Next != lone {
+		t.Fatalf("blind scheduler picked %v, want the foreign task", res.Next)
+	}
+}
+
+func TestCrossDomainPullBatches(t *testing.T) {
+	// No in-domain imbalance, a large foreign one: the periodic balancer
+	// must move a batch in one pull, amortizing the interconnect refill.
+	env := newNumaEnv(4, 2, 8)
+	s := New(env)
+	for i := 0; i < 8; i++ {
+		s.AddToRunqueue(homedTask(env, i+1, 2))
+	}
+	var res sched.Result
+	s.pullBalance(0, &res)
+	if got := s.QueueLen(0); got != 4 {
+		t.Fatalf("cross-domain pull moved %d tasks, want a batch of 4", got)
+	}
+	intra, cross := s.DomainSteals()
+	if intra != 0 || cross != 4 {
+		t.Fatalf("steal counters = %d intra / %d cross, want 0/4", intra, cross)
+	}
+}
+
+func TestCrossDomainPullNeedsLargerGap(t *testing.T) {
+	// An imbalance that would trigger an intra-domain pull (2) must NOT
+	// trigger a cross-domain one: the threshold doubles across domains.
+	env := newNumaEnv(4, 2, 2)
+	s := New(env)
+	for i := 0; i < 2; i++ {
+		s.AddToRunqueue(homedTask(env, i+1, 2))
+	}
+	var res sched.Result
+	s.pullBalance(0, &res)
+	if got := s.QueueLen(0); got != 0 {
+		t.Fatalf("cross-domain pull fired at imbalance 2, moved %d tasks", got)
+	}
+	// Same gap inside the domain does move work.
+	env2 := newNumaEnv(4, 2, 2)
+	s2 := New(env2)
+	for i := 0; i < 2; i++ {
+		s2.AddToRunqueue(homedTask(env2, i+1, 1))
+	}
+	var res2 sched.Result
+	s2.pullBalance(0, &res2)
+	if got := s2.QueueLen(0); got != 1 {
+		t.Fatalf("intra-domain pull at imbalance 2 moved %d tasks, want 1", got)
+	}
+}
+
+func TestStarvationGuardNeverDemotesRealTime(t *testing.T) {
+	// A queued real-time task must veto the forced swap: demoting it
+	// into the expired array would let SCHED_OTHER run ahead of it.
+	const limit = 8
+	env := newEnv(1, 3)
+	s := NewWithConfig(env, Config{StarvationLimit: limit})
+	starved := mkTask(env, 1, 20, 10)
+	starved.SetCounter(env.Epoch, 0)
+	s.AddToRunqueue(starved)
+	rtA := task.NewRT(2, "rtA", task.RR, 50, env.Epoch)
+	rtB := task.NewRT(3, "rtB", task.RR, 50, env.Epoch)
+	s.AddToRunqueue(rtA)
+	s.AddToRunqueue(rtB)
+
+	res := s.Schedule(0, idlePrev())
+	for i := 0; i < 4*limit; i++ {
+		if res.Next == starved {
+			t.Fatalf("schedule %d demoted queued RT work behind a SCHED_OTHER task", i)
+		}
+		res.Next.Yielded = true // rotate the RT pair forever
+		res = s.Schedule(0, res.Next)
+	}
+	// Once the RT tasks are gone the guard may fire normally.
+	rtA.State = task.Interruptible
+	rtB.State = task.Interruptible
+	s.DelFromRunqueue(rtA)
+	s.DelFromRunqueue(rtB)
+	res = s.Schedule(0, res.Next)
+	if res.Next != starved {
+		t.Fatalf("picked %v after RT load left, want the expired task", res.Next)
 	}
 }

@@ -123,7 +123,11 @@ type Env struct {
 	// SMP reports whether the kernel was built with SMP support. The
 	// paper distinguishes "UP" (SMP disabled) from "1P" (SMP kernel on
 	// one processor); the UP build enables ELSC's search shortcut.
-	SMP  bool
+	SMP bool
+	// Topo is the cache-domain layout. Always non-nil; machines without
+	// a declared layout get the flat single-domain topology, under which
+	// no dispatch is ever cross-domain.
+	Topo *Topology
 	Cost CostModel
 }
 
@@ -139,6 +143,7 @@ func NewEnv(ncpu int, smp bool, ntasks func() int) *Env {
 		NTasks: ntasks,
 		NCPU:   ncpu,
 		SMP:    smp,
+		Topo:   FlatTopology(ncpu),
 		Cost:   DefaultCostModel(),
 	}
 }

@@ -1,0 +1,80 @@
+package sched
+
+import "fmt"
+
+// Topology describes the machine's cache-domain layout: CPUs grouped into
+// domains that share a last-level cache (a socket, a NUMA node, or a
+// chiplet — the model does not distinguish). A task dispatched inside its
+// last domain refills from the shared cache at CacheRefillMax; a dispatch
+// in a foreign domain must pull its working set across the interconnect
+// and pays CrossDomainRefillMax instead. Domain-aware policies read the
+// layout through Env.Topo to keep migrations inside a domain when they
+// can, exactly as the 2.6 kernel's sched_domains hierarchy does.
+//
+// A Topology is immutable after construction and safe to share between
+// machines.
+type Topology struct {
+	domainOf []int   // cpu -> domain index
+	domains  [][]int // domain index -> member CPUs
+}
+
+// FlatTopology returns the degenerate layout: every CPU in one shared
+// domain. It reproduces the pre-topology behavior — no dispatch is ever
+// cross-domain — and is the default for machines that do not declare a
+// layout.
+func FlatTopology(ncpu int) *Topology {
+	return UniformTopology(ncpu, 1)
+}
+
+// UniformTopology splits ncpu processors into ndomains contiguous blocks,
+// as even as possible (the first ncpu%ndomains domains hold one extra
+// CPU). A 32-CPU, 4-domain machine is therefore CPUs 0-7, 8-15, 16-23,
+// 24-31 — the "4 sockets × 8 cores" shape of the scaled-up specs.
+func UniformTopology(ncpu, ndomains int) *Topology {
+	if ncpu < 1 {
+		panic("sched: topology needs at least one CPU")
+	}
+	if ndomains < 1 || ndomains > ncpu {
+		panic(fmt.Sprintf("sched: %d domains is invalid for %d CPUs", ndomains, ncpu))
+	}
+	t := &Topology{
+		domainOf: make([]int, ncpu),
+		domains:  make([][]int, ndomains),
+	}
+	base := ncpu / ndomains
+	extra := ncpu % ndomains
+	cpu := 0
+	for d := 0; d < ndomains; d++ {
+		size := base
+		if d < extra {
+			size++
+		}
+		for i := 0; i < size; i++ {
+			t.domainOf[cpu] = d
+			t.domains[d] = append(t.domains[d], cpu)
+			cpu++
+		}
+	}
+	return t
+}
+
+// NumCPU returns the processor count the topology covers.
+func (t *Topology) NumCPU() int { return len(t.domainOf) }
+
+// NumDomains returns the number of cache domains.
+func (t *Topology) NumDomains() int { return len(t.domains) }
+
+// DomainOf returns the domain holding cpu.
+func (t *Topology) DomainOf(cpu int) int { return t.domainOf[cpu] }
+
+// DomainCPUs returns the CPUs in domain d. The slice is shared; callers
+// must not modify it.
+func (t *Topology) DomainCPUs(d int) []int { return t.domains[d] }
+
+// SameDomain reports whether CPUs a and b share a cache domain.
+func (t *Topology) SameDomain(a, b int) bool { return t.domainOf[a] == t.domainOf[b] }
+
+// String renders "32cpu/4dom" style labels for tables and traces.
+func (t *Topology) String() string {
+	return fmt.Sprintf("%dcpu/%ddom", t.NumCPU(), t.NumDomains())
+}

@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"sort"
 	"strings"
 	"testing"
@@ -238,5 +239,39 @@ func TestApproxPercentileMonotone(t *testing.T) {
 			t.Fatalf("percentile not monotone at q=%v: %d < %d", q, v, last)
 		}
 		last = v
+	}
+}
+
+func TestTableJSONRoundTrip(t *testing.T) {
+	tab := NewTable("Demo", "A", "B")
+	tab.AddRow(1, 2.5)
+	tab.AddRow("x", "y")
+	out, err := json.Marshal(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		Title   string     `json:"title"`
+		Headers []string   `json:"headers"`
+		Rows    [][]string `json:"rows"`
+	}
+	if err := json.Unmarshal(out, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Title != "Demo" || len(got.Headers) != 2 || len(got.Rows) != 2 {
+		t.Fatalf("bad JSON shape: %s", out)
+	}
+	if got.Rows[0][1] != "2.50" {
+		t.Fatalf("float cell = %q, want the renderer's %%.2f format", got.Rows[0][1])
+	}
+}
+
+func TestTableRowsIsACopy(t *testing.T) {
+	tab := NewTable("Demo", "A")
+	tab.AddRow("v")
+	rows := tab.Rows()
+	rows[0][0] = "mutated"
+	if tab.Rows()[0][0] != "v" {
+		t.Fatal("Rows exposed internal state")
 	}
 }

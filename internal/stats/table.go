@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
 	"strings"
 )
@@ -35,6 +36,26 @@ func (t *Table) AddRow(cells ...any) {
 
 // NumRows returns the number of data rows added so far.
 func (t *Table) NumRows() int { return len(t.rows) }
+
+// Rows returns a copy of the formatted data rows, in insertion order.
+func (t *Table) Rows() [][]string {
+	out := make([][]string, len(t.rows))
+	for i, r := range t.rows {
+		out[i] = append([]string(nil), r...)
+	}
+	return out
+}
+
+// MarshalJSON renders the table as {"title", "headers", "rows"} so
+// machine consumers (the sweep CLI's -json flag, benchmark trackers) get
+// the same data the text renderer shows.
+func (t *Table) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		Title   string     `json:"title"`
+		Headers []string   `json:"headers"`
+		Rows    [][]string `json:"rows"`
+	}{t.Title, t.Headers, t.rows})
+}
 
 // Render returns the table as aligned text.
 func (t *Table) Render() string {

@@ -114,6 +114,20 @@ func DefaultCosts() Costs {
 	}
 }
 
+// ScalableStackCosts returns DefaultCosts with the network stack's
+// serialized section shrunk to a per-socket lock hold, modeling the
+// fine-grained locking the kernel grew by 2.6. The 2.3-era NetSerialHold
+// caps machine-wide throughput at one socket operation per 11k cycles no
+// matter the CPU count, which makes every 16/32-processor run
+// stack-bound and scheduler-indifferent; the scaled machines need the
+// stack that era actually shipped with.
+func ScalableStackCosts() Costs {
+	c := DefaultCosts()
+	c.NetSerialHold = 1200
+	c.QueueSerialHold = 300
+	return c
+}
+
 func (c *Config) withDefaults() Config {
 	out := *c
 	if out.Rooms == 0 {

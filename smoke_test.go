@@ -54,3 +54,37 @@ func TestCrossSchedulerSmoke(t *testing.T) {
 		}
 	}
 }
+
+// TestCrossSchedulerSmokeNUMA repeats the smoke bar on a 32-processor
+// machine with four cache domains, through the public CacheDomains knob:
+// every policy must still deliver every message when migrations can cross
+// an interconnect.
+func TestCrossSchedulerSmokeNUMA(t *testing.T) {
+	const (
+		rooms    = 2
+		users    = 4
+		messages = 2
+	)
+	want := uint64(rooms * users * users * messages)
+	for _, policy := range experiments.Policies {
+		kind := elsc.SchedulerKind(policy)
+		t.Run(fmt.Sprintf("%s/32cpu-4dom", kind), func(t *testing.T) {
+			t.Parallel()
+			m := elsc.NewMachine(elsc.MachineConfig{
+				CPUs:         32,
+				SMP:          true,
+				CacheDomains: 4,
+				Scheduler:    kind,
+				Seed:         5,
+				MaxSeconds:   600,
+			})
+			res := m.RunVolanoMark(elsc.VolanoConfig{
+				Rooms: rooms, UsersPerRoom: users, MessagesPerUser: messages,
+			})
+			if res.Deliveries != want {
+				t.Fatalf("deliveries = %d, want %d (a room starved on the NUMA machine)",
+					res.Deliveries, want)
+			}
+		})
+	}
+}
