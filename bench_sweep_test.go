@@ -1,0 +1,67 @@
+package elsc_test
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// benchSweepSchema mirrors cmd/sweep's output schema. The committed
+// BENCH_sweep.json tracks the perf trajectory across PRs; this test keeps
+// the file parseable and the per-workload section populated, and CI reruns
+// it against a freshly generated file after a one-cell sweep.
+type benchSweepSchema struct {
+	Experiment string `json:"experiment"`
+	Seed       int64  `json:"seed"`
+	Tables     []struct {
+		Title   string     `json:"title"`
+		Headers []string   `json:"headers"`
+		Rows    [][]string `json:"rows"`
+	} `json:"tables"`
+	Workloads []struct {
+		Workload   string             `json:"workload"`
+		Policy     string             `json:"policy"`
+		Spec       string             `json:"spec"`
+		Throughput float64            `json:"throughput"`
+		Unit       string             `json:"unit"`
+		Complete   bool               `json:"complete"`
+		Extras     map[string]float64 `json:"extras"`
+	} `json:"workloads"`
+}
+
+func TestBenchSweepJSONSchema(t *testing.T) {
+	raw, err := os.ReadFile("BENCH_sweep.json")
+	if err != nil {
+		t.Fatalf("reading BENCH_sweep.json: %v (regenerate with: go run ./cmd/sweep -quick -json)", err)
+	}
+	var got benchSweepSchema
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatalf("BENCH_sweep.json does not parse: %v", err)
+	}
+	if len(got.Tables) == 0 {
+		t.Fatal("BENCH_sweep.json has no tables")
+	}
+	for _, tab := range got.Tables {
+		if tab.Title == "" || len(tab.Headers) == 0 || len(tab.Rows) == 0 {
+			t.Fatalf("malformed table %+v", tab)
+		}
+		for _, row := range tab.Rows {
+			if len(row) != len(tab.Headers) {
+				t.Fatalf("table %q: row width %d != header width %d",
+					tab.Title, len(row), len(tab.Headers))
+			}
+		}
+	}
+	if len(got.Workloads) == 0 {
+		t.Fatal("BENCH_sweep.json has no per-workload entries; run sweep with -exp matrix (or all) and -json")
+	}
+	for _, w := range got.Workloads {
+		if w.Workload == "" || w.Policy == "" || w.Spec == "" || w.Unit == "" {
+			t.Fatalf("workload entry missing identity fields: %+v", w)
+		}
+		if w.Throughput <= 0 {
+			t.Fatalf("workload entry %s-%s-%s has non-positive throughput",
+				w.Workload, w.Policy, w.Spec)
+		}
+	}
+}

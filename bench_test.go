@@ -20,6 +20,7 @@ import (
 	"elsc/internal/sched/vanilla"
 	"elsc/internal/sim"
 	"elsc/internal/task"
+	"elsc/internal/workload"
 	"elsc/internal/workload/kbuild"
 	"elsc/internal/workload/volano"
 	"elsc/internal/workload/webserver"
@@ -383,6 +384,49 @@ func BenchmarkMicro_RunqueueOps(b *testing.B) {
 				s.DelFromRunqueue(t)
 				s.AddToRunqueue(t)
 			}
+		})
+	}
+}
+
+// benchWorkloadScale sizes one registry-workload cell per iteration.
+func benchWorkloadScale() experiments.Scale {
+	return experiments.Scale{Messages: 10, Seed: 42, HorizonSeconds: 600, Quick: true}
+}
+
+// BenchmarkWorkload_DB races every policy on the syscall-heavy OLTP
+// workload at 8 CPUs. Metrics: transaction throughput and p99 commit
+// latency — the regime where wake/dispatch cost, not compute, decides.
+func BenchmarkWorkload_DB(b *testing.B) {
+	for _, policy := range experiments.Policies {
+		b.Run(policy, func(b *testing.B) {
+			var last experiments.WorkloadRun
+			for i := 0; i < b.N; i++ {
+				last = experiments.RunWorkloadCell(
+					experiments.SpecByLabel("8P"), policy, workload.DB, benchWorkloadScale())
+			}
+			b.ReportMetric(last.Result.Throughput, "txns/s")
+			if p99, ok := last.Result.Extra("p99_txn_us"); ok {
+				b.ReportMetric(p99, "p99-us")
+			}
+		})
+	}
+}
+
+// BenchmarkWorkload_WakeStorm races every policy on the mass-wakeup
+// workload on the 32P-NUMA spec. Metric: p99 wakeup-to-run latency — the
+// tail the last herd member pays.
+func BenchmarkWorkload_WakeStorm(b *testing.B) {
+	for _, policy := range experiments.Policies {
+		b.Run(policy, func(b *testing.B) {
+			var last experiments.WorkloadRun
+			for i := 0; i < b.N; i++ {
+				last = experiments.RunWorkloadCell(
+					experiments.SpecByLabel("32P-NUMA"), policy, workload.WakeStorm, benchWorkloadScale())
+			}
+			if p99, ok := last.Result.Extra("p99_us"); ok {
+				b.ReportMetric(p99, "p99-us")
+			}
+			b.ReportMetric(last.Result.Throughput, "wakes/s")
 		})
 	}
 }

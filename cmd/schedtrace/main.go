@@ -1,12 +1,16 @@
 // Command schedtrace runs a small scenario and prints every schedule()
 // decision: which task was running, which was chosen, how many tasks the
 // scheduler examined, and what it cost. A teaching and debugging tool for
-// comparing the stock scan against ELSC's table search side by side.
+// comparing the stock scan against ELSC's table search side by side. With
+// -domains and -sched o1 it also renders the balancer's per-CPU steal
+// counters grouped by cache domain, splitting in-domain from cross-domain
+// moves.
 //
 // Usage:
 //
 //	schedtrace -sched reg -tasks 6 -n 40
 //	schedtrace -sched elsc -tasks 6 -n 40
+//	schedtrace -sched o1 -cpus 8 -domains 2 -tasks 32 -n 0
 package main
 
 import (
@@ -15,25 +19,34 @@ import (
 
 	"elsc/internal/experiments"
 	"elsc/internal/kernel"
+	"elsc/internal/sched"
 	"elsc/internal/sched/elsc"
+	"elsc/internal/sched/o1"
+	"elsc/internal/stats"
 )
 
 func main() {
 	var (
 		schedName = flag.String("sched", "elsc", "scheduler: reg, elsc, heap, mq, o1")
 		cpus      = flag.Int("cpus", 1, "number of processors")
+		domains   = flag.Int("domains", 1, "cache domains (NUMA-style topology when > 1)")
 		tasks     = flag.Int("tasks", 6, "interactive tasks to simulate")
-		n         = flag.Int("n", 40, "decisions to print")
+		n         = flag.Int("n", 40, "decisions to print (0 = trace nothing, stats only)")
 		seed      = flag.Int64("seed", 42, "simulation seed")
 		showTable = flag.Bool("table", false, "dump the ELSC table (Figure 1b view) at the end")
 	)
 	flag.Parse()
 
+	var topo *sched.Topology
+	if *domains > 1 {
+		topo = sched.UniformTopology(*cpus, *domains)
+	}
 	printed := 0
 	var m *kernel.Machine
 	m = kernel.NewMachine(kernel.Config{
 		CPUs:         *cpus,
 		SMP:          *cpus > 1,
+		Topology:     topo,
 		Seed:         *seed,
 		NewScheduler: experiments.Factory(*schedName),
 		MaxCycles:    100 * kernel.DefaultHz,
@@ -76,11 +89,18 @@ func main() {
 			}
 		}))
 	}
-	m.Run(func() bool { return printed >= *n || m.Alive() == 0 })
+	m.Run(func() bool { return (*n > 0 && printed >= *n) || m.Alive() == 0 })
 
 	s := m.Stats()
 	fmt.Printf("\n%s totals: %d schedule() calls, %.0f cycles/call, %.1f examined/call, %d recalcs\n",
 		m.Scheduler().Name(), s.SchedCalls, s.CyclesPerSchedule(), s.ExaminedPerSchedule(), s.Recalcs)
+	if s.Migrations > 0 || s.CrossDomainMigrations > 0 {
+		fmt.Printf("migrations: %d (%d cross-domain)\n", s.Migrations, s.CrossDomainMigrations)
+	}
+	if os, ok := m.Scheduler().(*o1.Sched); ok && *cpus > 1 {
+		fmt.Println()
+		fmt.Print(stealTable(os, m.Env().Topo).Render())
+	}
 	if *showTable {
 		if es, ok := m.Scheduler().(*elsc.Sched); ok {
 			fmt.Println()
@@ -89,4 +109,34 @@ func main() {
 			fmt.Println("(-table requires -sched elsc)")
 		}
 	}
+}
+
+// stealTable renders the o1 balancer's per-CPU steal counters grouped by
+// cache domain: how many tasks each CPU's steal/pull paths moved onto it
+// from inside its own domain versus across the interconnect, with a
+// subtotal row per domain and a machine total.
+func stealTable(s *o1.Sched, topo *sched.Topology) *stats.Table {
+	t := stats.NewTable("o1 balancer steals (by stealing CPU)",
+		"CPU", "domain", "in-domain", "cross-domain")
+	perCPU := s.PerCPUSteals()
+	if topo == nil {
+		topo = sched.FlatTopology(len(perCPU))
+	}
+	var totalIn, totalCross uint64
+	for d := 0; d < topo.NumDomains(); d++ {
+		var domIn, domCross uint64
+		for _, cpu := range topo.DomainCPUs(d) {
+			st := perCPU[cpu]
+			t.AddRow(cpu, d, st.Intra, st.Cross)
+			domIn += st.Intra
+			domCross += st.Cross
+		}
+		if topo.NumDomains() > 1 {
+			t.AddRow(fmt.Sprintf("dom%d", d), d, domIn, domCross)
+		}
+		totalIn += domIn
+		totalCross += domCross
+	}
+	t.AddRow("total", "-", totalIn, totalCross)
+	return t
 }

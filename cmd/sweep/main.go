@@ -1,6 +1,7 @@
 // Command sweep regenerates every table and figure from the paper's
 // evaluation section, plus the future-work comparisons and this
-// reproduction's ablation studies.
+// reproduction's ablation studies, and drives the policy x workload x
+// machine matrix over the unified workload registry.
 //
 // Usage:
 //
@@ -8,9 +9,10 @@
 //	sweep -exp fig3       # one experiment
 //	sweep -quick          # reduced scale for a fast look
 //	sweep -exp numa -json # domain tables + machine-readable BENCH_sweep.json
+//	sweep -exp matrix -specs 8P -loads db,volano -policies o1,elsc
 //
 // Experiments: table2, fig2, fig3, fig4, fig5, fig6, profile, alt, web,
-// lock, numa, ablate, all.
+// latency, lock, numa, matrix, wakestorm, ablate, all.
 package main
 
 import (
@@ -23,18 +25,20 @@ import (
 
 	"elsc/internal/experiments"
 	"elsc/internal/stats"
-	"elsc/internal/workload/kbuild"
-	"elsc/internal/workload/webserver"
+	"elsc/internal/workload"
 )
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment to run (table2 fig2 fig3 fig4 fig5 fig6 profile alt web latency lock numa ablate all)")
+		exp      = flag.String("exp", "all", "experiment to run (table2 fig2 fig3 fig4 fig5 fig6 profile alt web latency lock numa matrix wakestorm ablate all)")
 		quick    = flag.Bool("quick", false, "reduced message counts for a fast pass")
 		messages = flag.Int("messages", 0, "override messages per user")
 		seed     = flag.Int64("seed", 42, "simulation seed")
 		parallel = flag.Int("parallel", 0, "concurrent runs (default GOMAXPROCS)")
 		jsonOut  = flag.Bool("json", false, "also write every table to "+jsonPath)
+		policies = flag.String("policies", "", "comma-separated policy filter for the matrix experiments (default all)")
+		loads    = flag.String("loads", "", "comma-separated workload filter for the matrix experiments (default all registered)")
+		specs    = flag.String("specs", "", "comma-separated machine specs for the matrix experiment (default 8P,32P-NUMA)")
 	)
 	flag.Parse()
 
@@ -48,6 +52,10 @@ func main() {
 	}
 	sc.Seed = *seed
 	sc.Parallel = *parallel
+
+	matrixPolicies := splitList(*policies, experiments.Policies)
+	matrixLoads := splitList(*loads, workload.Names())
+	matrixSpecs := specList(*specs, []string{"8P", "32P-NUMA"})
 
 	want := func(name string) bool { return *exp == "all" || *exp == name }
 	t0 := time.Now()
@@ -65,17 +73,14 @@ func main() {
 	}
 
 	var tables []*stats.Table
+	var workloadRuns []experiments.WorkloadRun
 	section := func(t *stats.Table) {
 		tables = append(tables, t)
 		fmt.Println(t.Render())
 	}
 
 	if want("table2") {
-		kcfg := kbuild.Config{}
-		if *quick {
-			kcfg = kbuild.Config{Units: 48, MeanCompile: 40_000_000}
-		}
-		section(experiments.Table2(sc, kcfg))
+		section(experiments.Table2(sc))
 	}
 	if want("fig2") {
 		section(experiments.Fig2(runs, 10))
@@ -99,11 +104,7 @@ func main() {
 		section(experiments.AltSchedulers(experiments.SpecByLabel("4P"), 10, sc))
 	}
 	if want("web") {
-		wcfg := webserver.Config{}
-		if *quick {
-			wcfg = webserver.Config{Requests: 4000}
-		}
-		section(experiments.Webserver(experiments.SpecByLabel("2P"), wcfg, sc))
+		section(experiments.Webserver(experiments.SpecByLabel("2P"), sc))
 	}
 	if want("lock") {
 		// The lock-wait headline, scaled past the paper's hardware: the
@@ -114,11 +115,34 @@ func main() {
 		}
 	}
 	if want("numa") {
-		spec := experiments.SpecByLabel("32P-NUMA")
-		section(experiments.Numa(spec, 10, sc))
+		for _, spec := range experiments.NUMASpecs {
+			section(experiments.Numa(spec, 10, sc))
+		}
 		// Marginal load (3 rooms on 32 CPUs) keeps the steal path hot —
 		// the regime where domain awareness pays.
-		section(experiments.AblateTopology(spec, 3, sc))
+		section(experiments.AblateTopology(experiments.SpecByLabel("32P-NUMA"), 3, sc))
+	}
+	if want("matrix") {
+		fmt.Fprintf(os.Stderr, "running workload matrix (%d policies x %d workloads x %v)...\n",
+			len(matrixPolicies), len(matrixLoads), labelsOf(matrixSpecs))
+		mruns := experiments.RunWorkloadMatrix(matrixPolicies, matrixSpecs, matrixLoads, sc)
+		workloadRuns = append(workloadRuns, mruns...)
+		for _, spec := range matrixSpecs {
+			section(experiments.MatrixTable(mruns, spec, matrixPolicies, matrixLoads))
+		}
+	}
+	if want("wakestorm") {
+		spec := experiments.SpecByLabel("32P-NUMA")
+		// Under -exp all the matrix block usually just ran these exact
+		// cells; reuse them rather than re-running and duplicating the
+		// JSON entries.
+		sruns := filterRuns(workloadRuns, spec.Label, workload.WakeStorm, matrixPolicies)
+		if len(sruns) != len(matrixPolicies) {
+			sruns = experiments.RunWorkloadMatrix(matrixPolicies, []experiments.MachineSpec{spec},
+				[]string{workload.WakeStorm}, sc)
+			workloadRuns = append(workloadRuns, sruns...)
+		}
+		section(experiments.WorkloadDetail(sruns, spec, matrixPolicies, workload.WakeStorm))
 	}
 	if want("latency") {
 		section(experiments.WakeLatency(experiments.SpecByLabel("UP"),
@@ -133,7 +157,7 @@ func main() {
 	}
 
 	known := false
-	for _, name := range strings.Fields("table2 fig2 fig3 fig4 fig5 fig6 profile alt web latency lock numa ablate all") {
+	for _, name := range strings.Fields("table2 fig2 fig3 fig4 fig5 fig6 profile alt web latency lock numa matrix wakestorm ablate all") {
 		if *exp == name {
 			known = true
 			break
@@ -144,31 +168,145 @@ func main() {
 		os.Exit(2)
 	}
 	if *jsonOut {
-		if err := writeJSON(jsonPath, *exp, *quick, sc, tables); err != nil {
+		if err := writeJSON(jsonPath, *exp, *quick, sc, tables, workloadRuns); err != nil {
 			fmt.Fprintf(os.Stderr, "writing %s: %v\n", jsonPath, err)
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "wrote %d tables to %s\n", len(tables), jsonPath)
+		fmt.Fprintf(os.Stderr, "wrote %d tables and %d workload entries to %s\n",
+			len(tables), len(workloadRuns), jsonPath)
 	}
 	fmt.Fprintf(os.Stderr, "done in %.1fs\n", time.Since(t0).Seconds())
+}
+
+// splitList parses a comma-separated flag, defaulting to all and
+// validating each entry against the registered set.
+func splitList(flagVal string, all []string) []string {
+	if flagVal == "" {
+		return all
+	}
+	var out []string
+	for _, name := range strings.Split(flagVal, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		found := false
+		for _, known := range all {
+			if name == known {
+				found = true
+				break
+			}
+		}
+		if !found {
+			fmt.Fprintf(os.Stderr, "unknown name %q (registered: %s)\n", name, strings.Join(all, " "))
+			os.Exit(2)
+		}
+		out = append(out, name)
+	}
+	if len(out) == 0 {
+		return all
+	}
+	return out
+}
+
+// filterRuns returns the cells of runs matching one spec and workload,
+// covering exactly the given policies in order — or nil if any policy's
+// cell is missing.
+func filterRuns(runs []experiments.WorkloadRun, specLabel, load string, policies []string) []experiments.WorkloadRun {
+	var out []experiments.WorkloadRun
+	for _, p := range policies {
+		found := false
+		for _, r := range runs {
+			if r.Policy == p && r.Spec.Label == specLabel && r.Load == load {
+				out = append(out, r)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil
+		}
+	}
+	return out
+}
+
+// specList resolves a comma-separated machine-spec filter; SpecByLabel
+// panics on unknown labels, which is the validation.
+func specList(flagVal string, def []string) []experiments.MachineSpec {
+	labels := def
+	if flagVal != "" {
+		labels = strings.Split(flagVal, ",")
+	}
+	var out []experiments.MachineSpec
+	for _, l := range labels {
+		l = strings.TrimSpace(l)
+		if l == "" {
+			continue
+		}
+		out = append(out, experiments.SpecByLabel(l))
+	}
+	return out
+}
+
+func labelsOf(specs []experiments.MachineSpec) []string {
+	out := make([]string, len(specs))
+	for i, s := range specs {
+		out[i] = s.Label
+	}
+	return out
 }
 
 // jsonPath is where -json drops the machine-readable results, so the
 // perf trajectory can be tracked across PRs.
 const jsonPath = "BENCH_sweep.json"
 
-// sweepJSON is the file schema: enough run metadata to reproduce the
-// numbers, plus every rendered table.
-type sweepJSON struct {
-	Experiment string         `json:"experiment"`
-	Quick      bool           `json:"quick"`
-	Seed       int64          `json:"seed"`
-	Messages   int            `json:"messages_per_user"`
-	Horizon    uint64         `json:"horizon_seconds"`
-	Tables     []*stats.Table `json:"tables"`
+// workloadEntry is one matrix cell in the JSON schema: the registry's
+// common result flattened for machine consumers, plus the run identity.
+type workloadEntry struct {
+	Workload   string             `json:"workload"`
+	Policy     string             `json:"policy"`
+	Spec       string             `json:"spec"`
+	Throughput float64            `json:"throughput"`
+	Unit       string             `json:"unit"`
+	Ops        uint64             `json:"ops"`
+	Seconds    float64            `json:"seconds"`
+	Complete   bool               `json:"complete"`
+	Extras     map[string]float64 `json:"extras,omitempty"`
 }
 
-func writeJSON(path, exp string, quick bool, sc experiments.Scale, tables []*stats.Table) error {
+// sweepJSON is the file schema: enough run metadata to reproduce the
+// numbers, every rendered table, and one entry per workload-matrix cell.
+type sweepJSON struct {
+	Experiment string          `json:"experiment"`
+	Quick      bool            `json:"quick"`
+	Seed       int64           `json:"seed"`
+	Messages   int             `json:"messages_per_user"`
+	Horizon    uint64          `json:"horizon_seconds"`
+	Tables     []*stats.Table  `json:"tables"`
+	Workloads  []workloadEntry `json:"workloads,omitempty"`
+}
+
+func writeJSON(path, exp string, quick bool, sc experiments.Scale, tables []*stats.Table, wruns []experiments.WorkloadRun) error {
+	entries := make([]workloadEntry, 0, len(wruns))
+	for _, r := range wruns {
+		e := workloadEntry{
+			Workload:   r.Load,
+			Policy:     r.Policy,
+			Spec:       r.Spec.Label,
+			Throughput: r.Result.Throughput,
+			Unit:       r.Result.Unit,
+			Ops:        r.Result.Ops,
+			Seconds:    r.Result.Seconds,
+			Complete:   r.Result.Complete,
+		}
+		if len(r.Result.Extras) > 0 {
+			e.Extras = make(map[string]float64, len(r.Result.Extras))
+			for _, m := range r.Result.Extras {
+				e.Extras[m.Name] = m.Value
+			}
+		}
+		entries = append(entries, e)
+	}
 	out, err := json.MarshalIndent(sweepJSON{
 		Experiment: exp,
 		Quick:      quick,
@@ -176,6 +314,7 @@ func writeJSON(path, exp string, quick bool, sc experiments.Scale, tables []*sta
 		Messages:   sc.Messages,
 		Horizon:    sc.HorizonSeconds,
 		Tables:     tables,
+		Workloads:  entries,
 	}, "", "  ")
 	if err != nil {
 		return err

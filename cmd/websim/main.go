@@ -24,7 +24,7 @@ func main() {
 
 	sc := experiments.DefaultScale()
 	sc.Seed = *seed
-	tab := experiments.Webserver(experiments.SpecByLabel(*spec), webserver.Config{
+	tab := experiments.WebserverWith(experiments.SpecByLabel(*spec), webserver.Config{
 		Workers:       *workers,
 		Requests:      *requests,
 		ArrivalPeriod: *period,

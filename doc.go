@@ -26,12 +26,37 @@
 //
 //   - Machine: build a simulated SMP machine with a chosen scheduler, spawn
 //     tasks with programmed behavior, run, and read /proc-style statistics.
-//   - Workloads: VolanoMark (the paper's stress benchmark), a kernel
-//     compile (its light-load control), and an Apache-style web server
-//     (its future-work question).
+//   - Workloads: a registry of six named workloads runnable on any
+//     machine (see below).
 //   - Experiments: regenerate every table and figure from the paper's
-//     evaluation section, plus lock-contention and scaling studies on
-//     machines past the paper's hardware (8, 16 and 32 CPUs).
+//     evaluation section, plus lock-contention, NUMA, and policy x
+//     workload matrix studies on machines past the paper's hardware
+//     (8 to 64 CPUs, flat or cache-domained).
+//
+// # The workload registry
+//
+// Workloads are unified behind one interface, mirroring the policy
+// registry: each registered workload builds on any machine from uniform
+// sizing knobs (WorkloadParams) and reports a common WorkloadResult —
+// throughput in a workload-declared unit, a completion flag, and ordered
+// per-workload extras. Six are registered:
+//
+//   - "volano": the VolanoMark chat benchmark (the paper's stress test).
+//   - "kbuild": the make -j4 kernel compile (its light-load control).
+//   - "webserver": the §8 Apache-style future-work question.
+//   - "latency": steady wake-to-dispatch probes under hog load.
+//   - "db": a syscall-heavy OLTP server — short bursts, shared lock
+//     stripes, a serialized buffer pool and write-ahead log, background
+//     checkpoint writers. Kernel crossings dominate compute, so
+//     run-queue placement decides throughput.
+//   - "wakestorm": synchronized mass wake-ups of a parked herd,
+//     measuring wakeup-to-run tail latency (p50/p99/max) per storm.
+//
+// Machine.RunWorkload(name, params) runs any of them by name; the
+// per-workload methods (RunVolanoMark, RunDatabase, RunWakeStorm, ...)
+// take each benchmark's full Config instead. cmd/sweep's matrix
+// experiment races every policy against every workload on a chosen set
+// of machine specs and records each cell in BENCH_sweep.json.
 //
 // # Topology and cache domains
 //

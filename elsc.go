@@ -86,6 +86,9 @@ type MachineConfig struct {
 }
 
 // Machine is a simulated multiprocessor ready to run tasks or workloads.
+// Workloads run either through the registry (RunWorkload with any name
+// from Workloads()) or through the per-workload methods (RunVolanoMark,
+// RunDatabase, ...) when the benchmark's full Config is needed.
 type Machine struct {
 	m *kernel.Machine
 }

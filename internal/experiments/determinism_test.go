@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"elsc/internal/kernel"
+	"elsc/internal/workload"
 	"elsc/internal/workload/volano"
 )
 
@@ -66,5 +67,51 @@ func TestSeedChangesTrace(t *testing.T) {
 	trace2, _, _ := traceRun(Reg, 8)
 	if trace1 == trace2 {
 		t.Fatal("different seeds produced identical traces; the workload ignores the seed")
+	}
+}
+
+// workloadDigest runs one registered workload under one policy at quick
+// scale with a fixed seed and renders a stable digest: the full common
+// result (throughput, ops, extras) plus the machine's /proc-style stats
+// registry.
+func workloadDigest(load, policy string, seed int64) string {
+	sc := Scale{Messages: 2, Seed: seed, HorizonSeconds: 600, Quick: true}
+	spec := MachineSpec{Label: "2P", CPUs: 2, SMP: true}
+	m := NewMachine(spec, policy, sc)
+	res := workload.Build(load, m, WorkloadParams(spec, sc)).Run()
+	return fmt.Sprintf("%+v\n%s", res, m.Stats().Registry().Render())
+}
+
+// TestWorkloadDeterminism extends the schedtrace determinism guard across
+// the whole registry: every registered workload under every registered
+// policy, run twice from the same seed at quick scale, must produce a
+// byte-identical stats digest. A workload that consults unforked RNG
+// state, wall time, or map iteration order fails here before it can make
+// any matrix table nondeterministic.
+func TestWorkloadDeterminism(t *testing.T) {
+	for _, load := range workload.Names() {
+		for _, policy := range Policies {
+			load, policy := load, policy
+			t.Run(load+"/"+policy, func(t *testing.T) {
+				t.Parallel()
+				d1 := workloadDigest(load, policy, 7)
+				d2 := workloadDigest(load, policy, 7)
+				if d1 != d2 {
+					t.Fatalf("same seed produced different digests (%d vs %d bytes)",
+						len(d1), len(d2))
+				}
+				if d1 == "" {
+					t.Fatal("empty digest; the run did nothing")
+				}
+			})
+		}
+	}
+}
+
+// TestWorkloadSeedControl: the digest must respond to the seed, or the
+// determinism test above proves nothing.
+func TestWorkloadSeedControl(t *testing.T) {
+	if workloadDigest(workload.DB, O1, 7) == workloadDigest(workload.DB, O1, 8) {
+		t.Fatal("different seeds produced identical db digests")
 	}
 }

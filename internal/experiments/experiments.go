@@ -93,7 +93,14 @@ var AllSpecs = append(append([]MachineSpec{}, PaperSpecs...),
 	MachineSpec{Label: "8P", CPUs: 8, SMP: true},
 	MachineSpec{Label: "16P", CPUs: 16, SMP: true},
 	MachineSpec{Label: "32P", CPUs: 32, SMP: true},
-	MachineSpec{Label: "32P-NUMA", CPUs: 32, SMP: true, Domains: 4})
+	MachineSpec{Label: "32P-NUMA", CPUs: 32, SMP: true, Domains: 4},
+	MachineSpec{Label: "64P-NUMA", CPUs: 64, SMP: true, Domains: 8})
+
+// NUMASpecs are the cache-domain machines: the 4x8 spec the domain
+// experiments were built on, and the 64-processor, 8-domain spec that
+// stresses the two-level balancing hierarchy (eight domains to choose a
+// cross-domain victim from, not three).
+var NUMASpecs = []MachineSpec{SpecByLabel("32P-NUMA"), SpecByLabel("64P-NUMA")}
 
 // SpecByLabel returns the named spec.
 func SpecByLabel(label string) MachineSpec {
@@ -111,7 +118,8 @@ var PaperRooms = []int{5, 10, 15, 20}
 // Scale controls how much work each run performs, so tests and benchmarks
 // can shrink the experiments while cmd/sweep runs them at paper scale.
 type Scale struct {
-	// Messages per user (paper: 100).
+	// Messages per user (paper: 100). The generic matrix runner feeds
+	// this to every workload as its per-actor work count.
 	Messages int
 	// Seed for the deterministic run.
 	Seed int64
@@ -119,6 +127,9 @@ type Scale struct {
 	HorizonSeconds uint64
 	// Parallel is the number of concurrent runs (0 = GOMAXPROCS).
 	Parallel int
+	// Quick selects each workload's reduced shape (fewer actors, same
+	// code paths) in the registry-driven runs.
+	Quick bool
 }
 
 // DefaultScale reproduces the paper's parameters.
@@ -128,7 +139,7 @@ func DefaultScale() Scale {
 
 // QuickScale is a reduced configuration for tests and benchmarks.
 func QuickScale() Scale {
-	return Scale{Messages: 10, Seed: 42, HorizonSeconds: 600}
+	return Scale{Messages: 10, Seed: 42, HorizonSeconds: 600, Quick: true}
 }
 
 func (s Scale) workers() int {

@@ -10,7 +10,7 @@ import (
 
 // tinyScale keeps the full-matrix tests fast.
 func tinyScale() Scale {
-	return Scale{Messages: 4, Seed: 42, HorizonSeconds: 600}
+	return Scale{Messages: 4, Seed: 42, HorizonSeconds: 600, Quick: true}
 }
 
 // tinyRooms shrinks the room sweep.
@@ -109,12 +109,19 @@ func TestFigureTablesRender(t *testing.T) {
 }
 
 func TestTable2Renders(t *testing.T) {
-	tab := Table2(tinyScale(), kbuild.Config{Units: 16, MeanCompile: 3_000_000, MeanIO: 50_000})
+	tab := Table2(tinyScale())
 	out := tab.Render()
 	for _, want := range []string{"Current - UP", "ELSC - UP", "Current - 2P", "ELSC - 2P"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("Table 2 missing row %q:\n%s", want, out)
 		}
+	}
+}
+
+func TestTable2WithRenders(t *testing.T) {
+	tab := Table2With(tinyScale(), kbuild.Config{Units: 16, MeanCompile: 3_000_000, MeanIO: 50_000})
+	if tab.NumRows() != 4 {
+		t.Fatalf("Table 2 (explicit config) rows = %d, want 4", tab.NumRows())
 	}
 }
 
@@ -142,7 +149,14 @@ func TestLockContentionTable(t *testing.T) {
 }
 
 func TestWebserverTable(t *testing.T) {
-	tab := Webserver(SpecByLabel("2P"), webserver.Config{Workers: 8, Requests: 200}, tinyScale())
+	tab := Webserver(SpecByLabel("2P"), tinyScale())
+	if tab.NumRows() != 2 {
+		t.Fatalf("webserver table rows = %d, want 2", tab.NumRows())
+	}
+}
+
+func TestWebserverWithTable(t *testing.T) {
+	tab := WebserverWith(SpecByLabel("2P"), webserver.Config{Workers: 8, Requests: 200}, tinyScale())
 	if tab.NumRows() != 2 {
 		t.Fatalf("webserver table rows = %d, want 2", tab.NumRows())
 	}

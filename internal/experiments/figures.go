@@ -3,22 +3,27 @@ package experiments
 import (
 	"fmt"
 
+	"elsc/internal/kernel"
 	"elsc/internal/stats"
+	"elsc/internal/workload"
 	"elsc/internal/workload/kbuild"
 	"elsc/internal/workload/latency"
 	"elsc/internal/workload/webserver"
 )
 
 // Table2 reproduces the paper's Table 2: average time to complete a full
-// kernel compile under both schedulers, on UP and 2P machines.
-func Table2(sc Scale, cfg kbuild.Config) *stats.Table {
+// kernel compile under both schedulers, on UP and 2P machines. The build
+// is the registry's kbuild workload at the scale's size; cmd/kcompile
+// drives the kbuild package directly for bespoke tree sizes.
+func Table2(sc Scale) *stats.Table {
 	t := stats.NewTable("Table 2: time to complete kernel compilation (make -j4)",
 		"Scheduler", "Time", "Seconds")
 	for _, spec := range []MachineSpec{SpecByLabel("UP"), SpecByLabel("2P")} {
 		for _, policy := range []string{Reg, ELSC} {
 			name := map[string]string{Reg: "Current", ELSC: "ELSC"}[policy]
-			r := RunKBuild(spec, policy, cfg, sc)
-			t.AddRow(fmt.Sprintf("%s - %s", name, spec.Label), r.Result.Formatted, r.Result.Seconds)
+			r := RunWorkloadCell(spec, policy, workload.KBuild, sc)
+			t.AddRow(fmt.Sprintf("%s - %s", name, spec.Label),
+				stats.FormatDuration(r.Result.Cycles, kernel.DefaultHz), r.Result.Seconds)
 		}
 	}
 	return t
@@ -195,9 +200,24 @@ func WakeLatency(spec MachineSpec, hogCounts []int, sc Scale) *stats.Table {
 	return t
 }
 
-// Webserver runs the §8 Apache question: throughput and latency under
-// both schedulers at a given machine spec.
-func Webserver(spec MachineSpec, cfg webserver.Config, sc Scale) *stats.Table {
+// Table2With is the explicit-config variant of Table2 for callers that
+// size the build themselves (cmd/kcompile's -units and -jobs flags).
+func Table2With(sc Scale, cfg kbuild.Config) *stats.Table {
+	t := stats.NewTable("Table 2: time to complete kernel compilation (make -j4)",
+		"Scheduler", "Time", "Seconds")
+	for _, spec := range []MachineSpec{SpecByLabel("UP"), SpecByLabel("2P")} {
+		for _, policy := range []string{Reg, ELSC} {
+			name := map[string]string{Reg: "Current", ELSC: "ELSC"}[policy]
+			r := RunKBuild(spec, policy, cfg, sc)
+			t.AddRow(fmt.Sprintf("%s - %s", name, spec.Label), r.Result.Formatted, r.Result.Seconds)
+		}
+	}
+	return t
+}
+
+// WebserverWith is the explicit-config variant of Webserver for callers
+// that shape the offered load themselves (cmd/websim's flags).
+func WebserverWith(spec MachineSpec, cfg webserver.Config, sc Scale) *stats.Table {
 	t := stats.NewTable(
 		fmt.Sprintf("§8 future work: Apache-style webserver on %s", spec.Label),
 		"Scheduler", "req/s", "mean lat (ms)", "max lat (ms)", "cyc/sched")
@@ -207,6 +227,27 @@ func Webserver(spec MachineSpec, cfg webserver.Config, sc Scale) *stats.Table {
 			int(r.Result.Throughput),
 			r.Result.MeanLatMS,
 			r.Result.MaxLatMS,
+			int(r.Stats.CyclesPerSchedule()))
+	}
+	return t
+}
+
+// Webserver runs the §8 Apache question: throughput and latency under
+// both schedulers at a given machine spec, through the workload registry;
+// cmd/websim drives the webserver package directly for bespoke load
+// shapes.
+func Webserver(spec MachineSpec, sc Scale) *stats.Table {
+	t := stats.NewTable(
+		fmt.Sprintf("§8 future work: Apache-style webserver on %s", spec.Label),
+		"Scheduler", "req/s", "mean lat (ms)", "max lat (ms)", "cyc/sched")
+	for _, policy := range []string{Reg, ELSC} {
+		r := RunWorkloadCell(spec, policy, workload.WebServer, sc)
+		meanLat, _ := r.Result.Extra("mean_lat_ms")
+		maxLat, _ := r.Result.Extra("max_lat_ms")
+		t.AddRow(policy,
+			int(r.Result.Throughput),
+			meanLat,
+			maxLat,
 			int(r.Stats.CyclesPerSchedule()))
 	}
 	return t

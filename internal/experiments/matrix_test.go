@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"elsc/internal/workload"
+)
+
+// matrixScale keeps the generic-matrix tests fast: Quick shapes with a
+// tiny per-actor work count.
+func matrixScale() Scale {
+	return Scale{Messages: 2, Seed: 42, HorizonSeconds: 600, Quick: true}
+}
+
+func TestWorkloadMatrixCoversAllCells(t *testing.T) {
+	policies := []string{Reg, O1}
+	specs := []MachineSpec{SpecByLabel("2P")}
+	loads := []string{workload.Volano, workload.DB}
+	runs := RunWorkloadMatrix(policies, specs, loads, matrixScale())
+	if len(runs) != len(policies)*len(specs)*len(loads) {
+		t.Fatalf("matrix has %d cells, want %d", len(runs), len(policies)*len(specs)*len(loads))
+	}
+	for _, p := range policies {
+		for _, l := range loads {
+			r := FindWorkload(runs, p, "2P", l)
+			if r.Result.Ops == 0 {
+				t.Fatalf("%s produced no operations", r.Key())
+			}
+			if !r.Result.Complete {
+				t.Fatalf("%s did not complete", r.Key())
+			}
+			if r.Stats.SchedCalls == 0 {
+				t.Fatalf("%s harvested empty machine stats", r.Key())
+			}
+		}
+	}
+}
+
+func TestWorkloadMatrixDeterministicAcrossParallelism(t *testing.T) {
+	sc1 := matrixScale()
+	sc1.Parallel = 1
+	sc4 := matrixScale()
+	sc4.Parallel = 4
+	loads := []string{workload.DB, workload.WakeStorm}
+	a := RunWorkloadMatrix([]string{O1}, []MachineSpec{SpecByLabel("2P")}, loads, sc1)
+	b := RunWorkloadMatrix([]string{O1}, []MachineSpec{SpecByLabel("2P")}, loads, sc4)
+	for i := range a {
+		if a[i].Result.Cycles != b[i].Result.Cycles || a[i].Result.Ops != b[i].Result.Ops {
+			t.Fatalf("cell %s differs across parallelism", a[i].Key())
+		}
+	}
+}
+
+func TestMatrixTableShape(t *testing.T) {
+	policies := []string{Reg, ELSC}
+	spec := SpecByLabel("2P")
+	loads := []string{workload.Volano, workload.KBuild, workload.DB}
+	runs := RunWorkloadMatrix(policies, []MachineSpec{spec}, loads, matrixScale())
+	tab := MatrixTable(runs, spec, policies, loads)
+	out := tab.Render()
+	if tab.NumRows() != len(policies) {
+		t.Fatalf("matrix table rows = %d, want %d", tab.NumRows(), len(policies))
+	}
+	for _, want := range []string{"volano (msgs/s)", "kbuild (units/s)", "db (txns/s)", "reg", "elsc"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("matrix table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWorkloadDetailIncludesExtras(t *testing.T) {
+	policies := []string{Reg, O1}
+	spec := SpecByLabel("2P")
+	runs := RunWorkloadMatrix(policies, []MachineSpec{spec}, []string{workload.WakeStorm}, matrixScale())
+	tab := WorkloadDetail(runs, spec, policies, workload.WakeStorm)
+	out := tab.Render()
+	for _, want := range []string{"p50_us", "p99_us", "max_us"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("wakestorm detail missing column %q:\n%s", want, out)
+		}
+	}
+	if tab.NumRows() != 2 {
+		t.Fatalf("detail rows = %d, want 2", tab.NumRows())
+	}
+}
+
+// TestWakeStormTableAllPolicies is the acceptance check: the wake-storm
+// experiment reports p50/p99 wakeup-to-run latency for every registered
+// policy on the NUMA spec. The scale is tiny; the sweep runs it big.
+func TestWakeStormTableAllPolicies(t *testing.T) {
+	tab := WakeStorm(SpecByLabel("32P-NUMA"), matrixScale())
+	out := tab.Render()
+	if tab.NumRows() != len(Policies) {
+		t.Fatalf("wakestorm table rows = %d, want %d", tab.NumRows(), len(Policies))
+	}
+	for _, p := range Policies {
+		if !strings.Contains(out, p) {
+			t.Fatalf("wakestorm table missing policy %q:\n%s", p, out)
+		}
+	}
+	for _, col := range []string{"p50_us", "p99_us"} {
+		if !strings.Contains(out, col) {
+			t.Fatalf("wakestorm table missing %q:\n%s", col, out)
+		}
+	}
+}
+
+func TestWorkloadParamsScalableStackPastPaperHardware(t *testing.T) {
+	sc := matrixScale()
+	if WorkloadParams(SpecByLabel("4P"), sc).ScalableStack {
+		t.Fatal("paper-era machine should keep the 2.3 serialized stack")
+	}
+	for _, label := range []string{"16P", "32P-NUMA", "64P-NUMA"} {
+		if !WorkloadParams(SpecByLabel(label), sc).ScalableStack {
+			t.Fatalf("%s should use the scalable stack", label)
+		}
+	}
+}
+
+func TestFindWorkloadPanicsOnMissing(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FindWorkload on empty runs should panic")
+		}
+	}()
+	FindWorkload(nil, Reg, "UP", workload.Volano)
+}

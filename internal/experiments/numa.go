@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"fmt"
-	"sync"
 
 	"elsc/internal/sched"
 	"elsc/internal/sched/o1"
@@ -28,18 +27,7 @@ import (
 // order, so the tables stay deterministic.
 func forEachParallel(n int, sc Scale, run func(i int) VolanoRun) []VolanoRun {
 	out := make([]VolanoRun, n)
-	sem := make(chan struct{}, sc.workers())
-	var wg sync.WaitGroup
-	for i := 0; i < n; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			out[i] = run(i)
-		}(i)
-	}
-	wg.Wait()
+	forEachIndexParallel(n, sc, func(i int) { out[i] = run(i) })
 	return out
 }
 

@@ -20,6 +20,7 @@ import (
 	"elsc/internal/experiments"
 	"elsc/internal/sched"
 	"elsc/internal/task"
+	"elsc/internal/workload"
 	"elsc/internal/workload/volano"
 )
 
@@ -405,54 +406,60 @@ func TestMultiCPUNoDoubleRun(t *testing.T) {
 }
 
 // TestNUMATopologyHarnessContract drives every policy through the harness
-// on a 32-CPU, 4-domain machine: the topology must change where work
-// lands, never whether it lands. Every task is scheduled exactly once and
-// none is lost, exactly as on the flat machines above.
+// on each cache-domain machine — the 32-CPU/4-domain spec and the
+// 64-CPU/8-domain spec that stresses the two-level balancing hierarchy:
+// the topology must change where work lands, never whether it lands.
+// Every task is scheduled exactly once and none is lost, exactly as on
+// the flat machines above.
 func TestNUMATopologyHarnessContract(t *testing.T) {
-	const ncpu, ndom, n = 32, 4, 64
-	for _, name := range experiments.Policies {
-		name := name
-		t.Run(name, func(t *testing.T) {
-			env := sched.NewEnv(ncpu, true, func() int { return n })
-			env.Topo = sched.UniformTopology(ncpu, ndom)
-			s := experiments.Factory(name)(env)
-			tasks := make([]*task.Task, n)
-			for i := range tasks {
-				tasks[i] = mkTask(env, i+1, 1+(i*5)%40, 4+i%12)
-				s.AddToRunqueue(tasks[i])
-			}
-			h := newHarness(s, ncpu)
-			picked := map[*task.Task]int{}
-			for left := n; left > 0; {
-				progressed := false
-				for cpu := 0; cpu < ncpu && left > 0; cpu++ {
-					next := h.schedule(cpu)
-					if next == nil {
-						continue
+	for _, spec := range experiments.NUMASpecs {
+		ncpu, ndom := spec.CPUs, spec.Domains
+		n := 2 * ncpu
+		for _, name := range experiments.Policies {
+			name := name
+			t.Run(fmt.Sprintf("%s/%s", spec.Label, name), func(t *testing.T) {
+				env := sched.NewEnv(ncpu, true, func() int { return n })
+				env.Topo = sched.UniformTopology(ncpu, ndom)
+				s := experiments.Factory(name)(env)
+				tasks := make([]*task.Task, n)
+				for i := range tasks {
+					tasks[i] = mkTask(env, i+1, 1+(i*5)%40, 4+i%12)
+					s.AddToRunqueue(tasks[i])
+				}
+				h := newHarness(s, ncpu)
+				picked := map[*task.Task]int{}
+				for left := n; left > 0; {
+					progressed := false
+					for cpu := 0; cpu < ncpu && left > 0; cpu++ {
+						next := h.schedule(cpu)
+						if next == nil {
+							continue
+						}
+						progressed = true
+						picked[next]++
+						h.block(cpu)
+						h.schedule(cpu) // dequeue the blocked task
+						left--
 					}
-					progressed = true
-					picked[next]++
-					h.block(cpu)
-					h.schedule(cpu) // dequeue the blocked task
-					left--
+					if !progressed {
+						t.Fatalf("no CPU could schedule with %d tasks outstanding", left)
+					}
 				}
-				if !progressed {
-					t.Fatalf("no CPU could schedule with %d tasks outstanding", left)
+				for i, tk := range tasks {
+					if picked[tk] != 1 {
+						t.Fatalf("task %d scheduled %d times, want exactly once", i, picked[tk])
+					}
 				}
-			}
-			for i, tk := range tasks {
-				if picked[tk] != 1 {
-					t.Fatalf("task %d scheduled %d times, want exactly once", i, picked[tk])
-				}
-			}
-		})
+			})
+		}
 	}
 }
 
-// TestNUMAMachineSpecAllPolicies runs a short VolanoMark on the 32P-NUMA
-// machine spec for every registered policy: messages must flow and no
-// room may starve on the domained machine, the same bar the flat smoke
-// test sets. This is what keeps a future policy honest about topology.
+// TestNUMAMachineSpecAllPolicies runs a short VolanoMark on each NUMA
+// machine spec (32P/4-domain and 64P/8-domain) for every registered
+// policy: messages must flow and no room may starve on the domained
+// machine, the same bar the flat smoke test sets. This is what keeps a
+// future policy honest about topology.
 func TestNUMAMachineSpecAllPolicies(t *testing.T) {
 	const (
 		rooms    = 2
@@ -460,23 +467,47 @@ func TestNUMAMachineSpecAllPolicies(t *testing.T) {
 		messages = 2
 	)
 	want := uint64(rooms * users * users * messages)
-	spec := experiments.SpecByLabel("32P-NUMA")
-	for _, name := range experiments.Policies {
-		name := name
-		t.Run(name, func(t *testing.T) {
-			t.Parallel()
-			sc := experiments.Scale{Messages: messages, Seed: 5, HorizonSeconds: 600}
-			m := experiments.NewMachine(spec, name, sc)
-			res := volano.Build(m, volano.Config{
-				Rooms: rooms, UsersPerRoom: users, MessagesPerUser: messages,
-			}).Run()
-			if res.Deliveries != want {
-				t.Fatalf("deliveries = %d, want %d (a room starved on the NUMA spec)",
-					res.Deliveries, want)
-			}
-			if res.Throughput <= 0 {
-				t.Fatalf("throughput = %v, want > 0", res.Throughput)
-			}
-		})
+	for _, spec := range experiments.NUMASpecs {
+		for _, name := range experiments.Policies {
+			spec, name := spec, name
+			t.Run(fmt.Sprintf("%s/%s", spec.Label, name), func(t *testing.T) {
+				t.Parallel()
+				sc := experiments.Scale{Messages: messages, Seed: 5, HorizonSeconds: 600}
+				m := experiments.NewMachine(spec, name, sc)
+				res := volano.Build(m, volano.Config{
+					Rooms: rooms, UsersPerRoom: users, MessagesPerUser: messages,
+				}).Run()
+				if res.Deliveries != want {
+					t.Fatalf("deliveries = %d, want %d (a room starved on the NUMA spec)",
+						res.Deliveries, want)
+				}
+				if res.Throughput <= 0 {
+					t.Fatalf("throughput = %v, want > 0", res.Throughput)
+				}
+			})
+		}
+	}
+}
+
+// TestNUMAMachineSpecRegistryWorkloads runs the two new registry
+// workloads (db, wakestorm) on the 64P/8-domain spec under every policy:
+// the deepest hierarchy must not lose a transaction or a wake-up.
+func TestNUMAMachineSpecRegistryWorkloads(t *testing.T) {
+	spec := experiments.SpecByLabel("64P-NUMA")
+	sc := experiments.Scale{Messages: 2, Seed: 5, HorizonSeconds: 600, Quick: true}
+	for _, load := range []string{workload.DB, workload.WakeStorm} {
+		for _, name := range experiments.Policies {
+			load, name := load, name
+			t.Run(fmt.Sprintf("%s/%s", load, name), func(t *testing.T) {
+				t.Parallel()
+				r := experiments.RunWorkloadCell(spec, name, load, sc)
+				if !r.Result.Complete {
+					t.Fatalf("%s did not complete on the 64P/8-domain machine", r.Key())
+				}
+				if r.Result.Ops == 0 {
+					t.Fatalf("%s performed no operations", r.Key())
+				}
+			})
+		}
 	}
 }

@@ -182,6 +182,14 @@ func (rq *runqueue) active() *prioArray  { return &rq.arrays[rq.activeIdx] }
 func (rq *runqueue) expired() *prioArray { return &rq.arrays[1-rq.activeIdx] }
 func (rq *runqueue) len() int            { return rq.arrays[0].count + rq.arrays[1].count }
 
+// CPUSteals is one CPU's balancer activity: tasks its steal and pull
+// paths moved onto it from queues in the same cache domain (Intra) and
+// from queues across a domain boundary (Cross).
+type CPUSteals struct {
+	Intra uint64
+	Cross uint64
+}
+
 // Sched is the O(1) scheduler. Create with New.
 type Sched struct {
 	env  *sched.Env
@@ -189,11 +197,11 @@ type Sched struct {
 	topo *sched.Topology // flat when TopologyBlind, else env.Topo
 	rqs  []runqueue
 
-	// intraSteals and crossSteals count tasks moved by the balancer
-	// (idle steal or periodic pull) within and across cache domains, as
-	// the scheduler sees them — the numa experiment's per-policy columns.
-	intraSteals uint64
-	crossSteals uint64
+	// steals counts tasks moved by the balancer (idle steal or periodic
+	// pull) within and across cache domains, per stealing CPU, as the
+	// scheduler sees them — the numa experiment's per-policy columns and
+	// schedtrace's per-domain steal table.
+	steals []CPUSteals
 }
 
 // New returns an O(1) scheduler bound to env with the default config.
@@ -201,7 +209,12 @@ func New(env *sched.Env) *Sched { return NewWithConfig(env, Config{}) }
 
 // NewWithConfig returns an O(1) scheduler with tuned balancing knobs.
 func NewWithConfig(env *sched.Env, cfg Config) *Sched {
-	s := &Sched{env: env, cfg: cfg.withDefaults(), rqs: make([]runqueue, env.NCPU)}
+	s := &Sched{
+		env:    env,
+		cfg:    cfg.withDefaults(),
+		rqs:    make([]runqueue, env.NCPU),
+		steals: make([]CPUSteals, env.NCPU),
+	}
 	s.topo = env.Topo
 	if s.cfg.TopologyBlind || s.topo == nil {
 		s.topo = sched.FlatTopology(env.NCPU)
@@ -214,10 +227,22 @@ func NewWithConfig(env *sched.Env, cfg Config) *Sched {
 }
 
 // DomainSteals reports tasks the balancer moved within and across cache
-// domains. A topology-blind scheduler sees one flat domain, so its moves
-// all count as intra-domain; the machine-level CrossDomainMigrations stat
-// records what they really cost.
-func (s *Sched) DomainSteals() (intra, cross uint64) { return s.intraSteals, s.crossSteals }
+// domains, machine-wide. A topology-blind scheduler sees one flat domain,
+// so its moves all count as intra-domain; the machine-level
+// CrossDomainMigrations stat records what they really cost.
+func (s *Sched) DomainSteals() (intra, cross uint64) {
+	for i := range s.steals {
+		intra += s.steals[i].Intra
+		cross += s.steals[i].Cross
+	}
+	return intra, cross
+}
+
+// PerCPUSteals returns a copy of the per-CPU steal counters, indexed by
+// the stealing CPU — the breakdown schedtrace renders per domain.
+func (s *Sched) PerCPUSteals() []CPUSteals {
+	return append([]CPUSteals(nil), s.steals...)
+}
 
 // Name implements sched.Scheduler.
 func (s *Sched) Name() string { return "o1" }
@@ -550,13 +575,13 @@ func (s *Sched) stealTier(cpu int, res *sched.Result, local bool) *task.Task {
 	return nil
 }
 
-// noteMove classifies one balancer-driven migration for the steal
-// counters.
+// noteMove classifies one balancer-driven migration for the stealing
+// CPU's counters.
 func (s *Sched) noteMove(cpu, victim int) {
 	if s.topo.SameDomain(cpu, victim) {
-		s.intraSteals++
+		s.steals[cpu].Intra++
 	} else {
-		s.crossSteals++
+		s.steals[cpu].Cross++
 	}
 }
 

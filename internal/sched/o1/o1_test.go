@@ -610,3 +610,50 @@ func TestStarvationGuardNeverDemotesRealTime(t *testing.T) {
 		t.Fatalf("picked %v after RT load left, want the expired task", res.Next)
 	}
 }
+
+func TestPerCPUStealCountersAttributeToThief(t *testing.T) {
+	// Two domains: CPU 0 steals in-domain from CPU 1, then cross-domain
+	// from CPU 2 (two tasks queued there makes the cross steal legal).
+	// Both moves must land on CPU 0's counters, split by domain, and the
+	// machine-wide DomainSteals must equal the per-CPU sum.
+	env := newNumaEnv(4, 2, 4)
+	s := New(env)
+	s.AddToRunqueue(homedTask(env, 1, 1))
+	res := s.Schedule(0, idlePrev())
+	if res.Next == nil {
+		t.Fatal("in-domain steal failed")
+	}
+	res.Next.State = task.Interruptible // retire the stolen task
+	s.AddToRunqueue(homedTask(env, 2, 2))
+	s.AddToRunqueue(homedTask(env, 3, 2))
+	if res := s.Schedule(0, res.Next); res.Next == nil {
+		t.Fatal("cross-domain steal failed")
+	}
+	per := s.PerCPUSteals()
+	if per[0].Intra != 1 || per[0].Cross != 1 {
+		t.Fatalf("CPU 0 counters = %+v, want 1 intra / 1 cross", per[0])
+	}
+	for cpu := 1; cpu < 4; cpu++ {
+		if per[cpu] != (CPUSteals{}) {
+			t.Fatalf("CPU %d counters = %+v, want zero (it stole nothing)", cpu, per[cpu])
+		}
+	}
+	intra, cross := s.DomainSteals()
+	if intra != 1 || cross != 1 {
+		t.Fatalf("totals = %d/%d, want the per-CPU sum 1/1", intra, cross)
+	}
+}
+
+func TestPerCPUStealsReturnsCopy(t *testing.T) {
+	env := newNumaEnv(2, 1, 1)
+	s := New(env)
+	s.AddToRunqueue(homedTask(env, 1, 1))
+	if res := s.Schedule(0, idlePrev()); res.Next == nil {
+		t.Fatal("steal failed")
+	}
+	per := s.PerCPUSteals()
+	per[0].Intra = 99
+	if got := s.PerCPUSteals()[0].Intra; got != 1 {
+		t.Fatalf("mutating the returned slice leaked into the scheduler: %d", got)
+	}
+}
