@@ -26,6 +26,16 @@ type benchSweepSchema struct {
 		Unit       string             `json:"unit"`
 		Complete   bool               `json:"complete"`
 		Extras     map[string]float64 `json:"extras"`
+
+		// The interactivity/wake-placement observability fields added
+		// with the sleep_avg work. The kernel-side counters are present
+		// on every entry (pointers so a stale file fails loudly);
+		// bonus_levels appears on entries whose policy tracks an
+		// estimator (o1) and must then span the full -5..+5 range.
+		WakeIdlePlacements  *uint64  `json:"wake_idle_placements"`
+		TimesliceRotations  *uint64  `json:"timeslice_rotations"`
+		BonusLevels         []uint64 `json:"bonus_levels"`
+		InteractiveRequeues uint64   `json:"interactive_requeues"`
 	} `json:"workloads"`
 }
 
@@ -62,6 +72,14 @@ func TestBenchSweepJSONSchema(t *testing.T) {
 		if w.Throughput <= 0 {
 			t.Fatalf("workload entry %s-%s-%s has non-positive throughput",
 				w.Workload, w.Policy, w.Spec)
+		}
+		if w.WakeIdlePlacements == nil || w.TimesliceRotations == nil {
+			t.Fatalf("workload entry %s-%s-%s missing wake_idle_placements/timeslice_rotations; regenerate with: go run ./cmd/sweep -quick -exp matrix -json",
+				w.Workload, w.Policy, w.Spec)
+		}
+		if w.Policy == "o1" && len(w.BonusLevels) != 11 {
+			t.Fatalf("o1 entry %s-%s has bonus_levels of length %d, want the full -5..+5 span (11)",
+				w.Workload, w.Spec, len(w.BonusLevels))
 		}
 	}
 }

@@ -97,9 +97,17 @@ func main() {
 	if s.Migrations > 0 || s.CrossDomainMigrations > 0 {
 		fmt.Printf("migrations: %d (%d cross-domain)\n", s.Migrations, s.CrossDomainMigrations)
 	}
-	if os, ok := m.Scheduler().(*o1.Sched); ok && *cpus > 1 {
+	// The steal and bonus sections render only for policies that track
+	// the counters: a policy without PerCPUSteals support (reg, elsc,
+	// heap, mq) gets no steals section rather than an empty table, and
+	// likewise for the interactivity estimator's bonus distribution.
+	if ps, ok := m.Scheduler().(perCPUStealer); ok && *cpus > 1 {
 		fmt.Println()
-		fmt.Print(stealTable(os, m.Env().Topo).Render())
+		fmt.Print(stealTable(ps.PerCPUSteals(), m.Env().Topo).Render())
+	}
+	if bs, ok := m.Scheduler().(bonusStatser); ok {
+		fmt.Println()
+		fmt.Print(bonusTable(bs).Render())
 	}
 	if *showTable {
 		if es, ok := m.Scheduler().(*elsc.Sched); ok {
@@ -111,14 +119,26 @@ func main() {
 	}
 }
 
+// perCPUStealer is implemented by policies whose balancer tracks per-CPU
+// steal counters (o1); policies without it get no steals section.
+type perCPUStealer interface {
+	PerCPUSteals() []o1.CPUSteals
+}
+
+// bonusStatser is implemented by policies with an interactivity
+// estimator whose observable counters schedtrace can render (o1).
+type bonusStatser interface {
+	BonusLevels() []uint64
+	InteractiveRequeues() uint64
+}
+
 // stealTable renders the o1 balancer's per-CPU steal counters grouped by
 // cache domain: how many tasks each CPU's steal/pull paths moved onto it
 // from inside its own domain versus across the interconnect, with a
 // subtotal row per domain and a machine total.
-func stealTable(s *o1.Sched, topo *sched.Topology) *stats.Table {
+func stealTable(perCPU []o1.CPUSteals, topo *sched.Topology) *stats.Table {
 	t := stats.NewTable("o1 balancer steals (by stealing CPU)",
 		"CPU", "domain", "in-domain", "cross-domain")
-	perCPU := s.PerCPUSteals()
 	if topo == nil {
 		topo = sched.FlatTopology(len(perCPU))
 	}
@@ -138,5 +158,21 @@ func stealTable(s *o1.Sched, topo *sched.Topology) *stats.Table {
 		totalCross += domCross
 	}
 	t.AddRow("total", "-", totalIn, totalCross)
+	return t
+}
+
+// bonusTable renders the interactivity estimator's observable output:
+// how many enqueues landed at each dynamic-priority bonus (-5 = a pure
+// hog, +5 = a task that sleeps most of the time), plus the active-array
+// requeues the interactive classification granted.
+func bonusTable(bs bonusStatser) *stats.Table {
+	levels := bs.BonusLevels()
+	t := stats.NewTable("o1 interactivity: enqueues by sleep_avg bonus",
+		"bonus", "enqueues")
+	span := len(levels)
+	for i, n := range levels {
+		t.AddRow(fmt.Sprintf("%+d", i-span/2), n)
+	}
+	t.AddRow("requeues", bs.InteractiveRequeues())
 	return t
 }

@@ -12,7 +12,7 @@
 //	sweep -exp matrix -specs 8P -loads db,volano -policies o1,elsc
 //
 // Experiments: table2, fig2, fig3, fig4, fig5, fig6, profile, alt, web,
-// latency, lock, numa, matrix, wakestorm, ablate, all.
+// latency, lock, numa, matrix, wakestorm, interactive, ablate, all.
 package main
 
 import (
@@ -30,7 +30,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment to run (table2 fig2 fig3 fig4 fig5 fig6 profile alt web latency lock numa matrix wakestorm ablate all)")
+		exp      = flag.String("exp", "all", "experiment to run (table2 fig2 fig3 fig4 fig5 fig6 profile alt web latency lock numa matrix wakestorm interactive ablate all)")
 		quick    = flag.Bool("quick", false, "reduced message counts for a fast pass")
 		messages = flag.Int("messages", 0, "override messages per user")
 		seed     = flag.Int64("seed", 42, "simulation seed")
@@ -144,6 +144,12 @@ func main() {
 		}
 		section(experiments.WorkloadDetail(sruns, spec, matrixPolicies, workload.WakeStorm))
 	}
+	if want("interactive") {
+		// The interactivity ablation: the same o1 scheduler with and
+		// without the sleep_avg machinery and SD_WAKE_IDLE placement, on
+		// the spec where PR 3 exposed the latency collapse.
+		section(experiments.AblateInteractivity(experiments.SpecByLabel("32P-NUMA"), sc))
+	}
 	if want("latency") {
 		section(experiments.WakeLatency(experiments.SpecByLabel("UP"),
 			[]int{4, 16, 64, 256}, sc))
@@ -157,7 +163,7 @@ func main() {
 	}
 
 	known := false
-	for _, name := range strings.Fields("table2 fig2 fig3 fig4 fig5 fig6 profile alt web latency lock numa matrix wakestorm ablate all") {
+	for _, name := range strings.Fields("table2 fig2 fig3 fig4 fig5 fig6 profile alt web latency lock numa matrix wakestorm interactive ablate all") {
 		if *exp == name {
 			known = true
 			break
@@ -272,6 +278,16 @@ type workloadEntry struct {
 	Seconds    float64            `json:"seconds"`
 	Complete   bool               `json:"complete"`
 	Extras     map[string]float64 `json:"extras,omitempty"`
+
+	// Scheduler-side observability for the run: SD_WAKE_IDLE placements
+	// and TIMESLICE_GRANULARITY rotations the kernel performed, and — for
+	// policies with an interactivity estimator (o1) — the enqueue counts
+	// by dynamic-priority bonus (-5..+5) and active-array requeues.
+	WakeIdlePlacements  uint64   `json:"wake_idle_placements"`
+	TimesliceRotations  uint64   `json:"timeslice_rotations"`
+	TickPreemptions     uint64   `json:"tick_preemptions"`
+	BonusLevels         []uint64 `json:"bonus_levels,omitempty"`
+	InteractiveRequeues uint64   `json:"interactive_requeues,omitempty"`
 }
 
 // sweepJSON is the file schema: enough run metadata to reproduce the
@@ -298,6 +314,14 @@ func writeJSON(path, exp string, quick bool, sc experiments.Scale, tables []*sta
 			Ops:        r.Result.Ops,
 			Seconds:    r.Result.Seconds,
 			Complete:   r.Result.Complete,
+
+			WakeIdlePlacements: r.Stats.WakeIdlePlacements,
+			TimesliceRotations: r.Stats.TimesliceRotations,
+			TickPreemptions:    r.Stats.TickPreemptions,
+		}
+		if r.HasBonus {
+			e.BonusLevels = r.BonusLevels
+			e.InteractiveRequeues = r.InteractiveRequeues
 		}
 		if len(r.Result.Extras) > 0 {
 			e.Extras = make(map[string]float64, len(r.Result.Extras))

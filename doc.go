@@ -80,6 +80,24 @@
 // (TopologyBlind is the ablation baseline); the experiments package
 // regenerates the numa table and the domain-awareness ablation.
 //
+// # Interactivity
+//
+// The O(1) scheduler also carries the 2.5 kernel's sleep_avg estimator.
+// The kernel credits a task's sleep_avg while it blocks and drains it
+// while it runs (clamped at CostModel.MaxSleepAvg); o1 maps the ratio
+// onto a ±5-level dynamic-priority bonus in its bitmap arrays, uses it
+// for wake-up preemption (TASK_PREEMPTS_CURR), requeues interactive
+// tasks into the active array on quantum expiry (bounded by the
+// starvation clock), tick-preempts when a strictly better level waits,
+// and round-robins same-level interactive tasks every GranularityTicks.
+// The kernel wake path adds SD_WAKE_IDLE placement: a syscall-context
+// wake prefers an idle CPU in the task's own cache domain, then the
+// waker's. O1Config exposes InteractivityOff, InteractiveDelta,
+// GranularityTicks, and WakeIdleOff; Stats counts WakeIdlePlacements and
+// TimesliceRotations, and the cross-policy latency invariant suite in
+// internal/sched/conformance holds every policy to a bounded
+// wakeup-to-run worst case.
+//
 // # Quick start
 //
 //	m := elsc.NewMachine(elsc.MachineConfig{CPUs: 4, SMP: true, Scheduler: elsc.ELSC})

@@ -46,9 +46,12 @@ func DefaultCostModel() CostModel { return sched.DefaultCostModel() }
 // shortcut) for ablation studies.
 type ELSCConfig = elsc.Config
 
-// O1Config re-exports the O(1) scheduler's balancing knobs (topology
-// blindness, cross-domain imbalance threshold and batch size, expired
-// starvation limit) for ablation studies.
+// O1Config re-exports the O(1) scheduler's knobs for ablation studies:
+// the balancing set (topology blindness, cross-domain imbalance
+// threshold and batch size, expired starvation limit) and the
+// interactivity set (InteractivityOff, InteractiveDelta,
+// GranularityTicks, WakeIdleOff — the sleep_avg bonus machinery and
+// SD_WAKE_IDLE wake placement).
 type O1Config = o1.Config
 
 // Topology re-exports the cache-domain layout type.

@@ -115,3 +115,35 @@ func TestWorkloadSeedControl(t *testing.T) {
 		t.Fatal("different seeds produced identical db digests")
 	}
 }
+
+// TestDeterminismDigestCoversInteractivityCounters: the /proc-style
+// registry that feeds every determinism digest must carry the new
+// wake-placement and granularity counters — otherwise a nondeterministic
+// interactivity path could slip past the byte-identical checks above.
+func TestDeterminismDigestCoversInteractivityCounters(t *testing.T) {
+	_, _, proc := traceRun(O1, 7)
+	for _, key := range []string{"wake_idle_placements", "timeslice_rotations"} {
+		if !strings.Contains(proc, key) {
+			t.Fatalf("registry digest missing %q:\n%s", key, proc)
+		}
+	}
+}
+
+// TestBonusCountersDeterministic extends the guard to the estimator's
+// own counters, which live in the scheduler rather than kernel stats:
+// same seed, same bonus distribution and requeue count.
+func TestBonusCountersDeterministic(t *testing.T) {
+	run := func() WorkloadRun {
+		sc := Scale{Messages: 2, Seed: 7, HorizonSeconds: 600, Quick: true}
+		return RunWorkloadCell(SpecByLabel("2P"), O1, workload.Latency, sc)
+	}
+	a, b := run(), run()
+	if !a.HasBonus || !b.HasBonus {
+		t.Fatal("o1 runs did not expose bonus counters")
+	}
+	if fmt.Sprint(a.BonusLevels) != fmt.Sprint(b.BonusLevels) ||
+		a.InteractiveRequeues != b.InteractiveRequeues {
+		t.Fatalf("same seed produced different estimator counters:\n%v/%d\nvs\n%v/%d",
+			a.BonusLevels, a.InteractiveRequeues, b.BonusLevels, b.InteractiveRequeues)
+	}
+}

@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"fmt"
+
+	"elsc/internal/sched"
+	"elsc/internal/sched/o1"
+	"elsc/internal/stats"
+	"elsc/internal/workload"
+)
+
+// The interactivity experiments: measure what the o1 scheduler's
+// sleep_avg machinery (dynamic-priority bonus, active-array requeue,
+// tick preemption, TIMESLICE_GRANULARITY chunking) and SD_WAKE_IDLE
+// placement buy on the latency-sensitive workloads — the matrix column
+// PR 3 exposed as o1's fidelity gap, where quantum-expired probes parked
+// behind a full hog quantum in the expired array.
+
+// o1InteractivityConfig returns the o1 config for one ablation arm: the
+// full machinery, or both halves disabled (the pre-interactivity
+// scheduler, kept as the baseline).
+func o1InteractivityConfig(off bool) o1.Config {
+	return o1.Config{InteractivityOff: off, WakeIdleOff: off}
+}
+
+// RunO1Interactivity runs one registry workload under o1 with the
+// interactivity machinery on or off — the benchmark and acceptance-test
+// entry point for the ablation.
+func RunO1Interactivity(spec MachineSpec, load string, off bool, sc Scale) WorkloadRun {
+	cfg := o1InteractivityConfig(off)
+	return RunWorkloadCellWith(spec, func(env *sched.Env) sched.Scheduler {
+		return o1.NewWithConfig(env, cfg)
+	}, O1, load, sc)
+}
+
+// AblateInteractivity isolates the interactivity machinery on one spec:
+// the same o1 scheduler with and without it, racing the two
+// latency-sensitive registry workloads. The latency columns are the
+// headline — with the machinery off, a probe at the hogs' static
+// priority waits out hog quanta; with it on, the sleep_avg bonus
+// preempts within microseconds — and the estimator columns show the
+// mechanism at work (bonus spread, active-array requeues, wake-idle
+// placements).
+func AblateInteractivity(spec MachineSpec, sc Scale) *stats.Table {
+	t := stats.NewTable(
+		fmt.Sprintf("Ablation: o1 interactivity (%s)", spec.Label),
+		"o1 variant", "lat p99 us", "lat max us", "storm p99 us",
+		"+bonus enq", "-bonus enq", "requeues", "wake-idle", "tick-preempt", "rotations")
+	type arm struct {
+		label string
+		off   bool
+	}
+	arms := []arm{{"interactive", false}, {"interactivity-off", true}}
+	type armRuns struct{ lat, storm WorkloadRun }
+	runs := make([]armRuns, len(arms))
+	forEachIndexParallel(len(arms), sc, func(i int) {
+		runs[i] = armRuns{
+			lat:   RunO1Interactivity(spec, workload.Latency, arms[i].off, sc),
+			storm: RunO1Interactivity(spec, workload.WakeStorm, arms[i].off, sc),
+		}
+	})
+	for i, a := range arms {
+		lat, storm := runs[i].lat, runs[i].storm
+		latP99, _ := lat.Result.Extra("p99_us")
+		latMax, _ := lat.Result.Extra("max_us")
+		stormP99, _ := storm.Result.Extra("p99_us")
+		var plus, minus uint64
+		for b, n := range lat.BonusLevels {
+			if b > o1.BonusSpan/2 {
+				plus += n
+			} else if b < o1.BonusSpan/2 {
+				minus += n
+			}
+		}
+		t.AddRow(a.label,
+			int(latP99), int(latMax), int(stormP99),
+			plus, minus, lat.InteractiveRequeues,
+			lat.Stats.WakeIdlePlacements+storm.Stats.WakeIdlePlacements,
+			lat.Stats.TickPreemptions+storm.Stats.TickPreemptions,
+			lat.Stats.TimesliceRotations+storm.Stats.TimesliceRotations)
+	}
+	return t
+}

@@ -38,6 +38,21 @@ type WorkloadRun struct {
 	Load   string
 	Result workload.Result
 	Stats  kernel.Stats
+
+	// BonusLevels and InteractiveRequeues are the interactivity
+	// estimator's own counters, for policies that track them (HasBonus):
+	// enqueues by dynamic-priority bonus (-5..+5) and active-array
+	// re-insertions granted.
+	BonusLevels         []uint64
+	InteractiveRequeues uint64
+	HasBonus            bool
+}
+
+// bonusStatser is implemented by policies whose interactivity estimator
+// exposes its observable counters (o1).
+type bonusStatser interface {
+	BonusLevels() []uint64
+	InteractiveRequeues() uint64
 }
 
 // Key renders "db-o1-8P" style identifiers.
@@ -47,9 +62,28 @@ func (r WorkloadRun) Key() string {
 
 // RunWorkloadCell executes one workload under one policy on one spec.
 func RunWorkloadCell(spec MachineSpec, policy, load string, sc Scale) WorkloadRun {
-	m := NewMachine(spec, policy, sc)
+	return runWorkloadOn(NewMachine(spec, policy, sc), spec, policy, load, sc)
+}
+
+// RunWorkloadCellWith executes one workload cell with an explicit
+// scheduler factory — the entry for ablation variants that tune a
+// policy's config (the interactivity and topology studies).
+func RunWorkloadCellWith(spec MachineSpec, factory kernel.SchedulerFactory, policyLabel, load string, sc Scale) WorkloadRun {
+	return runWorkloadOn(NewMachineWith(spec, factory, sc), spec, policyLabel, load, sc)
+}
+
+// runWorkloadOn runs the named workload on a prepared machine and
+// harvests the result, machine stats, and the estimator counters when
+// the policy tracks them.
+func runWorkloadOn(m *kernel.Machine, spec MachineSpec, policy, load string, sc Scale) WorkloadRun {
 	res := workload.Build(load, m, WorkloadParams(spec, sc)).Run()
-	return WorkloadRun{Spec: spec, Policy: policy, Load: load, Result: res, Stats: *m.Stats()}
+	run := WorkloadRun{Spec: spec, Policy: policy, Load: load, Result: res, Stats: *m.Stats()}
+	if bs, ok := m.Scheduler().(bonusStatser); ok {
+		run.BonusLevels = bs.BonusLevels()
+		run.InteractiveRequeues = bs.InteractiveRequeues()
+		run.HasBonus = true
+	}
+	return run
 }
 
 // RunWorkloadMatrix sweeps policies x specs x workloads, running cells in

@@ -42,7 +42,11 @@ func (c *CPU) ID() int { return c.id }
 func (c *CPU) isIdle() bool { return c.current == nil && !c.transitioning }
 
 // kickIdle asks an idle CPU to run schedule() after the wake-up IPI
-// latency. Duplicate kicks collapse via reschedSent.
+// latency. Duplicate kicks collapse via reschedSent — later wake-ups
+// lean on the in-flight kick — so a kick that lands on a CPU that
+// grabbed work in the interim must still re-run schedule(): dropping it
+// would drop every wake that piggybacked on it, leaving a woken task
+// queued behind whatever the CPU picked until its quantum runs out.
 func (c *CPU) kickIdle() {
 	if c.reschedSent {
 		return
@@ -50,7 +54,14 @@ func (c *CPU) kickIdle() {
 	c.reschedSent = true
 	c.m.eng.After(ipiLatency, "kick-idle", func(now sim.Time) {
 		c.reschedSent = false
-		if c.isIdle() {
+		switch {
+		case c.transitioning:
+			c.needResched = true
+		case c.current == nil:
+			c.m.reschedule(c, now)
+		default:
+			c.interrupt(now)
+			c.current.Task.InvSwitches++
 			c.m.reschedule(c, now)
 		}
 	})
@@ -123,6 +134,7 @@ func (c *CPU) creditWork(p *Proc, cycles uint64) {
 		return
 	}
 	c.work += cycles
+	p.Task.DrainRun(cycles)
 	if p.syscall != nil || p.onDone != nil {
 		p.Task.SystemCycles += cycles
 		c.m.stats.SyscallCycles += cycles
@@ -172,6 +184,24 @@ func (c *CPU) tick(now sim.Time) {
 		t.InvSwitches++
 		c.interrupt(now)
 		m.reschedule(c, now)
+		return
+	}
+	// Quantum left: give the policy its tick-time preemption rules — a
+	// better-level task waiting on this queue, or a TIMESLICE_GRANULARITY
+	// round-robin against same-level peers, so one interactive task
+	// cannot sit on a CPU for its whole (recharged) quantum while
+	// equally interactive tasks wait.
+	if m.ticker != nil {
+		if preempt, rotation := m.ticker.TickPreempt(c.id, t); preempt {
+			if rotation {
+				m.stats.TimesliceRotations++
+			} else {
+				m.stats.TickPreemptions++
+			}
+			t.InvSwitches++
+			c.interrupt(now)
+			m.reschedule(c, now)
+		}
 	}
 }
 
@@ -267,10 +297,15 @@ func (c *CPU) nextAction(now sim.Time) {
 	}
 }
 
-// runSyscall executes the in-flight syscall's effect at segment end.
+// runSyscall executes the in-flight syscall's effect at segment end. The
+// effect runs in this CPU's syscall context: wake-ups it issues carry the
+// CPU as the waker for SD_WAKE_IDLE placement.
 func runSyscall(c *CPU, now sim.Time) {
 	p := c.current
+	m := c.m
+	m.wakerCPU = c.id
 	out := p.syscall.Fn(p, now)
+	m.wakerCPU = -1
 	if out.Delay > 0 {
 		// Spinning on a serialized kernel resource: burn the cycles,
 		// then recheck.
@@ -284,6 +319,7 @@ func runSyscall(c *CPU, now sim.Time) {
 		// after wake-up, like a kernel wait loop.
 		p.Task.State = task.Interruptible
 		p.Task.VolSwitches++
+		p.sleepFrom = now
 		out.Wait.enqueue(p)
 		c.m.reschedule(c, now)
 		return
@@ -308,6 +344,7 @@ func doSleep(c *CPU, now sim.Time, d uint64) {
 	m := c.m
 	p.Task.State = task.Interruptible
 	p.Task.VolSwitches++
+	p.sleepFrom = now
 	p.sleepEv = m.eng.After(d, "sleep-wake", func(sim.Time) {
 		p.sleepEv = nil
 		m.wake(p)

@@ -89,13 +89,16 @@ type TraceEvent struct {
 
 // Machine is a simulated multiprocessor running one scheduler.
 type Machine struct {
-	cfg   Config
-	eng   sim.Engine
-	rng   *sim.RNG
-	env   *sched.Env
-	sched sched.Scheduler
-	noter runningNoter // non-nil when the policy tracks HasCPU flips
-	cpus  []*CPU
+	cfg       Config
+	eng       sim.Engine
+	rng       *sim.RNG
+	env       *sched.Env
+	sched     sched.Scheduler
+	noter     runningNoter    // non-nil when the policy tracks HasCPU flips
+	preempter preemptComparer // non-nil when the policy ranks preemption itself
+	ticker    tickPreempter   // non-nil when the policy preempts at the tick
+	placer    wakePlacer      // non-nil when the policy takes SD_WAKE_IDLE hints
+	cpus      []*CPU
 
 	procs   []*Proc
 	byTask  map[*task.Task]*Proc
@@ -108,6 +111,43 @@ type Machine struct {
 	// policies that advertise PerCPU queues.
 	rqLocks []spinlock
 	stats   Stats
+
+	// wakerCPU is the processor executing the current syscall effect, or
+	// -1 outside one (timer and engine-event wake-ups have no waker).
+	// try_to_wake_up reads it for SD_WAKE_IDLE placement: a wake issued
+	// from CPU c prefers an idle CPU in c's cache domain.
+	wakerCPU int
+}
+
+// wakePlacer is implemented by policies (o1) that accept an SD_WAKE_IDLE
+// placement hint: file the woken task on the given idle CPU's queue
+// instead of its home queue. PlaceWake returns false to decline (knob
+// disabled, affinity forbids, task already queued), in which case the
+// kernel falls back to the ordinary AddToRunqueue.
+type wakePlacer interface {
+	PlaceWake(t *task.Task, cpu int) bool
+}
+
+// tickPreempter is implemented by policies (o1) with tick-time
+// preemption rules: TickPreempt is consulted by the timer tick while the
+// running task still has quantum left. preempt true interrupts the task;
+// rotation distinguishes a TIMESLICE_GRANULARITY same-level round-robin
+// (the task goes to the tail of its level) from a plain better-level
+// preemption (the task keeps its spot), so the stats attribute each
+// mechanism correctly.
+type tickPreempter interface {
+	TickPreempt(cpu int, t *task.Task) (preempt, rotation bool)
+}
+
+// preemptComparer is implemented by policies (o1) whose dynamic priority
+// differs from goodness(): the wake path asks the policy whether the
+// woken task outranks a CPU's current one — 2.6's TASK_PREEMPTS_CURR,
+// which compares bonus-laden effective priorities — instead of the
+// 2.3.99 goodness delta. This is how the interactivity estimator reaches
+// wake-up preemption: a sleep-heavy task at the same static priority as
+// a hog preempts it on wake.
+type preemptComparer interface {
+	PreemptsCurr(t, curr *task.Task) bool
 }
 
 // perCPUQueues is implemented by policies with per-CPU run queues, which
@@ -141,9 +181,10 @@ func NewMachine(cfg Config) *Machine {
 		cfg.TickCycles = cfg.Hz / 100
 	}
 	m := &Machine{
-		cfg:    cfg,
-		rng:    sim.NewRNG(cfg.Seed),
-		byTask: make(map[*task.Task]*Proc),
+		cfg:      cfg,
+		rng:      sim.NewRNG(cfg.Seed),
+		byTask:   make(map[*task.Task]*Proc),
+		wakerCPU: -1,
 	}
 	m.eng.MaxDur = sim.Time(cfg.MaxCycles)
 	m.env = sched.NewEnv(cfg.CPUs, cfg.SMP, func() int { return m.alive })
@@ -155,6 +196,9 @@ func NewMachine(cfg Config) *Machine {
 	}
 	m.sched = cfg.NewScheduler(m.env)
 	m.noter, _ = m.sched.(runningNoter)
+	m.preempter, _ = m.sched.(preemptComparer)
+	m.ticker, _ = m.sched.(tickPreempter)
+	m.placer, _ = m.sched.(wakePlacer)
 	nlocks := 1
 	if pc, ok := m.sched.(perCPUQueues); ok && pc.PerCPU() {
 		nlocks = cfg.CPUs
@@ -266,6 +310,11 @@ func (m *Machine) spawn(t *task.Task, prog Program) *Proc {
 		hi := uint64(t.MaxCounter())
 		t.SetCounter(m.env.Epoch, int(m.rng.Range(lo, hi)))
 	}
+	// Fork-time interactivity inheritance, 2.6-style: a fresh task starts
+	// at the neutral midpoint of the sleep_avg range — neither branded a
+	// hog (it has not run yet) nor fully interactive (it has not slept) —
+	// and earns its bonus from its own behavior within its first ticks.
+	t.CreditSleep(m.env.Cost.MaxSleepAvg/2, m.env.Cost.MaxSleepAvg)
 	m.sched.AddToRunqueue(t)
 	m.rqLockOfTask(t).bump(m.eng.Now(), m.env.Cost.AddRunqueue+m.env.Cost.LockOp)
 	m.rescheduleIdle(p)
@@ -339,9 +388,13 @@ func (m *Machine) WakeAll(wq *WaitQueue) int {
 	}
 }
 
-// wake is try_to_wake_up: mark runnable, insert into the run queue (a
-// short critical section on the run-queue lock), then look for a CPU to
-// preempt.
+// wake is try_to_wake_up: credit the blocked stretch to the task's
+// sleep_avg, mark runnable, insert into the run queue (a short critical
+// section on the run-queue lock), then look for a CPU to preempt. When
+// the wake was issued from a CPU whose cache domain holds an idle
+// processor, a policy implementing wakePlacer is offered that CPU first
+// (SD_WAKE_IDLE): the woken task starts immediately, near the waker's
+// warm data, instead of queueing behind its home CPU's backlog.
 func (m *Machine) wake(p *Proc) {
 	t := p.Task
 	if p.exited {
@@ -355,10 +408,59 @@ func (m *Machine) wake(p *Proc) {
 		return // already awake
 	}
 	m.stats.WakeCalls++
+	now := m.eng.Now()
+	if now > p.sleepFrom {
+		t.CreditSleep(uint64(now-p.sleepFrom), m.env.Cost.MaxSleepAvg)
+	}
 	t.State = task.Running
+	wakeCost := m.env.Cost.AddRunqueue + m.env.Cost.WakeupCost/4 + m.env.Cost.LockOp + m.env.Cost.SleepAvgOp
+	if m.placer != nil {
+		if target := m.wakeIdleTarget(t); target >= 0 && m.placer.PlaceWake(t, target) {
+			m.stats.WakeIdlePlacements++
+			m.rqLockOfTask(t).bump(now, wakeCost)
+			m.cpus[target].kickIdle()
+			return
+		}
+	}
 	m.sched.AddToRunqueue(t)
-	m.rqLockOfTask(t).bump(m.eng.Now(), m.env.Cost.AddRunqueue+m.env.Cost.WakeupCost/4+m.env.Cost.LockOp)
+	m.rqLockOfTask(t).bump(now, wakeCost)
 	m.rescheduleIdle(p)
+}
+
+// wakeIdleTarget returns the idle CPU an SD_WAKE_IDLE wake-up should
+// prefer, or -1. Like 2.6's wake_idle, the domain of the task's own last
+// CPU is scanned first — an idle processor next to the task's cache and
+// memory beats any other — then the waker's domain (the data the wake is
+// about is warm there), before falling back to the ordinary wake path.
+// No placement happens outside a syscall context (timer and engine-event
+// wakes have no waker), and none is needed when the task's own last CPU
+// is already idle: the affinity fast path in rescheduleIdle lands it
+// there for free.
+func (m *Machine) wakeIdleTarget(t *task.Task) int {
+	if m.wakerCPU < 0 {
+		return -1
+	}
+	topo := m.env.Topo
+	if t.EverRan && t.Processor < len(m.cpus) && t.AllowedOn(t.Processor) {
+		if m.cpus[t.Processor].isIdle() {
+			return -1
+		}
+		if cpu := m.idleIn(topo.DomainOf(t.Processor), t); cpu >= 0 {
+			return cpu
+		}
+	}
+	return m.idleIn(topo.DomainOf(m.wakerCPU), t)
+}
+
+// idleIn returns the first idle CPU in domain dom that t may run on, -1
+// if the domain is fully busy.
+func (m *Machine) idleIn(dom int, t *task.Task) int {
+	for _, cpu := range m.env.Topo.DomainCPUs(dom) {
+		if t.AllowedOn(cpu) && m.cpus[cpu].isIdle() {
+			return cpu
+		}
+	}
+	return -1
 }
 
 // rescheduleIdle decides which CPU, if any, should run schedule() because
@@ -392,20 +494,35 @@ func (m *Machine) rescheduleIdle(p *Proc) {
 	if anyKicked {
 		return
 	}
-	// No idle allowed CPU: consider preemption. Compare goodness on each
-	// permitted CPU against its current task; pick the weakest current.
+	// No idle allowed CPU: consider preemption. With a global run queue
+	// any CPU can dispatch the woken task, so the weakest current task
+	// machine-wide is the victim. With per-CPU queues only the queue
+	// owner's schedule() will find the task — preempting any other CPU
+	// just makes it re-pick its own backlog while the woken task waits
+	// out the owner's quantum — so the IPI goes to the owning CPU or
+	// nowhere, exactly 2.6's resched_task(rq->curr) after enqueueing.
+	candidates := m.cpus
+	if len(m.rqLocks) > 1 {
+		candidates = m.cpus[t.QIndex%len(m.cpus) : t.QIndex%len(m.cpus)+1]
+	}
 	var victim *CPU
 	worst := 0
-	for _, c := range m.cpus {
+	for _, c := range candidates {
 		if c.transitioning || c.current == nil || c.reschedSent || !t.AllowedOn(c.id) {
 			continue // a decision is already in flight there
 		}
 		cur := c.current.Task
-		gw := sched.Goodness(m.env.Epoch, t, c.id, cur.MM)
-		gc := sched.Goodness(m.env.Epoch, cur, c.id, cur.MM)
 		if cur.RealTime() && !t.RealTime() {
 			continue
 		}
+		if m.preempter != nil {
+			if victim == nil && m.preempter.PreemptsCurr(t, cur) {
+				victim = c
+			}
+			continue
+		}
+		gw := sched.Goodness(m.env.Epoch, t, c.id, cur.MM)
+		gc := sched.Goodness(m.env.Epoch, cur, c.id, cur.MM)
 		if gw-gc > worst {
 			worst = gw - gc
 			victim = c
@@ -416,12 +533,12 @@ func (m *Machine) rescheduleIdle(p *Proc) {
 		victim.sendResched()
 		return
 	}
-	// No idle CPU and no preemption victim. If a permitted CPU is mid
+	// No idle CPU and no preemption victim. If a candidate CPU is mid
 	// context-switch, flag it so its dispatch path re-runs schedule():
 	// otherwise a wake landing in a transition-to-idle window would be
 	// lost — the task would sit runnable on the queue with every CPU
 	// idle and nothing left to trigger a schedule.
-	for _, c := range m.cpus {
+	for _, c := range candidates {
 		if c.transitioning && t.AllowedOn(c.id) {
 			c.needResched = true
 			return

@@ -29,6 +29,10 @@ type Proc struct {
 	waitingOn *WaitQueue
 	sleepEv   *sim.Event
 
+	// sleepFrom is when the task last blocked (wait queue or timer); the
+	// wake path turns now-sleepFrom into sleep_avg interactivity credit.
+	sleepFrom sim.Time
+
 	// workStamp is the owning CPU's work clock when this proc last left
 	// it, for the cache-refill model.
 	workStamp uint64

@@ -27,6 +27,9 @@ type Stats struct {
 	WakeCalls             uint64     // try_to_wake_up invocations
 	YieldCalls            uint64     // sys_sched_yield invocations
 	QuantumExpiry         uint64     // tick found the quantum exhausted
+	WakeIdlePlacements    uint64     // wakes filed onto an idle CPU in the waker's cache domain
+	TimesliceRotations    uint64     // granularity preemptions: same-level round-robin inside a quantum
+	TickPreemptions       uint64     // tick preemptions: a better-level task was waiting on the queue
 
 	// Context switching.
 	CtxSwitches  uint64 // dispatches of a task other than prev
@@ -86,6 +89,9 @@ func (s *Stats) Registry() *stats.Registry {
 	set("wake_calls", s.WakeCalls)
 	set("yield_calls", s.YieldCalls)
 	set("quantum_expiries", s.QuantumExpiry)
+	set("wake_idle_placements", s.WakeIdlePlacements)
+	set("timeslice_rotations", s.TimesliceRotations)
+	set("tick_preemptions", s.TickPreemptions)
 	set("ctx_switches", s.CtxSwitches)
 	set("mm_switches", s.MMSwitches)
 	set("cache_refill_cycles", s.CacheCycles)

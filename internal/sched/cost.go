@@ -91,6 +91,20 @@ type CostModel struct {
 	// horizon.
 	RehomeCycles uint64
 
+	// MaxSleepAvg is the ceiling on a task's sleep_avg interactivity
+	// credit, in cycles. It lives in the cost model so the kernel's
+	// wake-side clamp and any policy's bonus mapping read the same
+	// ceiling: bonus = sleep_avg relative to this value. The default is
+	// five timer ticks (50 ms at 400 MHz): one ordinary blocking stretch
+	// (a few ms) moves the bonus a whole step, so a sleeper separates
+	// from a hog within its first wake cycle, and a quarter quantum of
+	// blocked time marks a task fully interactive.
+	MaxSleepAvg uint64
+
+	// SleepAvgOp is the bookkeeping cost of one sleep_avg update on the
+	// wake path (a load, an add, a clamp against the task's cache line).
+	SleepAvgOp uint64
+
 	// SyscallBase is the fixed user/kernel crossing cost (int 0x80,
 	// register save, dispatch).
 	SyscallBase uint64
@@ -124,6 +138,8 @@ func DefaultCostModel() CostModel {
 		CrossDomainRefillMax: 30000,
 		RemoteAccessPct:      200,
 		RehomeCycles:         20_000_000,
+		MaxSleepAvg:          20_000_000,
+		SleepAvgOp:           15,
 		SyscallBase:          700,
 		WakeupCost:           500,
 		TickCost:             500,

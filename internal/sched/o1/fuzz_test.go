@@ -1,0 +1,251 @@
+package o1
+
+import (
+	"fmt"
+	"testing"
+
+	"elsc/internal/klist"
+	"elsc/internal/sched"
+	"elsc/internal/task"
+)
+
+// The priority-array property test: random sequences of kernel-shaped
+// operations — enqueue, dequeue, schedule (which expires, swaps, and
+// steals), move-first/move-last, bonus credit/drain, counter edits, tick
+// rotation — must keep the FFS bitmap exactly consistent with list
+// occupancy and never lose or duplicate a task. Every byte pair of the
+// fuzz input drives one operation, and the full invariant is checked
+// after each, so a shrunk counterexample points at the first corrupting
+// op rather than a downstream symptom.
+
+const (
+	fuzzCPUs  = 2
+	fuzzTasks = 6
+)
+
+// fuzzRig is a kernel-faithful harness around one Sched: it tracks which
+// task each CPU runs and performs the HasCPU flips exactly as
+// kernel.reschedule does.
+type fuzzRig struct {
+	env     *sched.Env
+	s       *Sched
+	tasks   []*task.Task
+	idles   []*task.Task
+	current []*task.Task
+}
+
+func newFuzzRig() *fuzzRig {
+	env := sched.NewEnv(fuzzCPUs, true, func() int { return fuzzTasks })
+	r := &fuzzRig{
+		env:     env,
+		s:       NewWithConfig(env, Config{StarvationLimit: 8, GranularityTicks: 2}),
+		current: make([]*task.Task, fuzzCPUs),
+	}
+	for i := 0; i < fuzzTasks; i++ {
+		tk := task.New(i+1, fmt.Sprintf("f%d", i), nil, env.Epoch)
+		tk.Priority = 1 + (i*7)%task.MaxPriority
+		tk.SetCounter(env.Epoch, 1+i%8)
+		r.tasks = append(r.tasks, tk)
+	}
+	for i := 0; i < fuzzCPUs; i++ {
+		idle := task.New(-(i + 1), fmt.Sprintf("idle/%d", i), nil, nil)
+		idle.IsIdle = true
+		idle.Processor = i
+		r.idles = append(r.idles, idle)
+	}
+	return r
+}
+
+// schedule mirrors kernel.reschedule's calling convention.
+func (r *fuzzRig) schedule(cpu int) {
+	prev := r.current[cpu]
+	prevTask := r.idles[cpu]
+	if prev != nil {
+		prevTask = prev
+	}
+	r.current[cpu] = nil
+	res := r.s.Schedule(cpu, prevTask)
+	if prev != nil {
+		prev.HasCPU = false
+	}
+	if next := res.Next; next != nil {
+		next.HasCPU = true
+		next.Processor = cpu
+		next.EverRan = true
+		r.current[cpu] = next
+	}
+}
+
+// step applies one fuzz operation.
+func (r *fuzzRig) step(op, arg byte) {
+	tk := r.tasks[int(arg)%len(r.tasks)]
+	cpu := int(arg) % fuzzCPUs
+	max := r.env.Cost.MaxSleepAvg
+	switch op % 11 {
+	case 0:
+		tk.State = task.Running
+		if !tk.HasCPU {
+			r.s.AddToRunqueue(tk)
+		}
+	case 1:
+		r.s.DelFromRunqueue(tk)
+	case 2:
+		r.schedule(cpu)
+	case 3: // current blocks, then the CPU re-schedules (dequeue path)
+		if cur := r.current[cpu]; cur != nil {
+			cur.State = task.Interruptible
+		}
+		r.schedule(cpu)
+	case 4: // current yields
+		if cur := r.current[cpu]; cur != nil {
+			cur.Yielded = true
+		}
+		r.schedule(cpu)
+	case 5:
+		tk.CreditSleep(uint64(arg)*max/255, max)
+	case 6:
+		tk.DrainRun(uint64(arg) * max / 64)
+	case 7:
+		tk.SetCounter(r.env.Epoch, int(arg)%tk.MaxCounter())
+	case 8:
+		if arg%2 == 0 {
+			r.s.MoveFirstRunqueue(tk)
+		} else {
+			r.s.MoveLastRunqueue(tk)
+		}
+	case 9: // tick: granularity rotation / better-level preemption
+		if cur := r.current[cpu]; cur != nil {
+			if preempt, _ := r.s.TickPreempt(cpu, cur); preempt {
+				r.schedule(cpu)
+			}
+		}
+	case 10: // SD_WAKE_IDLE placement hint
+		tk.State = task.Running
+		if !tk.HasCPU {
+			r.s.PlaceWake(tk, cpu)
+		}
+	}
+}
+
+// checkInvariants walks every list of every array on every queue and
+// cross-checks bitmap bits, per-array counts, task stamps, Runnable, and
+// global no-loss/no-duplication against the harness's running set.
+func (r *fuzzRig) checkInvariants() error {
+	queued := make(map[*task.Task]int)
+	total := 0
+	for q := range r.s.rqs {
+		rq := &r.s.rqs[q]
+		for ai := 0; ai < 2; ai++ {
+			arr := &rq.arrays[ai]
+			arrTotal := 0
+			for lvl := 0; lvl < numLevels; lvl++ {
+				n := 0
+				var walkErr error
+				arr.lists[lvl].ForEach(func(node *klist.Node) bool {
+					tk := task.FromNode(node)
+					queued[tk]++
+					sa, sl := unstamp(tk.QStamp)
+					if tk.QIndex != q || sa != ai || sl != lvl {
+						walkErr = fmt.Errorf("task %v stamped q%d/a%d/l%d but found on q%d/a%d/l%d",
+							tk, tk.QIndex, sa, sl, q, ai, lvl)
+					}
+					n++
+					return n <= fuzzTasks // bound the walk: a longer list is a cycle
+				})
+				if walkErr != nil {
+					return walkErr
+				}
+				if n > fuzzTasks {
+					return fmt.Errorf("q%d array %d level %d list has a cycle", q, ai, lvl)
+				}
+				bit := arr.bitmap[lvl/64]>>(uint(lvl)%64)&1 == 1
+				if (n > 0) != bit {
+					return fmt.Errorf("q%d array %d level %d: %d tasks but bit=%v", q, ai, lvl, n, bit)
+				}
+				arrTotal += n
+			}
+			if arrTotal != arr.count {
+				return fmt.Errorf("q%d array %d count=%d but lists hold %d", q, ai, arr.count, arrTotal)
+			}
+			total += arrTotal
+		}
+	}
+	if got := r.s.Runnable(); got != total {
+		return fmt.Errorf("Runnable()=%d but arrays hold %d", got, total)
+	}
+	for _, tk := range r.tasks {
+		n := queued[tk]
+		if n > 1 {
+			return fmt.Errorf("task %v on %d lists", tk, n)
+		}
+		if (n == 1) != r.s.OnRunqueue(tk) {
+			return fmt.Errorf("task %v: on %d lists but OnRunqueue=%v", tk, n, r.s.OnRunqueue(tk))
+		}
+		if n == 1 && tk.HasCPU {
+			return fmt.Errorf("task %v both queued and running", tk)
+		}
+	}
+	for tk, n := range queued {
+		if n > 0 && tk.IsIdle {
+			return fmt.Errorf("idle task %v on a run queue", tk)
+		}
+	}
+	return nil
+}
+
+// runOps replays a fuzz input: one (op, arg) pair per two bytes, full
+// invariant check after every operation.
+func runOps(data []byte) error {
+	r := newFuzzRig()
+	for i := 0; i+1 < len(data); i += 2 {
+		r.step(data[i], data[i+1])
+		if err := r.checkInvariants(); err != nil {
+			return fmt.Errorf("op %d (%d,%d): %w", i/2, data[i], data[i+1], err)
+		}
+	}
+	return nil
+}
+
+func FuzzPrioArrays(f *testing.F) {
+	// Seed corpus: each seed exercises a distinct hazardous path —
+	// expiry into the expired array, array swap, yield-to-expired,
+	// interactive requeue after bonus credit, steal across queues,
+	// move-first/move-last on both arrays, and placement hints.
+	f.Add([]byte{0, 0, 0, 1, 2, 0, 3, 0, 2, 1})             // add, add, run, block, run elsewhere
+	f.Add([]byte{0, 0, 7, 0, 2, 0, 4, 0, 2, 0})             // expire counter, yield into expired, swap
+	f.Add([]byte{0, 0, 5, 255, 7, 0, 0, 1, 2, 0, 9, 0})     // interactive credit + spent quantum + tick
+	f.Add([]byte{0, 0, 0, 1, 0, 2, 0, 3, 2, 0, 2, 1, 8, 1}) // populate both queues, steal, move-last
+	f.Add([]byte{10, 1, 10, 3, 2, 1, 6, 255, 2, 0})         // wake-idle placement, drain, reschedule
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 512 {
+			return // long inputs add time, not coverage: every op is O(1)
+		}
+		if err := runOps(data); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestPrioArrayOpSequenceRegression replays the checked-in shrunk
+// sequences deterministically on every plain `go test` run, so the
+// invariants are exercised even where the fuzz engine is not: quantum
+// expiry into expired while the other queue steals, a forced swap under
+// the starvation guard, rotation markers surviving a dequeue, and
+// placement hints racing ordinary adds.
+func TestPrioArrayOpSequenceRegression(t *testing.T) {
+	sequences := [][]byte{
+		// All six tasks in, every CPU scheduling, counters expiring.
+		{0, 0, 0, 1, 0, 2, 0, 3, 0, 4, 0, 5, 2, 0, 2, 1, 7, 0, 7, 1, 2, 0, 3, 1, 2, 0, 2, 1},
+		// Interactive credit, spent quantum, tick rotation, yield.
+		{0, 0, 5, 255, 7, 0, 2, 0, 9, 0, 4, 0, 0, 1, 5, 200, 9, 1, 2, 1, 4, 1},
+		// Wake-idle placement onto both queues, then drains and moves.
+		{10, 0, 10, 1, 10, 2, 6, 255, 8, 0, 8, 1, 8, 2, 2, 0, 3, 0, 2, 1, 3, 1},
+		// Del/re-add churn across a swap with the starvation clock hot.
+		{0, 0, 7, 0, 0, 1, 7, 1, 2, 0, 2, 0, 2, 0, 2, 0, 1, 0, 0, 0, 1, 1, 0, 1, 2, 1, 2, 1},
+	}
+	for i, seq := range sequences {
+		if err := runOps(seq); err != nil {
+			t.Fatalf("sequence %d: %v", i, err)
+		}
+	}
+}

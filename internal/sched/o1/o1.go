@@ -44,6 +44,34 @@
 // array still holds runnable tasks (the check 2.6 performs with
 // EXPIRED_STARVING). Without it, a steady stream of fresh wakers could
 // keep the active array populated forever while expired tasks wait.
+//
+// # Interactivity
+//
+// The scheduler carries the 2.5 kernel's sleep_avg machinery. The kernel
+// credits each task's sleep_avg while it blocks and drains it while it
+// runs (internal/task hooks, clamped at the cost model's MaxSleepAvg);
+// this policy maps the ratio onto a dynamic-priority bonus of ±5 levels
+// in the bitmap arrays, so a task that sleeps most of the time files five
+// levels above its static priority and a pure hog five below. Tasks whose
+// bonus clears InteractiveDelta are interactive: on quantum expiry they
+// are recharged and requeued at the tail of the active array instead of
+// parking in expired — the fix for latency probes waiting out a full hog
+// quantum behind an array swap — and a waking interactive task with a
+// spent quantum is recharged into the active array for the same reason.
+// Both re-insertions are bounded by the StarvationLimit clock: once the
+// expired array has waited that long, interactive tasks expire normally
+// and the forced swap proceeds, so hogs always make progress.
+//
+// Two more 2.5-era pieces ride along. TIMESLICE_GRANULARITY chunking:
+// every GranularityTicks of a running interactive task's quantum, if
+// another task waits at its level on this CPU, the tick preempts it and
+// Schedule files it at the tail of its level, so same-level interactive
+// tasks round-robin inside a quantum instead of serializing. And
+// SD_WAKE_IDLE placement: the kernel offers the policy an idle CPU in the
+// waker's cache domain at wake time (PlaceWake), which files the woken
+// task there directly rather than queueing it behind its home CPU's
+// backlog. The InteractivityOff and WakeIdleOff knobs disable each half
+// independently, so the experiments can measure exactly what they buy.
 package o1
 
 import (
@@ -73,7 +101,15 @@ const (
 	// queued task across the interconnect costs more than letting the
 	// victim run it next.
 	crossStealMin = 2
+
+	// maxBonus bounds the dynamic-priority bonus: sleep_avg maps onto
+	// [-maxBonus, +maxBonus] effective priority levels (2.5's MAX_BONUS).
+	maxBonus = 5
 )
+
+// BonusSpan is the number of distinct bonus values (-maxBonus..+maxBonus);
+// BonusLevels returns one counter per value, index 0 = -maxBonus.
+const BonusSpan = 2*maxBonus + 1
 
 // Config tunes the o1 scheduler's domain-aware balancing. The zero value
 // gives the default, domain-aware behavior.
@@ -92,8 +128,28 @@ type Config struct {
 	CrossBatch int
 	// StarvationLimit is how many schedule() calls the expired array may
 	// sit non-empty before a forced array swap (default 128; <0
-	// disables the guard).
+	// disables the guard). The same clock bounds interactive re-insertion
+	// into the active array: once the expired array has starved that
+	// long, interactive tasks expire normally until the swap happens.
 	StarvationLimit int
+	// InteractivityOff disables the sleep_avg machinery — no dynamic-
+	// priority bonus, no active-array requeue on expiry, no timeslice
+	// granularity chunking. The ablation baseline for the latency
+	// experiments: with it set, a quantum-expired probe parks behind a
+	// full hog quantum in the expired array.
+	InteractivityOff bool
+	// InteractiveDelta is the bonus a task needs to count as interactive
+	// and earn active-array re-insertion (default 2, range 1..maxBonus).
+	InteractiveDelta int
+	// GranularityTicks is the TIMESLICE_GRANULARITY chunk in quantum
+	// ticks: every multiple, a running interactive task with a same-level
+	// queued peer on its CPU is rotated to the tail of its level
+	// (default 2 ticks = 20 ms; <0 disables chunking).
+	GranularityTicks int
+	// WakeIdleOff makes the policy decline the kernel's SD_WAKE_IDLE
+	// placement hints: woken tasks always file on their home CPU's queue,
+	// the pre-sched_domains wake path. Ablation knob.
+	WakeIdleOff bool
 }
 
 func (c Config) withDefaults() Config {
@@ -106,10 +162,16 @@ func (c Config) withDefaults() Config {
 	if c.StarvationLimit == 0 {
 		c.StarvationLimit = 128
 	}
+	if c.InteractiveDelta == 0 {
+		c.InteractiveDelta = 2
+	}
+	if c.GranularityTicks == 0 {
+		c.GranularityTicks = 2
+	}
 	return c
 }
 
-// levelOf maps a task to its priority level; lower level = higher
+// levelOf maps a task to its static priority level; lower level = higher
 // priority, so the bitmap find-first-set returns the best level directly.
 func levelOf(t *task.Task) int {
 	if t.RealTime() {
@@ -176,6 +238,11 @@ type runqueue struct {
 	sinceBalance int
 	schedSeq     uint64
 	expiredSince uint64
+
+	// rotate marks the task TickPreempt rotated for timeslice-
+	// granularity chunking; the next Schedule on this CPU files it at the
+	// tail of its level (losing the FIFO tie) instead of the head.
+	rotate *task.Task
 }
 
 func (rq *runqueue) active() *prioArray  { return &rq.arrays[rq.activeIdx] }
@@ -202,6 +269,14 @@ type Sched struct {
 	// scheduler sees them — the numa experiment's per-policy columns and
 	// schedtrace's per-domain steal table.
 	steals []CPUSteals
+
+	// bonusLevels counts SCHED_OTHER enqueues by dynamic-priority bonus
+	// (index 0 = -maxBonus), the interactivity estimator's observable
+	// distribution; interactiveRequeues counts active-array re-insertions
+	// the interactivity rules granted (quantum-expiry requeues and
+	// spent-quantum wake recharges).
+	bonusLevels         [BonusSpan]uint64
+	interactiveRequeues uint64
 }
 
 // New returns an O(1) scheduler bound to env with the default config.
@@ -244,6 +319,58 @@ func (s *Sched) PerCPUSteals() []CPUSteals {
 	return append([]CPUSteals(nil), s.steals...)
 }
 
+// bonusOf maps a task's sleep_avg onto the dynamic-priority bonus: zero
+// credit is -maxBonus (a hog files below its static priority), a full
+// MaxSleepAvg of credit is +maxBonus (2.5's CURRENT_BONUS, recentered).
+func (s *Sched) bonusOf(t *task.Task) int {
+	if s.cfg.InteractivityOff || t.RealTime() {
+		return 0
+	}
+	max := s.env.Cost.MaxSleepAvg
+	if max == 0 {
+		return 0
+	}
+	return int(t.SleepAvg()*BonusSpan/(max+1)) - maxBonus
+}
+
+// interactive reports whether the task's bonus clears the interactivity
+// threshold — 2.6's TASK_INTERACTIVE, gating active-array re-insertion
+// and timeslice-granularity rotation.
+func (s *Sched) interactive(t *task.Task) bool {
+	if s.cfg.InteractivityOff || t.RealTime() {
+		return false
+	}
+	return s.bonusOf(t) >= s.cfg.InteractiveDelta
+}
+
+// levelFor is the effective priority level a task files at: its static
+// level shifted by the sleep_avg bonus, clamped to the SCHED_OTHER range.
+// Real-time levels never move.
+func (s *Sched) levelFor(t *task.Task) int {
+	if t.RealTime() {
+		return levelOf(t)
+	}
+	prio := t.Priority + s.bonusOf(t)
+	if prio < task.MinPriority {
+		prio = task.MinPriority
+	}
+	if prio > task.MaxPriority {
+		prio = task.MaxPriority
+	}
+	return rtLevels + task.MaxPriority - prio
+}
+
+// BonusLevels returns a copy of the enqueue counts by dynamic-priority
+// bonus, index 0 = -5 through index 10 = +5 — the distribution schedtrace
+// renders and the sweep JSON records.
+func (s *Sched) BonusLevels() []uint64 {
+	return append([]uint64(nil), s.bonusLevels[:]...)
+}
+
+// InteractiveRequeues reports how many times the interactivity rules
+// re-inserted a task into the active array instead of expiring it.
+func (s *Sched) InteractiveRequeues() uint64 { return s.interactiveRequeues }
+
 // Name implements sched.Scheduler.
 func (s *Sched) Name() string { return "o1" }
 
@@ -284,7 +411,10 @@ func unstamp(st uint64) (arrayIdx, lvl int) { return int(st >> 8 & 1), int(st & 
 func (s *Sched) enqueue(t *task.Task, cpu, arrayIdx int, front bool) {
 	rq := &s.rqs[cpu]
 	arr := &rq.arrays[arrayIdx]
-	lvl := levelOf(t)
+	lvl := s.levelFor(t)
+	if !t.RealTime() && !s.cfg.InteractivityOff {
+		s.bonusLevels[s.bonusOf(t)+maxBonus]++
+	}
 	if front {
 		arr.lists[lvl].PushFront(&t.RunList)
 	} else {
@@ -313,7 +443,8 @@ func (s *Sched) enqueueExpired(t *task.Task, cpu int) {
 
 // AddToRunqueue files a newly runnable task at the front of its level in
 // its home CPU's active array; a task arriving with an exhausted quantum
-// is recharged and parked in the expired array instead.
+// is recharged and parked in the expired array — unless it is
+// interactive, in which case addTo recharges it into the active array.
 func (s *Sched) AddToRunqueue(t *task.Task) {
 	if t.IsIdle {
 		panic("o1: idle task on run queue")
@@ -322,12 +453,56 @@ func (s *Sched) AddToRunqueue(t *task.Task) {
 		return
 	}
 	t.SyncCounter(s.env.Epoch)
-	home := s.homeOf(t)
+	s.addTo(t, s.homeOf(t), true)
+}
+
+// PlaceWake accepts the kernel's SD_WAKE_IDLE hint: file the woken task
+// directly on the given idle CPU's queue, inside the waker's cache
+// domain, instead of behind its home CPU's backlog. Declined when the
+// WakeIdleOff ablation knob is set, when the scheduler runs
+// TopologyBlind (the hint is derived from the cache-domain layout this
+// variant is defined not to see — pre-sched_domains kernels had no
+// SD_WAKE_IDLE either), or when the hint is unusable.
+func (s *Sched) PlaceWake(t *task.Task, cpu int) bool {
+	if s.cfg.WakeIdleOff || s.cfg.TopologyBlind || t.IsIdle || cpu < 0 || cpu >= len(s.rqs) || !t.AllowedOn(cpu) {
+		return false
+	}
+	if t.OnRunqueue() {
+		return false
+	}
+	t.SyncCounter(s.env.Epoch)
+	s.addTo(t, cpu, true)
+	return true
+}
+
+// addTo files a runnable task on cpu's queue, applying the interactivity
+// rule for exhausted quanta: an interactive task waking with a spent
+// counter is recharged into the active array — it must not wait out a
+// full hog quantum in expired for the crime of having run recently —
+// while a non-interactive one is recharged into expired as before. The
+// re-insertion is bounded by the expired array's starvation clock.
+func (s *Sched) addTo(t *task.Task, cpu int, front bool) {
+	rq := &s.rqs[cpu]
 	if !t.RealTime() && t.Counter(s.env.Epoch) == 0 {
-		s.enqueueExpired(t, home)
+		if s.interactive(t) && !s.reinsertBlocked(rq) {
+			t.SetCounter(s.env.Epoch, t.Priority)
+			s.interactiveRequeues++
+			s.enqueue(t, cpu, rq.activeIdx, front)
+			return
+		}
+		s.enqueueExpired(t, cpu)
 		return
 	}
-	s.enqueue(t, home, s.rqs[home].activeIdx, true)
+	s.enqueue(t, cpu, rq.activeIdx, front)
+}
+
+// reinsertBlocked bounds interactive active-array re-insertion: once the
+// expired array has waited StarvationLimit schedule() calls, interactive
+// tasks stop jumping the queue so the forced swap can restore fairness.
+func (s *Sched) reinsertBlocked(rq *runqueue) bool {
+	return s.cfg.StarvationLimit >= 0 &&
+		rq.expired().count > 0 &&
+		rq.schedSeq-rq.expiredSince >= uint64(s.cfg.StarvationLimit)
 }
 
 // DelFromRunqueue unlinks t from whichever array list holds it.
@@ -393,6 +568,8 @@ func (s *Sched) Schedule(cpu int, prev *task.Task) sched.Result {
 	res := sched.Result{Cycles: env.Cost.ScheduleBase}
 	rq := &s.rqs[cpu]
 	rq.schedSeq++
+	rotated := !prev.IsIdle && rq.rotate == prev
+	rq.rotate = nil
 
 	yielded := false
 	if !prev.IsIdle {
@@ -407,8 +584,11 @@ func (s *Sched) Schedule(cpu int, prev *task.Task) sched.Result {
 			home := s.homeOf(prev)
 			switch {
 			case !prev.RealTime() && prev.Counter(env.Epoch) == 0:
-				// Quantum expiry: recharge and park in expired.
-				s.enqueueExpired(prev, home)
+				// Quantum expiry: recharge. Interactive tasks re-enter
+				// the active array at the tail of their level (2.6's
+				// TASK_INTERACTIVE requeue, bounded by the starvation
+				// clock); everyone else parks in expired.
+				s.addTo(prev, home, false)
 			case yielded && !prev.RealTime():
 				// sched_yield sends a timesharing task behind every
 				// active task, 2.6-style, so yield-spinning locks
@@ -416,6 +596,11 @@ func (s *Sched) Schedule(cpu int, prev *task.Task) sched.Result {
 				s.enqueueExpired(prev, home)
 			case yielded || rrExpired:
 				// Real-time yield/rotation: tail of its own level.
+				s.enqueue(prev, home, s.rqs[home].activeIdx, false)
+			case rotated:
+				// TIMESLICE_GRANULARITY rotation: quantum left, but a
+				// same-level peer is waiting — tail of its level, so
+				// the peers round-robin inside the quantum.
 				s.enqueue(prev, home, s.rqs[home].activeIdx, false)
 			default:
 				// Preempted with quantum left: keep its spot.
@@ -443,6 +628,58 @@ func (s *Sched) Schedule(cpu int, prev *task.Task) sched.Result {
 		res.Next = best
 	}
 	return res
+}
+
+// PreemptsCurr implements the kernel's wake-preemption comparison —
+// 2.6's TASK_PREEMPTS_CURR: the woken task preempts the running one when
+// its effective (bonus-laden) level is strictly better. This is how
+// sleep_avg reaches the wake path: an interactive task at the same
+// static priority as a hog files five levels above it and preempts it on
+// wake, where the 2.3.99 goodness comparison would see a tie.
+func (s *Sched) PreemptsCurr(t, curr *task.Task) bool {
+	return s.levelFor(t) < s.levelFor(curr)
+}
+
+// TickPreempt implements the kernel's tick-time preemption hook: called
+// from the timer tick while t runs on cpu with quantum remaining. Two
+// interactivity rules fire here, distinguished for the kernel's stats.
+// First, if the active array holds a strictly better effective level
+// than the running task's — a sleeper's bonus rose past a hog whose own
+// bonus drained since the wake-time comparison tied — the tick preempts
+// (preempt true, rotation false) so the better task never waits out a
+// whole quantum on a stale decision; the bitmap makes the check O(1),
+// and the head of the better list must itself be pickable here so an
+// unpickable affinity straggler cannot buy a spurious interrupt every
+// tick. Second, TIMESLICE_GRANULARITY chunking (both true): every
+// GranularityTicks of consumed quantum, if another task waits at t's
+// own effective level on this CPU, t is marked for rotation and
+// preempted; the next Schedule files it at the tail of its level, so
+// same-level interactive tasks round-robin inside a quantum instead of
+// serializing.
+func (s *Sched) TickPreempt(cpu int, t *task.Task) (preempt, rotation bool) {
+	if s.cfg.InteractivityOff || t.RealTime() {
+		return false, false
+	}
+	rq := &s.rqs[cpu]
+	lvl := s.levelFor(t)
+	if best := rq.active().firstSet(); best >= 0 && best < lvl {
+		head := task.FromNode(rq.active().lists[best].First())
+		if (!head.HasCPU || head.Processor == cpu) && head.AllowedOn(cpu) {
+			return true, false // a better level waits: re-pick, t keeps its spot
+		}
+	}
+	if s.cfg.GranularityTicks < 0 || !s.interactive(t) {
+		return false, false
+	}
+	c := t.Counter(s.env.Epoch)
+	if c <= 0 || c%s.cfg.GranularityTicks != 0 {
+		return false, false
+	}
+	if rq.active().lists[lvl].Empty() {
+		return false, false
+	}
+	rq.rotate = t
+	return true, true
 }
 
 // pickLocal selects from cpu's own queue, swapping in the expired array

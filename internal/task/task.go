@@ -131,6 +131,15 @@ type Task struct {
 	counter      int
 	counterEpoch uint64
 
+	// sleepAvg is the Linux 2.5-style interactivity estimator: cycles of
+	// credit accumulated while the task is blocked (CreditSleep, called by
+	// the kernel's wake path) and drained 1:1 while it executes (DrainRun,
+	// called by the kernel's work accounting). The kernel clamps the
+	// credit at the cost model's MaxSleepAvg; policies map the ratio
+	// sleepAvg/MaxSleepAvg onto a dynamic-priority bonus. A task that
+	// sleeps most of the time rides at the ceiling, a CPU hog at zero.
+	sleepAvg uint64
+
 	// MM is the address space; nil for kernel threads.
 	MM *MM
 
@@ -286,6 +295,28 @@ func (t *Task) SyncCounter(ep *Epoch) {
 		t.counter = max
 	}
 	t.counterEpoch = n
+}
+
+// SleepAvg returns the accumulated interactivity credit in cycles.
+func (t *Task) SleepAvg() uint64 { return t.sleepAvg }
+
+// CreditSleep adds slept cycles of blocked time to the interactivity
+// estimator, clamped at max — the wake-side accounting hook.
+func (t *Task) CreditSleep(slept, max uint64) {
+	t.sleepAvg += slept
+	if t.sleepAvg > max {
+		t.sleepAvg = max
+	}
+}
+
+// DrainRun consumes ran cycles of executed work from the interactivity
+// estimator (floor zero) — the run-side accounting hook.
+func (t *Task) DrainRun(ran uint64) {
+	if ran >= t.sleepAvg {
+		t.sleepAvg = 0
+		return
+	}
+	t.sleepAvg -= ran
 }
 
 // PredictedCounter returns the counter value the task will have after the

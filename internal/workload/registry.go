@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"elsc/internal/kernel"
+	"elsc/internal/task"
 	"elsc/internal/workload/db"
 	"elsc/internal/workload/kbuild"
 	"elsc/internal/workload/latency"
@@ -170,9 +171,14 @@ func buildWebserver(m *kernel.Machine, p Params) Instance {
 }
 
 // buildLatency maps Params onto the steady-state probe workload: Work is
-// wakes per probe, Quick shrinks the wake count.
+// wakes per probe, Quick shrinks the wake count. The matrix cell runs
+// nice-0 probes (the same static priority as the hogs) — the regime the
+// 2.5 interactivity estimator was built for, where only a scheduler's
+// dynamic priority can tell an interactive task from a CPU hog. Direct
+// users of the latency package keep its max-priority default, which
+// isolates the raw wake path instead.
 func buildLatency(m *kernel.Machine, p Params) Instance {
-	cfg := latency.Config{WakesPerProbe: p.Work}
+	cfg := latency.Config{WakesPerProbe: p.Work, ProbePriority: task.DefaultPriority}
 	if p.Quick && p.Work == 0 {
 		cfg.WakesPerProbe = 50
 	}
