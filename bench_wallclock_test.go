@@ -1,0 +1,62 @@
+package elsc_test
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// benchWallclockSchema mirrors cmd/sweep's BENCH_wallclock.json output.
+// Where BENCH_sweep.json tracks virtual-time results (byte-identical for
+// a seed), this file tracks the harness's own speed: host wall-clock per
+// matrix cell. The committed copy keeps the trajectory visible across
+// PRs; CI regenerates one with a -parallel 2 one-cell sweep and re-runs
+// this test against it.
+type benchWallclockSchema struct {
+	Experiment   string  `json:"experiment"`
+	Seed         int64   `json:"seed"`
+	Parallel     int     `json:"parallel"`
+	GoMaxProcs   int     `json:"gomaxprocs"`
+	TotalSeconds float64 `json:"total_seconds"`
+	Cells        []struct {
+		Workload string  `json:"workload"`
+		Policy   string  `json:"policy"`
+		Spec     string  `json:"spec"`
+		WallMS   float64 `json:"wall_ms"`
+		Events   *uint64 `json:"events"` // pointer so a stale file fails loudly
+	} `json:"cells"`
+}
+
+func TestBenchWallclockJSONSchema(t *testing.T) {
+	raw, err := os.ReadFile("BENCH_wallclock.json")
+	if err != nil {
+		t.Fatalf("reading BENCH_wallclock.json: %v (regenerate with: go run ./cmd/sweep -quick -exp matrix -json)", err)
+	}
+	var got benchWallclockSchema
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatalf("BENCH_wallclock.json does not parse: %v", err)
+	}
+	if got.Experiment == "" {
+		t.Fatal("BENCH_wallclock.json missing experiment")
+	}
+	if got.Parallel < 1 || got.GoMaxProcs < 1 {
+		t.Fatalf("parallel=%d gomaxprocs=%d, want >= 1", got.Parallel, got.GoMaxProcs)
+	}
+	if got.TotalSeconds <= 0 {
+		t.Fatalf("total_seconds = %v, want > 0", got.TotalSeconds)
+	}
+	if len(got.Cells) == 0 {
+		t.Fatal("BENCH_wallclock.json has no cells; run sweep with -exp matrix (or all) and -json")
+	}
+	for _, c := range got.Cells {
+		if c.Workload == "" || c.Policy == "" || c.Spec == "" {
+			t.Fatalf("cell missing identity fields: %+v", c)
+		}
+		if c.WallMS <= 0 {
+			t.Fatalf("cell %s-%s-%s has non-positive wall_ms", c.Workload, c.Policy, c.Spec)
+		}
+		if c.Events == nil || *c.Events == 0 {
+			t.Fatalf("cell %s-%s-%s missing events count; regenerate the file", c.Workload, c.Policy, c.Spec)
+		}
+	}
+}

@@ -20,6 +20,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -28,7 +30,14 @@ import (
 	"elsc/internal/workload"
 )
 
+// main delegates to run so deferred cleanup — stopping the CPU profile,
+// writing the heap profile — still happens on error exits (os.Exit would
+// skip the defers and leave a truncated profile).
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
 		exp      = flag.String("exp", "all", "experiment to run (table2 fig2 fig3 fig4 fig5 fig6 profile alt web latency lock numa matrix wakestorm interactive ablate all)")
 		quick    = flag.Bool("quick", false, "reduced message counts for a fast pass")
@@ -36,11 +45,44 @@ func main() {
 		seed     = flag.Int64("seed", 42, "simulation seed")
 		parallel = flag.Int("parallel", 0, "concurrent runs (default GOMAXPROCS)")
 		jsonOut  = flag.Bool("json", false, "also write every table to "+jsonPath)
-		policies = flag.String("policies", "", "comma-separated policy filter for the matrix experiments (default all)")
-		loads    = flag.String("loads", "", "comma-separated workload filter for the matrix experiments (default all registered)")
-		specs    = flag.String("specs", "", "comma-separated machine specs for the matrix experiment (default 8P,32P-NUMA)")
+		policies   = flag.String("policies", "", "comma-separated policy filter for the matrix experiments (default: non-baseline policies; retired baselines like mq run only when named)")
+		loads      = flag.String("loads", "", "comma-separated workload filter for the matrix experiments (default all registered)")
+		specs      = flag.String("specs", "", "comma-separated machine specs for the matrix experiment (default 8P,32P-NUMA)")
+		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this file")
+		memprofile = flag.String("memprofile", "", "write a pprof heap profile at sweep end to this file")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "creating %s: %v\n", *cpuprofile, err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "starting CPU profile: %v\n", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		path := *memprofile
+		defer func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "creating %s: %v\n", path, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "writing heap profile: %v\n", err)
+			}
+		}()
+	}
 
 	sc := experiments.DefaultScale()
 	if *quick {
@@ -53,8 +95,10 @@ func main() {
 	sc.Seed = *seed
 	sc.Parallel = *parallel
 
-	matrixPolicies := splitList(*policies, experiments.Policies)
-	matrixLoads := splitList(*loads, workload.Names())
+	// The default matrix set excludes retired baselines (experiments.Caps);
+	// naming one in -policies still runs it.
+	matrixPolicies := splitList(*policies, experiments.DefaultPolicies(), experiments.Policies)
+	matrixLoads := splitList(*loads, workload.Names(), workload.Names())
 	matrixSpecs := specList(*specs, []string{"8P", "32P-NUMA"})
 
 	want := func(name string) bool { return *exp == "all" || *exp == name }
@@ -171,24 +215,30 @@ func main() {
 	}
 	if !known {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
-		os.Exit(2)
+		return 2
 	}
 	if *jsonOut {
 		if err := writeJSON(jsonPath, *exp, *quick, sc, tables, workloadRuns); err != nil {
 			fmt.Fprintf(os.Stderr, "writing %s: %v\n", jsonPath, err)
-			os.Exit(1)
+			return 1
 		}
-		fmt.Fprintf(os.Stderr, "wrote %d tables and %d workload entries to %s\n",
-			len(tables), len(workloadRuns), jsonPath)
+		if err := writeWallclockJSON(wallclockPath, *exp, *quick, sc, time.Since(t0), workloadRuns); err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", wallclockPath, err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d tables and %d workload entries to %s (+wall-clock to %s)\n",
+			len(tables), len(workloadRuns), jsonPath, wallclockPath)
 	}
 	fmt.Fprintf(os.Stderr, "done in %.1fs\n", time.Since(t0).Seconds())
+	return 0
 }
 
-// splitList parses a comma-separated flag, defaulting to all and
-// validating each entry against the registered set.
-func splitList(flagVal string, all []string) []string {
+// splitList parses a comma-separated flag, defaulting to def and
+// validating each entry against the registered set (which may be wider
+// than the default — retired baselines are valid but not default).
+func splitList(flagVal string, def, all []string) []string {
 	if flagVal == "" {
-		return all
+		return def
 	}
 	var out []string
 	for _, name := range strings.Split(flagVal, ",") {
@@ -210,7 +260,7 @@ func splitList(flagVal string, all []string) []string {
 		out = append(out, name)
 	}
 	if len(out) == 0 {
-		return all
+		return def
 	}
 	return out
 }
@@ -300,6 +350,59 @@ type sweepJSON struct {
 	Horizon    uint64          `json:"horizon_seconds"`
 	Tables     []*stats.Table  `json:"tables"`
 	Workloads  []workloadEntry `json:"workloads,omitempty"`
+}
+
+// wallclockPath is where -json drops the harness-speed numbers. Unlike
+// BENCH_sweep.json — virtual-time results, byte-identical for a seed —
+// this file records host wall-clock per matrix cell, so engine-speed
+// regressions become visible across PRs (numbers vary with the host; the
+// committed file tracks the CI-class container the repo is grown on).
+const wallclockPath = "BENCH_wallclock.json"
+
+// wallclockCell is one matrix cell's harness cost.
+type wallclockCell struct {
+	Workload string  `json:"workload"`
+	Policy   string  `json:"policy"`
+	Spec     string  `json:"spec"`
+	WallMS   float64 `json:"wall_ms"`
+	Events   uint64  `json:"events"` // engine events dispatched in the cell
+}
+
+// wallclockJSON is the BENCH_wallclock.json schema.
+type wallclockJSON struct {
+	Experiment   string          `json:"experiment"`
+	Quick        bool            `json:"quick"`
+	Seed         int64           `json:"seed"`
+	Parallel     int             `json:"parallel"`
+	GoMaxProcs   int             `json:"gomaxprocs"`
+	TotalSeconds float64         `json:"total_seconds"`
+	Cells        []wallclockCell `json:"cells"`
+}
+
+func writeWallclockJSON(path, exp string, quick bool, sc experiments.Scale, total time.Duration, wruns []experiments.WorkloadRun) error {
+	cells := make([]wallclockCell, 0, len(wruns))
+	for _, r := range wruns {
+		cells = append(cells, wallclockCell{
+			Workload: r.Load,
+			Policy:   r.Policy,
+			Spec:     r.Spec.Label,
+			WallMS:   float64(r.WallNS) / 1e6,
+			Events:   r.Stats.EventsFired,
+		})
+	}
+	out, err := json.MarshalIndent(wallclockJSON{
+		Experiment:   exp,
+		Quick:        quick,
+		Seed:         sc.Seed,
+		Parallel:     sc.Workers(),
+		GoMaxProcs:   runtime.GOMAXPROCS(0),
+		TotalSeconds: total.Seconds(),
+		Cells:        cells,
+	}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
 }
 
 func writeJSON(path, exp string, quick bool, sc experiments.Scale, tables []*stats.Table, wruns []experiments.WorkloadRun) error {

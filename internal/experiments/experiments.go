@@ -142,7 +142,9 @@ func QuickScale() Scale {
 	return Scale{Messages: 10, Seed: 42, HorizonSeconds: 600, Quick: true}
 }
 
-func (s Scale) workers() int {
+// Workers returns the effective worker-pool width: Parallel when set,
+// otherwise GOMAXPROCS.
+func (s Scale) Workers() int {
 	if s.Parallel > 0 {
 		return s.Parallel
 	}

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"elsc/internal/kernel"
 	"elsc/internal/stats"
@@ -39,6 +40,12 @@ type WorkloadRun struct {
 	Result workload.Result
 	Stats  kernel.Stats
 
+	// WallNS is the host wall-clock the cell took to build and run, in
+	// nanoseconds. It is the one host-dependent number a run carries —
+	// recorded in BENCH_wallclock.json so harness-speed regressions show
+	// up across PRs — and is excluded from every determinism digest.
+	WallNS int64
+
 	// BonusLevels and InteractiveRequeues are the interactivity
 	// estimator's own counters, for policies that track them (HasBonus):
 	// enqueues by dynamic-priority bonus (-5..+5) and active-array
@@ -62,14 +69,20 @@ func (r WorkloadRun) Key() string {
 
 // RunWorkloadCell executes one workload under one policy on one spec.
 func RunWorkloadCell(spec MachineSpec, policy, load string, sc Scale) WorkloadRun {
-	return runWorkloadOn(NewMachine(spec, policy, sc), spec, policy, load, sc)
+	start := time.Now()
+	run := runWorkloadOn(NewMachine(spec, policy, sc), spec, policy, load, sc)
+	run.WallNS = time.Since(start).Nanoseconds()
+	return run
 }
 
 // RunWorkloadCellWith executes one workload cell with an explicit
 // scheduler factory — the entry for ablation variants that tune a
 // policy's config (the interactivity and topology studies).
 func RunWorkloadCellWith(spec MachineSpec, factory kernel.SchedulerFactory, policyLabel, load string, sc Scale) WorkloadRun {
-	return runWorkloadOn(NewMachineWith(spec, factory, sc), spec, policyLabel, load, sc)
+	start := time.Now()
+	run := runWorkloadOn(NewMachineWith(spec, factory, sc), spec, policyLabel, load, sc)
+	run.WallNS = time.Since(start).Nanoseconds()
+	return run
 }
 
 // runWorkloadOn runs the named workload on a prepared machine and
@@ -178,19 +191,21 @@ func WorkloadDetail(runs []WorkloadRun, spec MachineSpec, policies []string, loa
 	return t
 }
 
-// WakeStorm races every registered policy through the wake-storm workload
-// on one spec and reports per-policy wakeup-to-run latency: the p50/p99/
-// max tail a woken herd member waits before it actually executes.
+// WakeStorm races the default (non-baseline) policies through the
+// wake-storm workload on one spec and reports per-policy wakeup-to-run
+// latency: the p50/p99/max tail a woken herd member waits before it
+// actually executes.
 func WakeStorm(spec MachineSpec, sc Scale) *stats.Table {
-	runs := RunWorkloadMatrix(Policies, []MachineSpec{spec}, []string{workload.WakeStorm}, sc)
-	return WorkloadDetail(runs, spec, Policies, workload.WakeStorm)
+	pols := DefaultPolicies()
+	runs := RunWorkloadMatrix(pols, []MachineSpec{spec}, []string{workload.WakeStorm}, sc)
+	return WorkloadDetail(runs, spec, pols, workload.WakeStorm)
 }
 
 // forEachIndexParallel runs n independent jobs concurrently (bounded by
 // sc.workers) with results written by index, keeping table order
 // deterministic regardless of completion order.
 func forEachIndexParallel(n int, sc Scale, run func(i int)) {
-	sem := make(chan struct{}, sc.workers())
+	sem := make(chan struct{}, sc.Workers())
 	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {
 		wg.Add(1)

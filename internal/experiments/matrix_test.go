@@ -86,15 +86,18 @@ func TestWorkloadDetailIncludesExtras(t *testing.T) {
 }
 
 // TestWakeStormTableAllPolicies is the acceptance check: the wake-storm
-// experiment reports p50/p99 wakeup-to-run latency for every registered
-// policy on the NUMA spec. The scale is tiny; the sweep runs it big.
+// experiment reports p50/p99 wakeup-to-run latency for every default
+// (non-baseline) policy on the NUMA spec — retired baselines stay out of
+// the default sweep per the capability table, but remain runnable by
+// name. The scale is tiny; the sweep runs it big.
 func TestWakeStormTableAllPolicies(t *testing.T) {
 	tab := WakeStorm(SpecByLabel("32P-NUMA"), matrixScale())
 	out := tab.Render()
-	if tab.NumRows() != len(Policies) {
-		t.Fatalf("wakestorm table rows = %d, want %d", tab.NumRows(), len(Policies))
+	def := DefaultPolicies()
+	if tab.NumRows() != len(def) {
+		t.Fatalf("wakestorm table rows = %d, want %d", tab.NumRows(), len(def))
 	}
-	for _, p := range Policies {
+	for _, p := range def {
 		if !strings.Contains(out, p) {
 			t.Fatalf("wakestorm table missing policy %q:\n%s", p, out)
 		}
@@ -103,6 +106,37 @@ func TestWakeStormTableAllPolicies(t *testing.T) {
 		if !strings.Contains(out, col) {
 			t.Fatalf("wakestorm table missing %q:\n%s", col, out)
 		}
+	}
+}
+
+// TestDefaultPoliciesExcludeBaselines pins the demotion: mq is a retired
+// baseline — registered, conformance-covered, selectable by name — but
+// absent from the default sweep set, and every default policy is still a
+// registered one.
+func TestDefaultPoliciesExcludeBaselines(t *testing.T) {
+	def := DefaultPolicies()
+	for _, p := range def {
+		if Caps[p].Baseline {
+			t.Fatalf("baseline policy %q in DefaultPolicies", p)
+		}
+		if Factory(p) == nil {
+			t.Fatalf("default policy %q has no factory", p)
+		}
+	}
+	if len(def) >= len(Policies) {
+		t.Fatal("no policy is demoted; the baseline mechanism is dead code")
+	}
+	found := false
+	for _, p := range Policies {
+		if p == MQ {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("mq must stay registered (conformance + determinism coverage)")
+	}
+	if !Caps[MQ].Baseline {
+		t.Fatal("mq should carry the Baseline flag (no interactivity story)")
 	}
 }
 

@@ -25,6 +25,18 @@ type CPU struct {
 	segStart sim.Time
 	idleFrom sim.Time
 
+	// Preallocated event machinery, so the per-event hot paths never
+	// touch the allocator: the timer tick and the reschedule IPI are
+	// caller-owned events re-armed in place (at most one of each is ever
+	// in flight), the context-switch completion carries its chosen proc
+	// through dispatchNext instead of a fresh closure, and runDoneFn is
+	// the segment-completion callback bound once at boot.
+	tickEv       *sim.Event
+	ipiEv        *sim.Event
+	dispatchEv   *sim.Event
+	dispatchNext *Proc
+	runDoneFn    func(now sim.Time)
+
 	// work is the CPU's task-work clock: total cycles of user work
 	// executed here, the pollution clock for the cache model.
 	work uint64
@@ -52,19 +64,8 @@ func (c *CPU) kickIdle() {
 		return
 	}
 	c.reschedSent = true
-	c.m.eng.After(ipiLatency, "kick-idle", func(now sim.Time) {
-		c.reschedSent = false
-		switch {
-		case c.transitioning:
-			c.needResched = true
-		case c.current == nil:
-			c.m.reschedule(c, now)
-		default:
-			c.interrupt(now)
-			c.current.Task.InvSwitches++
-			c.m.reschedule(c, now)
-		}
-	})
+	c.ipiEv.Name = "kick-idle"
+	c.m.eng.ScheduleAfter(c.ipiEv, ipiLatency)
 }
 
 // sendResched delivers a preemption IPI: when it lands, the CPU stops its
@@ -74,21 +75,27 @@ func (c *CPU) sendResched() {
 		return
 	}
 	c.reschedSent = true
-	c.m.eng.After(ipiLatency, "resched-ipi", func(now sim.Time) {
-		c.reschedSent = false
-		switch {
-		case c.transitioning:
-			// A decision is already in flight; the dispatch path
-			// re-checks needResched.
-			c.needResched = true
-		case c.current == nil:
-			c.m.reschedule(c, now)
-		default:
-			c.interrupt(now)
-			c.current.Task.InvSwitches++
-			c.m.reschedule(c, now)
-		}
-	})
+	c.ipiEv.Name = "resched-ipi"
+	c.m.eng.ScheduleAfter(c.ipiEv, ipiLatency)
+}
+
+// ipiArrive is the landing of either reschedule IPI (kick-idle or
+// preemption): both re-run schedule() here. reschedSent collapses
+// duplicates while one is in flight, so the single per-CPU event is never
+// double-armed. A kick that lands mid-transition only flags needResched:
+// the dispatch path re-checks it.
+func (c *CPU) ipiArrive(now sim.Time) {
+	c.reschedSent = false
+	switch {
+	case c.transitioning:
+		c.needResched = true
+	case c.current == nil:
+		c.m.reschedule(c, now)
+	default:
+		c.interrupt(now)
+		c.current.Task.InvSwitches++
+		c.m.reschedule(c, now)
+	}
 }
 
 // interrupt stops the current segment at now, crediting the elapsed work.
@@ -161,7 +168,7 @@ func (c *CPU) creditWork(p *Proc, cycles uint64) {
 // task's quantum, and force schedule() on expiry.
 func (c *CPU) tick(now sim.Time) {
 	m := c.m
-	m.eng.After(m.cfg.TickCycles, "tick", c.tick)
+	m.eng.ScheduleAfter(c.tickEv, m.cfg.TickCycles)
 	m.stats.TickCycles += m.env.Cost.TickCost
 	if c.transitioning {
 		return
@@ -220,7 +227,7 @@ func (c *CPU) startSegment(now sim.Time) {
 		p.segWall += p.remaining * c.m.env.Cost.RemoteAccessPct / 100
 	}
 	c.segStart = now
-	c.runDone = c.m.eng.After(p.segWall, "rundone", c.segmentDone)
+	c.runDone = c.m.eng.After(p.segWall, "rundone", c.runDoneFn)
 }
 
 // segmentDone fires when the current segment's cycles have elapsed.
@@ -274,8 +281,8 @@ func (c *CPU) nextAction(now sim.Time) {
 		p.onDone = nil
 		c.startSegment(now)
 	case Syscall:
-		sc := a
-		p.syscall = &sc
+		p.syscallBuf = a
+		p.syscall = &p.syscallBuf
 		p.remaining = a.Cost + m.env.Cost.SyscallBase
 		p.onDone = runSyscall
 		c.startSegment(now)
@@ -284,9 +291,9 @@ func (c *CPU) nextAction(now sim.Time) {
 		p.onDone = doYield
 		c.startSegment(now)
 	case Sleep:
-		d := a.Cycles
+		p.sleepDur = a.Cycles
 		p.remaining = m.env.Cost.SyscallBase
-		p.onDone = func(c *CPU, now sim.Time) { doSleep(c, now, d) }
+		p.onDone = doSleepAction
 		c.startSegment(now)
 	case Exit:
 		p.remaining = m.env.Cost.SyscallBase
@@ -338,6 +345,13 @@ func doYield(c *CPU, now sim.Time) {
 	c.m.reschedule(c, now)
 }
 
+// doSleepAction completes a Sleep action's syscall segment: the requested
+// duration was parked in sleepDur when the action was armed, so the
+// completion handler is this one static function rather than a closure.
+func doSleepAction(c *CPU, now sim.Time) {
+	doSleep(c, now, c.current.sleepDur)
+}
+
 // doSleep blocks the proc on a timer.
 func doSleep(c *CPU, now sim.Time, d uint64) {
 	p := c.current
@@ -345,10 +359,7 @@ func doSleep(c *CPU, now sim.Time, d uint64) {
 	p.Task.State = task.Interruptible
 	p.Task.VolSwitches++
 	p.sleepFrom = now
-	p.sleepEv = m.eng.After(d, "sleep-wake", func(sim.Time) {
-		p.sleepEv = nil
-		m.wake(p)
-	})
+	p.sleepEv = m.eng.After(d, "sleep-wake", p.sleepWakeFn)
 	m.reschedule(c, now)
 }
 
@@ -450,9 +461,17 @@ func (m *Machine) reschedule(c *CPU, now sim.Time) {
 		}
 	}
 
-	m.eng.At(now+sim.Time(delay), "dispatch", func(t sim.Time) {
-		m.dispatch(c, nextProc, t)
-	})
+	c.dispatchNext = nextProc
+	m.eng.Schedule(c.dispatchEv, now+sim.Time(delay))
+}
+
+// dispatchArrive completes the context switch armed by reschedule. At most
+// one is in flight per CPU (transitioning gates reschedule), so the chosen
+// proc rides in dispatchNext rather than a per-switch closure.
+func (c *CPU) dispatchArrive(now sim.Time) {
+	p := c.dispatchNext
+	c.dispatchNext = nil
+	c.m.dispatch(c, p, now)
 }
 
 // dispatch completes the context switch started by reschedule.

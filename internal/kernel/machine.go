@@ -211,10 +211,18 @@ func NewMachine(cfg Config) *Machine {
 		c.idleTask = task.New(-(i + 1), fmt.Sprintf("idle/%d", i), nil, m.env.Epoch)
 		c.idleTask.IsIdle = true
 		c.idleTask.Processor = i
+		// The per-CPU event set is allocated once here; the hot paths
+		// re-arm these objects (tick, IPI) or draw from the engine's
+		// freelist (rundone, sleep), so steady-state execution never
+		// allocates per event.
+		c.tickEv = m.eng.NewEvent("tick", c.tick)
+		c.ipiEv = m.eng.NewEvent("resched-ipi", c.ipiArrive)
+		c.dispatchEv = m.eng.NewEvent("dispatch", c.dispatchArrive)
+		c.runDoneFn = c.segmentDone
 		m.cpus[i] = c
 		// Stagger per-CPU timer interrupts slightly so four CPUs do
 		// not pile onto the run-queue lock at the exact same instant.
-		m.eng.At(sim.Time(cfg.TickCycles+uint64(i)*997), "tick", c.tick)
+		m.eng.Schedule(c.tickEv, sim.Time(cfg.TickCycles+uint64(i)*997))
 	}
 	return m
 }
@@ -239,6 +247,7 @@ func (m *Machine) Stats() *Stats {
 		m.stats.LockAcquisitions += m.rqLocks[i].acquisitions
 		m.stats.LockContended += m.rqLocks[i].contended
 	}
+	m.stats.EventsFired = m.eng.Fired()
 	return &m.stats
 }
 
@@ -298,6 +307,7 @@ func (m *Machine) SpawnRT(name string, policy task.Policy, rtprio int, prog Prog
 
 func (m *Machine) spawn(t *task.Task, prog Program) *Proc {
 	p := &Proc{Task: t, M: m, prog: prog, memDomain: -1}
+	p.sleepWakeFn = p.sleepWake
 	p.WaitNode.Owner = p
 	m.procs = append(m.procs, p)
 	m.byTask[t] = p

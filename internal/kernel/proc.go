@@ -21,13 +21,21 @@ type Proc struct {
 	// onDone runs when the segment completes; nil means ask the program
 	// for the next action.
 	onDone func(c *CPU, now sim.Time)
-	// syscall is the in-flight blocking syscall to (re)run.
-	syscall *Syscall
+	// syscall is the in-flight blocking syscall to (re)run; it points at
+	// syscallBuf, the proc's own storage, so arming a syscall does not
+	// allocate.
+	syscall    *Syscall
+	syscallBuf Syscall
+	// sleepDur carries a Sleep action's duration to its completion
+	// handler (a static function, not a per-sleep closure).
+	sleepDur uint64
 
 	// WaitNode links the proc into a WaitQueue.
 	WaitNode  klist.Node
 	waitingOn *WaitQueue
 	sleepEv   *sim.Event
+	// sleepWakeFn is the timer-expiry callback, bound once at spawn.
+	sleepWakeFn func(now sim.Time)
 
 	// sleepFrom is when the task last blocked (wait queue or timer); the
 	// wake path turns now-sleepFrom into sleep_avg interactivity credit.
@@ -59,6 +67,12 @@ type Proc struct {
 
 	// Steps counts program actions completed, for tests and traces.
 	Steps uint64
+}
+
+// sleepWake fires when the proc's sleep timer expires.
+func (p *Proc) sleepWake(sim.Time) {
+	p.sleepEv = nil
+	p.M.wake(p)
 }
 
 // Exited reports whether the proc has terminated.

@@ -46,6 +46,12 @@ type Stats struct {
 	// Lock totals.
 	LockAcquisitions uint64
 	LockContended    uint64
+
+	// Harness scale: engine events dispatched over the run — the unit the
+	// zero-allocation event engine is priced in. Deterministic for a seed
+	// (it is pure virtual-time behavior); BENCH_wallclock.json divides
+	// host wall-clock by it to get ns/event.
+	EventsFired uint64
 }
 
 // CyclesPerSchedule returns the Figure 5 metric: mean cycles per
@@ -102,6 +108,7 @@ func (s *Stats) Registry() *stats.Registry {
 	set("tick_cycles", s.TickCycles)
 	set("rq_lock_acquisitions", s.LockAcquisitions)
 	set("rq_lock_contended", s.LockContended)
+	set("events_fired", s.EventsFired)
 	*r.Dist("cycles_per_schedule") = s.PerSchedule
 	*r.Dist("examined_per_schedule") = s.ExaminedDist
 	return r

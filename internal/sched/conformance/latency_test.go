@@ -32,32 +32,18 @@ func latencyScale() experiments.Scale {
 // microseconds: counter recharges to Priority ticks of 10 ms.
 const hogQuantumUS = task.DefaultPriority * 10_000
 
-// latencyBudgetQuanta is the per-policy capability table for invariant
-// (a): the worst observed wakeup-to-run latency of a blocked-then-woken
-// probe, as a fraction of a default hog's full quantum. The invariant
-// every policy must meet is two full quanta — a woken probe runs before
-// any hog completes two quanta — and policies whose designs promise
-// better are held to it: the stock scanner and the heap preempt via
-// goodness within a few scheduler hops, and o1's interactivity machinery
-// (sleep_avg bonus + TASK_PREEMPTS_CURR + tick preemption) pins the
-// probe to microseconds. ELSC and mq have no latency story at equal
-// static priorities (their probes can wait out a hog quantum on one
-// queue), so they carry the base budget. A policy missing from the
-// table gets the base invariant.
-var latencyBudgetQuanta = map[string]float64{
-	experiments.Reg:  0.01,  // goodness preemption: tens of µs
-	experiments.Heap: 0.01,  // static-goodness heap: tens of µs
-	experiments.O1:   0.005, // interactivity-aware: the tightest bar
-}
-
-// baseLatencyBudgetQuanta is invariant (a)'s floor for every policy.
-const baseLatencyBudgetQuanta = 2.0
-
+// The per-policy budgets for invariant (a) — the worst observed
+// wakeup-to-run latency of a blocked-then-woken probe, as a fraction of a
+// default hog's full quantum — live in the experiments capability table
+// (experiments.Caps): the invariant every policy must meet is two full
+// quanta, and policies whose designs promise better are held to it. The
+// stock scanner and the heap preempt via goodness within a few scheduler
+// hops; o1's interactivity machinery (sleep_avg bonus + TASK_PREEMPTS_CURR
+// + tick preemption) pins the probe to microseconds. ELSC and mq have no
+// latency story at equal static priorities (their probes can wait out a
+// hog quantum on one queue), so they carry the base budget.
 func latencyBudget(policy string) float64 {
-	if q, ok := latencyBudgetQuanta[policy]; ok {
-		return q
-	}
-	return baseLatencyBudgetQuanta
+	return experiments.LatencyBudget(policy)
 }
 
 // TestLatencyInvariantProbeBeatsHogQuanta is invariant (a): on every

@@ -1,0 +1,76 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkAfterStep is the engine's steady-state unit of work: schedule
+// one event, dispatch it. This is the cycle the freelist and the 4-ary
+// heap exist for; allocs/op must read 0.
+func BenchmarkAfterStep(b *testing.B) {
+	var e Engine
+	fn := func(Time) {}
+	e.After(1, "warm", fn)
+	e.Step()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.After(10, "ev", fn)
+		e.Step()
+	}
+}
+
+// BenchmarkHeapChurn measures a dispatch against a populated heap: n
+// events pending, each iteration fires the earliest and schedules a
+// replacement — the shape of a machine with n in-flight timers.
+func BenchmarkHeapChurn(b *testing.B) {
+	for _, n := range []int{16, 256, 4096} {
+		b.Run(fmt.Sprintf("pending%d", n), func(b *testing.B) {
+			var e Engine
+			fn := func(Time) {}
+			for i := 0; i < n; i++ {
+				e.After(Cycles(1+i%97), "pend", fn)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.After(Cycles(1+i%97), "ev", fn)
+				e.Step()
+			}
+		})
+	}
+}
+
+// BenchmarkCancel measures the lazy O(1) cancel against a populated heap
+// (the old heap.Remove was O(log n) and reshuffled the array).
+func BenchmarkCancel(b *testing.B) {
+	var e Engine
+	fn := func(Time) {}
+	for i := 0; i < 256; i++ {
+		e.After(Cycles(1+i%97), "pend", fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := e.After(50, "victim", fn)
+		e.Cancel(ev)
+		e.After(10, "live", fn)
+		e.Step()
+	}
+}
+
+// BenchmarkRearmTick measures the caller-owned recurring event path the
+// kernel's timer tick uses: re-arm in place, no freelist traffic at all.
+func BenchmarkRearmTick(b *testing.B) {
+	var e Engine
+	var ev *Event
+	ev = e.NewEvent("tick", func(Time) { e.ScheduleAfter(ev, 10) })
+	e.Schedule(ev, 10)
+	e.Step()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+}

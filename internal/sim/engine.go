@@ -4,9 +4,15 @@
 // (time, sequence) order so that two events scheduled for the same instant
 // run in the order they were scheduled, which keeps every simulation
 // bit-for-bit reproducible for a given seed.
+//
+// The engine is built for wall-clock speed as much as determinism: the
+// pending set is a hand-rolled indexed 4-ary min-heap over inline
+// (time, sequence) keys (no interface boxing, no pointer chasing during
+// sift), fired events are recycled through a freelist so a steady-state
+// schedule→dispatch cycle allocates nothing, and Cancel is O(1) lazy
+// (the event is marked dead and skipped when it reaches the top) instead
+// of an O(log n) heap removal.
 package sim
-
-import "container/heap"
 
 // Time is a point in virtual time, in CPU clock cycles.
 type Time uint64
@@ -16,29 +22,54 @@ type Cycles = uint64
 
 // Event is a scheduled callback. Events are single-shot; recurring behavior
 // is built by rescheduling from within the callback.
+//
+// Events returned by At and After are owned by the engine: once the
+// callback has fired, the object is recycled for a later At/After and the
+// old pointer must not be used again (drop or nil any reference to a fired
+// event before scheduling new work). Events built with NewEvent are owned
+// by the caller, are never recycled, and may be re-armed with Schedule —
+// the shape for recurring timers that must not touch the allocator.
 type Event struct {
 	At   Time
 	Fn   func(now Time)
 	Name string // for traces and debugging
 
 	seq       uint64
-	index     int // heap index, -1 when not queued
+	queued    bool
 	cancelled bool
+	owned     bool // caller-owned (NewEvent): never recycled
 }
 
 // Cancelled reports whether Cancel was called on the event.
 func (e *Event) Cancelled() bool { return e.cancelled }
 
 // Pending reports whether the event is still queued to fire.
-func (e *Event) Pending() bool { return e.index >= 0 && !e.cancelled }
+func (e *Event) Pending() bool { return e.queued && !e.cancelled }
+
+// entry is one heap slot. The ordering key is stored inline so the 4-way
+// child comparisons in sift-down stay within the slice instead of chasing
+// an Event pointer per candidate.
+type entry struct {
+	at  Time
+	seq uint64
+	ev  *Event
+}
+
+// before reports heap order: earlier time first, scheduling order within
+// the same instant.
+func (a entry) before(b entry) bool {
+	return a.at < b.at || (a.at == b.at && a.seq < b.seq)
+}
 
 // Engine owns the virtual clock and the pending event set.
 // The zero value is ready to use.
 type Engine struct {
 	now    Time
-	queue  eventHeap
+	heap   []entry
+	free   []*Event
 	nexts  uint64
 	fired  uint64
+	live   int  // queued events not lazily cancelled
 	MaxDur Time // optional hard stop measured from time zero; 0 = none
 }
 
@@ -48,8 +79,9 @@ func (e *Engine) Now() Time { return e.now }
 // Fired returns the total number of events dispatched so far.
 func (e *Engine) Fired() uint64 { return e.fired }
 
-// Pending returns the number of events currently queued.
-func (e *Engine) Pending() int { return len(e.queue) }
+// Pending returns the number of events currently queued to fire
+// (lazily-cancelled events still in the heap do not count).
+func (e *Engine) Pending() int { return e.live }
 
 // At schedules fn to run at absolute time at. Scheduling in the past
 // (before Now) panics: it would corrupt causality.
@@ -57,9 +89,11 @@ func (e *Engine) At(at Time, name string, fn func(now Time)) *Event {
 	if at < e.now {
 		panic("sim: scheduling event in the past")
 	}
-	ev := &Event{At: at, Fn: fn, Name: name, seq: e.nexts, index: -1}
-	e.nexts++
-	heap.Push(&e.queue, ev)
+	ev := e.alloc()
+	ev.At = at
+	ev.Fn = fn
+	ev.Name = name
+	e.arm(ev, at)
 	return ev
 }
 
@@ -68,40 +102,117 @@ func (e *Engine) After(d Cycles, name string, fn func(now Time)) *Event {
 	return e.At(e.now+Time(d), name, fn)
 }
 
-// Cancel removes a pending event. Cancelling an already-fired or
-// already-cancelled event is a no-op.
+// NewEvent returns an unscheduled caller-owned event bound to fn. Arm it
+// with Schedule/ScheduleAfter; it may be re-armed after each firing (a
+// recurring timer re-arms itself from inside fn) and is never recycled,
+// so a long-lived periodic event costs one allocation for the machine's
+// lifetime.
+func (e *Engine) NewEvent(name string, fn func(now Time)) *Event {
+	return &Event{Name: name, Fn: fn, owned: true}
+}
+
+// Schedule arms a caller-owned event at absolute time at. The event must
+// not be currently queued (a cancelled event stays queued until the heap
+// skips past it) and must have been built with NewEvent.
+func (e *Engine) Schedule(ev *Event, at Time) {
+	if !ev.owned {
+		panic("sim: Schedule of an engine-owned event (use At/After)")
+	}
+	if ev.queued {
+		panic("sim: Schedule of an event still queued")
+	}
+	if at < e.now {
+		panic("sim: scheduling event in the past")
+	}
+	ev.At = at
+	ev.cancelled = false
+	e.arm(ev, at)
+}
+
+// ScheduleAfter arms a caller-owned event d cycles from now.
+func (e *Engine) ScheduleAfter(ev *Event, d Cycles) {
+	e.Schedule(ev, e.now+Time(d))
+}
+
+// arm assigns the next sequence number and pushes the event.
+func (e *Engine) arm(ev *Event, at Time) {
+	ev.seq = e.nexts
+	e.nexts++
+	ev.queued = true
+	e.push(entry{at: at, seq: ev.seq, ev: ev})
+	e.live++
+}
+
+// alloc takes an event from the freelist, or allocates when warm-up has
+// not yet populated it.
+func (e *Engine) alloc() *Event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		ev.cancelled = false
+		return ev
+	}
+	return new(Event)
+}
+
+// release returns a fired or cancel-skipped event to the freelist.
+// Caller-owned events (which their owner may re-arm) are left alone.
+func (e *Engine) release(ev *Event) {
+	if ev.owned || ev.queued {
+		return
+	}
+	ev.Fn = nil // do not pin the callback's captures until reuse
+	e.free = append(e.free, ev)
+}
+
+// Cancel removes a pending event in O(1): the event is marked dead and
+// skipped (and recycled) when it surfaces at the heap root. Cancelling an
+// already-fired or already-cancelled event is a no-op — but note that a
+// fired engine-owned event may already back a later At/After, so callers
+// must drop their reference to an event once it has fired.
 func (e *Engine) Cancel(ev *Event) {
-	if ev == nil || ev.cancelled || ev.index < 0 {
-		if ev != nil {
-			ev.cancelled = true
-		}
+	if ev == nil || ev.cancelled {
 		return
 	}
 	ev.cancelled = true
-	heap.Remove(&e.queue, ev.index)
-	ev.index = -1
+	if ev.queued {
+		e.live--
+	}
+}
+
+// peek prunes lazily-cancelled events off the heap root and returns the
+// next live event, or nil when none remain.
+func (e *Engine) peek() *Event {
+	for len(e.heap) > 0 {
+		ev := e.heap[0].ev
+		if !ev.cancelled {
+			return ev
+		}
+		e.pop()
+		e.release(ev)
+	}
+	return nil
 }
 
 // Step dispatches the next pending event, advancing the clock to its time.
 // It returns false when no events remain or the MaxDur horizon has been
 // reached.
 func (e *Engine) Step() bool {
-	for len(e.queue) > 0 {
-		ev := e.queue[0]
-		if e.MaxDur != 0 && ev.At > e.MaxDur {
-			return false
-		}
-		heap.Pop(&e.queue)
-		ev.index = -1
-		if ev.cancelled {
-			continue
-		}
-		e.now = ev.At
-		e.fired++
-		ev.Fn(e.now)
-		return true
+	ev := e.peek()
+	if ev == nil {
+		return false
 	}
-	return false
+	if e.MaxDur != 0 && ev.At > e.MaxDur {
+		return false
+	}
+	e.pop()
+	e.live--
+	e.now = ev.At
+	e.fired++
+	ev.Fn(e.now)
+	e.release(ev)
+	return true
 }
 
 // Run dispatches events until none remain, stop returns true, or the
@@ -118,49 +229,73 @@ func (e *Engine) Run(stop func() bool) {
 }
 
 // RunFor dispatches events until the clock would pass now+d. Events at
-// exactly now+d still run.
+// exactly now+d still run. On return the clock stands at the deadline —
+// clamped to the MaxDur horizon when that cuts the window short — even if
+// no event reached it.
 func (e *Engine) RunFor(d Cycles) {
 	deadline := e.now + Time(d)
-	for len(e.queue) > 0 && e.queue[0].At <= deadline {
-		if !e.Step() {
-			return
+	for {
+		ev := e.peek()
+		if ev == nil || ev.At > deadline || !e.Step() {
+			break
 		}
+	}
+	if e.MaxDur != 0 && deadline > e.MaxDur {
+		deadline = e.MaxDur
 	}
 	if e.now < deadline {
 		e.now = deadline
 	}
 }
 
-// eventHeap is a min-heap on (At, seq).
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].At != h[j].At {
-		return h[i].At < h[j].At
+// push appends the entry and restores the heap property upward. The moved
+// entries are shifted as a hole rather than swapped pairwise.
+func (e *Engine) push(en entry) {
+	e.heap = append(e.heap, en)
+	i := len(e.heap) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if !en.before(e.heap[p]) {
+			break
+		}
+		e.heap[i] = e.heap[p]
+		i = p
 	}
-	return h[i].seq < h[j].seq
+	e.heap[i] = en
 }
 
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-
-func (h *eventHeap) Push(x any) {
-	ev := x.(*Event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
-}
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*h = old[:n-1]
-	return ev
+// pop removes the root entry, restoring the heap property downward.
+func (e *Engine) pop() {
+	root := e.heap[0].ev
+	n := len(e.heap) - 1
+	last := e.heap[n]
+	e.heap[n] = entry{}
+	e.heap = e.heap[:n]
+	root.queued = false
+	if n == 0 {
+		return
+	}
+	i := 0
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		best := first
+		end := first + 4
+		if end > n {
+			end = n
+		}
+		for c := first + 1; c < end; c++ {
+			if e.heap[c].before(e.heap[best]) {
+				best = c
+			}
+		}
+		if !e.heap[best].before(last) {
+			break
+		}
+		e.heap[i] = e.heap[best]
+		i = best
+	}
+	e.heap[i] = last
 }

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -189,6 +190,162 @@ func TestHeapOrderingQuick(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestRunForClampsToMaxDurHorizon is the regression for the RunFor early
+// exit: when the MaxDur horizon stops stepping before the requested
+// deadline, the clock must still land on min(deadline, MaxDur) instead of
+// being left at the last fired event.
+func TestRunForClampsToMaxDurHorizon(t *testing.T) {
+	var e Engine
+	e.MaxDur = 55
+	var tick func(now Time)
+	tick = func(now Time) { e.After(10, "tick", tick) }
+	e.After(10, "tick", tick)
+	e.RunFor(100)
+	if e.Now() != 55 {
+		t.Fatalf("Now = %d after RunFor(100) with MaxDur=55, want 55", e.Now())
+	}
+	// Inside the horizon the deadline wins unchanged.
+	var e2 Engine
+	e2.MaxDur = 500
+	e2.After(10, "once", func(Time) {})
+	e2.RunFor(100)
+	if e2.Now() != 100 {
+		t.Fatalf("Now = %d after RunFor(100) with MaxDur=500, want 100", e2.Now())
+	}
+}
+
+// TestRunForSkipsCancelledWithoutOvershoot: a lazily-cancelled event at
+// the heap root must not trick RunFor into dispatching the next live
+// event past the deadline.
+func TestRunForSkipsCancelledWithoutOvershoot(t *testing.T) {
+	var e Engine
+	ev := e.At(50, "victim", func(Time) {})
+	fired := false
+	e.At(200, "late", func(Time) { fired = true })
+	e.Cancel(ev)
+	e.RunFor(100)
+	if fired {
+		t.Fatal("event at t=200 fired inside RunFor(100)")
+	}
+	if e.Now() != 100 {
+		t.Fatalf("Now = %d, want 100", e.Now())
+	}
+}
+
+// TestCancelledEventNotPending: lazy cancellation must be invisible in
+// the Pending count even while the dead event still sits in the heap.
+func TestCancelledEventNotPending(t *testing.T) {
+	var e Engine
+	ev := e.At(10, "x", func(Time) {})
+	e.At(20, "y", func(Time) {})
+	e.Cancel(ev)
+	if e.Pending() != 1 {
+		t.Fatalf("Pending = %d after cancel, want 1", e.Pending())
+	}
+	if ev.Pending() {
+		t.Fatal("cancelled event reports Pending")
+	}
+	e.Run(nil)
+	if e.Pending() != 0 {
+		t.Fatalf("Pending = %d after run, want 0", e.Pending())
+	}
+}
+
+// TestStepAllocs asserts the zero-allocation contract: once the freelist
+// and heap are warm, a steady-state After→Step cycle must not touch the
+// allocator at all.
+func TestStepAllocs(t *testing.T) {
+	var e Engine
+	fn := func(Time) {}
+	for i := 0; i < 64; i++ {
+		e.After(Cycles(i), "warm", fn)
+	}
+	for e.Step() {
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		e.After(10, "steady", fn)
+		e.Step()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state After→Step allocates %.1f objects/event, want 0", allocs)
+	}
+}
+
+// TestRearmedEventAllocs: a caller-owned recurring event (the kernel's
+// timer tick shape) re-arms itself forever without allocating.
+func TestRearmedEventAllocs(t *testing.T) {
+	var e Engine
+	count := 0
+	var ev *Event
+	ev = e.NewEvent("tick", func(Time) {
+		count++
+		e.ScheduleAfter(ev, 10)
+	})
+	e.Schedule(ev, 10)
+	e.Step() // warm
+	allocs := testing.AllocsPerRun(1000, func() { e.Step() })
+	if allocs != 0 {
+		t.Fatalf("re-armed tick allocates %.1f objects/fire, want 0", allocs)
+	}
+	if count < 1000 {
+		t.Fatalf("tick fired %d times, want >= 1000", count)
+	}
+}
+
+// TestRearmFIFOWithFreshEvents: a re-armed event takes a fresh sequence
+// number, so it still fires in scheduling order against events armed at
+// the same instant.
+func TestRearmFIFOWithFreshEvents(t *testing.T) {
+	var e Engine
+	var got []string
+	var ev *Event
+	ev = e.NewEvent("a", func(Time) { got = append(got, "a") })
+	e.Schedule(ev, 100)
+	e.At(100, "b", func(Time) { got = append(got, "b") })
+	e.Run(nil)
+	e.Schedule(ev, e.Now()+50)
+	e.At(e.Now()+50, "c", func(Time) { got = append(got, "c") })
+	e.Run(nil)
+	want := "a,b,a,c"
+	if strings.Join(got, ",") != want {
+		t.Fatalf("fire order %v, want %s", got, want)
+	}
+}
+
+// TestScheduleMisusePanics: arming an engine-owned event, or an event
+// still queued, must panic loudly rather than corrupt the heap.
+func TestScheduleMisusePanics(t *testing.T) {
+	var e Engine
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	ev := e.At(10, "engine-owned", func(Time) {})
+	mustPanic("Schedule of engine-owned event", func() { e.Schedule(ev, 20) })
+	own := e.NewEvent("own", func(Time) {})
+	e.Schedule(own, 30)
+	mustPanic("Schedule of queued event", func() { e.Schedule(own, 40) })
+}
+
+// TestFreelistReuseKeepsIdentity: after an event fires, a later After may
+// hand back the same object for a new logical event; the old firing must
+// not replay and the new callback must run exactly once.
+func TestFreelistReuseKeepsIdentity(t *testing.T) {
+	var e Engine
+	firstFired, secondFired := 0, 0
+	e.After(10, "first", func(Time) { firstFired++ })
+	e.Run(nil)
+	e.After(10, "second", func(Time) { secondFired++ })
+	e.Run(nil)
+	if firstFired != 1 || secondFired != 1 {
+		t.Fatalf("fired counts first=%d second=%d, want 1/1", firstFired, secondFired)
 	}
 }
 

@@ -1,0 +1,110 @@
+package sim
+
+import "testing"
+
+// FuzzEventHeap drives the engine with an arbitrary interleaving of
+// schedule / cancel / step operations and checks the invariants the whole
+// simulator rests on:
+//
+//   - events fire in strict (time, scheduling-order) order;
+//   - a cancelled event never fires, and cancel-skipping one never
+//     perturbs its neighbors;
+//   - freelist reuse never resurrects a fired event: every live logical
+//     event fires exactly once, even though the engine recycles Event
+//     objects underneath;
+//   - the Pending count matches the model at every step.
+//
+// Each op consumes two bytes: an opcode and an argument.
+func FuzzEventHeap(f *testing.F) {
+	f.Add([]byte{0, 10, 0, 10, 2, 0, 0, 5, 1, 0, 2, 0, 2, 0})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 1, 1, 2, 0, 0, 3})
+	f.Add([]byte{0, 200, 1, 0, 0, 1, 2, 0, 0, 0, 1, 1, 0, 7, 2, 0, 2, 0, 2, 0})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		type logical struct {
+			at        Time
+			order     int // global scheduling order
+			ev        *Event
+			fired     bool
+			cancelled bool
+		}
+		var (
+			e       Engine
+			events  []*logical
+			fireLog []*logical
+			order   int
+		)
+		schedule := func(offset byte) {
+			l := &logical{at: e.Now() + Time(offset), order: order}
+			order++
+			l.ev = e.At(l.at, "fuzz", func(now Time) {
+				if l.fired {
+					t.Fatalf("event #%d fired twice (freelist resurrected it)", l.order)
+				}
+				if l.cancelled {
+					t.Fatalf("cancelled event #%d fired", l.order)
+				}
+				if now != l.at {
+					t.Fatalf("event #%d fired at %d, scheduled for %d", l.order, now, l.at)
+				}
+				l.fired = true
+				fireLog = append(fireLog, l)
+			})
+			events = append(events, l)
+		}
+		cancel := func(pick byte) {
+			var cands []*logical
+			for _, l := range events {
+				if !l.fired && !l.cancelled {
+					cands = append(cands, l)
+				}
+			}
+			if len(cands) == 0 {
+				return
+			}
+			l := cands[int(pick)%len(cands)]
+			e.Cancel(l.ev)
+			l.cancelled = true
+		}
+		modelPending := func() int {
+			n := 0
+			for _, l := range events {
+				if !l.fired && !l.cancelled {
+					n++
+				}
+			}
+			return n
+		}
+		for i := 0; i+1 < len(ops); i += 2 {
+			switch ops[i] % 3 {
+			case 0:
+				schedule(ops[i+1])
+			case 1:
+				cancel(ops[i+1])
+			case 2:
+				e.Step()
+			}
+			if got, want := e.Pending(), modelPending(); got != want {
+				t.Fatalf("Pending = %d, model says %d", got, want)
+			}
+		}
+		e.Run(nil)
+		if e.Pending() != 0 {
+			t.Fatalf("Pending = %d after drain, want 0", e.Pending())
+		}
+		for _, l := range events {
+			if l.cancelled && l.fired {
+				t.Fatalf("event #%d both cancelled and fired", l.order)
+			}
+			if !l.cancelled && !l.fired {
+				t.Fatalf("live event #%d never fired", l.order)
+			}
+		}
+		for i := 1; i < len(fireLog); i++ {
+			a, b := fireLog[i-1], fireLog[i]
+			if a.at > b.at || (a.at == b.at && a.order > b.order) {
+				t.Fatalf("fire order violated: #%d@%d before #%d@%d",
+					a.order, a.at, b.order, b.at)
+			}
+		}
+	})
+}
