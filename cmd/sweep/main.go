@@ -10,9 +10,12 @@
 //	sweep -quick          # reduced scale for a fast look
 //	sweep -exp numa -json # domain tables + machine-readable BENCH_sweep.json
 //	sweep -exp matrix -specs 8P -loads db,volano -policies o1,elsc
+//	sweep -exp fuzz -seed 500 -fuzzn 32   # scenario fuzzer batch
 //
 // Experiments: table2, fig2, fig3, fig4, fig5, fig6, profile, alt, web,
-// latency, lock, numa, matrix, wakestorm, interactive, ablate, all.
+// latency, lock, numa, matrix, wakestorm, interactive, ablate, fuzz, all.
+// fuzz runs only when named: it prints one trace line per scenario rather
+// than a paper table.
 package main
 
 import (
@@ -39,7 +42,8 @@ func main() {
 
 func run() int {
 	var (
-		exp      = flag.String("exp", "all", "experiment to run (table2 fig2 fig3 fig4 fig5 fig6 profile alt web latency lock numa matrix wakestorm interactive ablate all)")
+		exp      = flag.String("exp", "all", "experiment to run (table2 fig2 fig3 fig4 fig5 fig6 profile alt web latency lock numa matrix wakestorm interactive ablate fuzz all)")
+		fuzzN    = flag.Int("fuzzn", 16, "scenarios for -exp fuzz (seeds seed..seed+n-1)")
 		quick    = flag.Bool("quick", false, "reduced message counts for a fast pass")
 		messages = flag.Int("messages", 0, "override messages per user")
 		seed     = flag.Int64("seed", 42, "simulation seed")
@@ -206,8 +210,33 @@ func run() int {
 		section(experiments.AblateUPShortcut(10, sc))
 	}
 
+	if *exp == "fuzz" {
+		// The whole-machine scenario fuzzer, outside `go test -fuzz`: one
+		// deterministic scenario per seed, each audited for task
+		// conservation across hot policy swaps, churn, and fork storms.
+		// Any FAIL line is a complete reproduction — rerun with that seed.
+		fmt.Fprintf(os.Stderr, "running %d fuzz scenarios (seeds %d..%d)...\n",
+			*fuzzN, *seed, *seed+int64(*fuzzN)-1)
+		failed := 0
+		for i := 0; i < *fuzzN; i++ {
+			s := experiments.GenScenario(*seed + int64(i))
+			rep, err := experiments.RunScenario(s)
+			if err != nil {
+				failed++
+				fmt.Printf("FAIL %v\n", err)
+				continue
+			}
+			fmt.Printf("ok   %s (migrated=%d forked=%d %.2fs virtual)\n",
+				s, rep.Migrated, rep.Forked, rep.Result.Seconds)
+		}
+		if failed > 0 {
+			fmt.Fprintf(os.Stderr, "%d of %d scenarios violated an invariant\n", failed, *fuzzN)
+			return 1
+		}
+	}
+
 	known := false
-	for _, name := range strings.Fields("table2 fig2 fig3 fig4 fig5 fig6 profile alt web latency lock numa matrix wakestorm interactive ablate all") {
+	for _, name := range strings.Fields("table2 fig2 fig3 fig4 fig5 fig6 profile alt web latency lock numa matrix wakestorm interactive ablate fuzz all") {
 		if *exp == name {
 			known = true
 			break

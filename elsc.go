@@ -201,6 +201,25 @@ func (m *Machine) ProcStat() string { return m.m.Stats().Registry().Render() }
 // SchedulerName reports the active policy's label ("reg", "elsc", ...).
 func (m *Machine) SchedulerName() string { return m.m.Scheduler().Name() }
 
+// SwitchPolicy hot-swaps the running machine onto a different scheduling
+// policy: every queued task is drained out of the current scheduler with
+// its priority, counters, sleep_avg, and affinity intact, a fresh policy
+// is constructed, and the set is imported atomically in virtual time. No
+// task is lost, duplicated, or rewound; blocked and running tasks are
+// unaffected beyond bookkeeping normalization. Returns the number of
+// tasks handed over. Call it between Run calls or from an engine event —
+// never from inside a syscall effect. Optional per-policy configs follow
+// the same rules as MachineConfig (nil means defaults).
+func (m *Machine) SwitchPolicy(kind SchedulerKind) int {
+	return m.SwitchPolicyConfigured(kind, nil, nil)
+}
+
+// SwitchPolicyConfigured is SwitchPolicy with explicit ELSC/O1 tuning for
+// the successor policy (each may be nil; ignored for other kinds).
+func (m *Machine) SwitchPolicyConfigured(kind SchedulerKind, ecfg *ELSCConfig, ocfg *O1Config) int {
+	return m.m.SwitchPolicy(factoryFor(kind, ecfg, ocfg))
+}
+
 // Task wraps a spawned task.
 type Task struct {
 	p *kernel.Proc

@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"elsc/internal/workload"
+)
+
+// FuzzScenario is the whole-machine scenario fuzzer: each seed derives a
+// deterministic composition of workload, machine spec, starting policy,
+// and mid-run injections (hot policy swaps, affinity/priority churn,
+// fork storms), runs it, and audits task conservation throughout. Run
+// with `go test -fuzz=FuzzScenario ./internal/experiments/` to hunt;
+// any failing seed is a complete reproduction by itself.
+func FuzzScenario(f *testing.F) {
+	for _, seed := range RegressionSeeds {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		s := GenScenario(seed)
+		if _, err := RunScenario(s); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestFuzzRegressionScenarios replays every pinned seed as an ordinary
+// test, so the regression corpus runs on every `go test` without the
+// fuzz engine.
+func TestFuzzRegressionScenarios(t *testing.T) {
+	for _, seed := range RegressionSeeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			if _, err := RunScenario(GenScenario(seed)); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestFuzzScenarioDeterministic runs one injection-heavy scenario twice
+// and requires byte-identical digests: swaps, churn, and fork storms are
+// all pure virtual-time behavior, so a digest divergence means hidden
+// host state leaked into the simulation.
+func TestFuzzScenarioDeterministic(t *testing.T) {
+	// Find a seed whose scenario actually swaps (the generator leaves
+	// some scenarios injection-free on purpose).
+	var s Scenario
+	for seed := int64(1); ; seed++ {
+		s = GenScenario(seed)
+		if len(s.Swaps) > 0 && len(s.Forks) > 0 {
+			break
+		}
+	}
+	a, err := RunScenario(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunScenario(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Digest != b.Digest {
+		t.Fatalf("scenario %s digests diverged between identical runs:\n--- run 1\n%s\n--- run 2\n%s",
+			s, a.Digest, b.Digest)
+	}
+	if a.Migrated == 0 {
+		t.Fatalf("scenario %s swapped policies but migrated no tasks", s)
+	}
+}
+
+// TestFuzzZeroInjectionMatchesPlainDigest is the harness-honesty check:
+// a scenario with no injections must reproduce the plain (non-fuzzed)
+// run byte for byte — same result struct, same stats registry, same
+// event count. If the fuzz harness perturbs the machine at all (an extra
+// engine event, a stray RNG draw), this catches it.
+func TestFuzzZeroInjectionMatchesPlainDigest(t *testing.T) {
+	const seed = 7
+	for _, policy := range Policies {
+		policy := policy
+		t.Run(policy, func(t *testing.T) {
+			t.Parallel()
+			s := Scenario{Seed: seed, Spec: "2P", Load: workload.Volano, Policy: policy}
+			rep, err := RunScenario(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			spec := SpecByLabel(s.Spec)
+			sc := fuzzScale(seed)
+			m := NewMachine(spec, policy, sc)
+			res := workload.Build(s.Load, m, WorkloadParams(spec, sc)).Run()
+			plain := fmt.Sprintf("%+v\n%s", res, m.Stats().Registry().Render())
+			if rep.Digest != plain {
+				t.Fatalf("zero-injection scenario diverged from the plain run:\n--- fuzz\n%s\n--- plain\n%s",
+					rep.Digest, plain)
+			}
+		})
+	}
+}
+
+// TestSwitchPolicyLiveMachine drives a kernel-level swap chain through
+// every registered policy while a workload runs: reg -> elsc -> heap ->
+// mq -> o1 -> reg, five ticks apart. The workload must still complete,
+// every swap must migrate coherently (RunScenario's own audits), and the
+// swap counter must reach the stats registry.
+func TestSwitchPolicyLiveMachine(t *testing.T) {
+	s := Scenario{
+		Seed: 11, Spec: "4P", Load: workload.Volano, Policy: Reg,
+		Swaps: []SwapPoint{
+			{At: 100, To: ELSC},
+			{At: 250, To: Heap},
+			{At: 400, To: MQ},
+			{At: 550, To: O1},
+			{At: 700, To: Reg},
+		},
+	}
+	rep, err := RunScenario(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Migrated == 0 {
+		t.Fatal("five swaps migrated no tasks")
+	}
+	if !strings.Contains(rep.Digest, "policy_switches") {
+		t.Fatal("policy_switches missing from the stats registry")
+	}
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
@@ -37,17 +38,34 @@ func TestWorkloadMatrixCoversAllCells(t *testing.T) {
 	}
 }
 
+// TestWorkloadMatrixDeterministicAcrossParallelism runs the same matrix
+// serially and with a 4-wide worker pool and requires every cell to be
+// identical in full — workload result, machine stats, estimator counters,
+// and cell order. Host wall-clock (WallNS) is the one field allowed to
+// differ. Run under -race this is also the data-race check on the
+// parallel sweep path.
 func TestWorkloadMatrixDeterministicAcrossParallelism(t *testing.T) {
 	sc1 := matrixScale()
 	sc1.Parallel = 1
 	sc4 := matrixScale()
 	sc4.Parallel = 4
+	policies := []string{Reg, O1}
 	loads := []string{workload.DB, workload.WakeStorm}
-	a := RunWorkloadMatrix([]string{O1}, []MachineSpec{SpecByLabel("2P")}, loads, sc1)
-	b := RunWorkloadMatrix([]string{O1}, []MachineSpec{SpecByLabel("2P")}, loads, sc4)
+	a := RunWorkloadMatrix(policies, []MachineSpec{SpecByLabel("2P")}, loads, sc1)
+	b := RunWorkloadMatrix(policies, []MachineSpec{SpecByLabel("2P")}, loads, sc4)
+	if len(a) != len(b) {
+		t.Fatalf("matrix size differs across parallelism: %d vs %d", len(a), len(b))
+	}
 	for i := range a {
-		if a[i].Result.Cycles != b[i].Result.Cycles || a[i].Result.Ops != b[i].Result.Ops {
-			t.Fatalf("cell %s differs across parallelism", a[i].Key())
+		if a[i].Key() != b[i].Key() {
+			t.Fatalf("cell order differs across parallelism at %d: %s vs %s",
+				i, a[i].Key(), b[i].Key())
+		}
+		x, y := a[i], b[i]
+		x.WallNS, y.WallNS = 0, 0
+		if !reflect.DeepEqual(x, y) {
+			t.Fatalf("cell %s differs across parallelism:\n--- serial\n%+v\n--- parallel\n%+v",
+				a[i].Key(), x, y)
 		}
 	}
 }

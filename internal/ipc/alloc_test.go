@@ -1,0 +1,83 @@
+package ipc
+
+import (
+	"testing"
+
+	"elsc/internal/kernel"
+	"elsc/internal/sim"
+)
+
+// TestSteadyStateQueueOpsAllocFree asserts the prebound-syscall contract:
+// once the machine, queues, and buffers are warm, a steady-state IPC
+// workload — blocking sends and receives (one direction with delivery
+// latency), TryRecv polling with yields, and a yield-mutex cycle — runs
+// entire tick periods without touching the allocator. This is the ~90% of
+// remaining steady-state allocations the PR 5 heap profile attributed to
+// the per-call Send/Recv/TryRecv closures.
+func TestSteadyStateQueueOpsAllocFree(t *testing.T) {
+	m := newMachine(2, false)
+	ping := NewQueue("ping", 4)
+	pong := NewQueue("pong", 4)
+	pong.DeliverLatency = 5_000
+	mu := NewYieldMutex("mu", 0)
+
+	step := 0
+	var echo Msg
+	m.Spawn("client", nil, kernel.ProgramFunc(func(p *kernel.Proc) kernel.Action {
+		step++
+		if step%2 == 1 {
+			return ping.Send(400, Msg{From: 1, Seq: step})
+		}
+		return pong.Recv(400, &echo)
+	}))
+	sstep := 0
+	var req Msg
+	m.Spawn("server", nil, kernel.ProgramFunc(func(p *kernel.Proc) kernel.Action {
+		sstep++
+		if sstep%2 == 1 {
+			return ping.Recv(400, &req)
+		}
+		return pong.Send(400, Msg{From: 2, Seq: req.Seq})
+	}))
+	loop := NewQueue("loop", 0)
+	lstep := 0
+	var got bool
+	var polled Msg
+	var pollHit bool
+	m.Spawn("locker", nil, kernel.ProgramFunc(func(p *kernel.Proc) kernel.Action {
+		lstep++
+		switch lstep % 4 {
+		case 1:
+			return mu.TryLock(&got)
+		case 2:
+			if !got {
+				return kernel.Yield{}
+			}
+			return mu.Unlock()
+		case 3:
+			return loop.Send(200, Msg{From: 3, Seq: lstep})
+		default:
+			return loop.TryRecv(200, &polled, &pollHit)
+		}
+	}))
+
+	// Warm: buffers reach steady capacity, the engine freelist fills, and
+	// every scratch Syscall has been armed at least once.
+	var target sim.Time
+	stop := func() bool { return m.Now() >= target }
+	target = m.Now() + sim.Time(50*kernel.DefaultTickCycles)
+	m.Run(stop)
+
+	runTick := func() {
+		target = m.Now() + sim.Time(kernel.DefaultTickCycles)
+		m.Run(stop)
+	}
+	allocs := testing.AllocsPerRun(20, runTick)
+	if allocs != 0 {
+		t.Fatalf("steady-state IPC tick allocates %.1f objects, want 0", allocs)
+	}
+	if ping.Delivered() == 0 || pong.Delivered() == 0 || mu.Acquisitions() == 0 {
+		t.Fatalf("workload idle: ping=%d pong=%d acqs=%d",
+			ping.Delivered(), pong.Delivered(), mu.Acquisitions())
+	}
+}

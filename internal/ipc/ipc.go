@@ -44,21 +44,41 @@ type Queue struct {
 	DeliverLatency uint64
 
 	buf       []Msg
-	inFlight  int
+	pending   []Msg
 	readers   *kernel.WaitQueue
 	writers   *kernel.WaitQueue
 	delivered uint64
 	sent      uint64
+
+	// Prebound, closure-free syscall machinery: op names are concatenated
+	// once here instead of per call, and each op re-arms its own scratch
+	// Syscall — safe because the kernel copies the action into the proc
+	// the moment it is consumed, and a program hands its action straight
+	// back from Step. deliverName/deliverFn are the single prebound
+	// delivery handler replacing a per-message closure; mach is the
+	// machine it wakes on, captured at first deposit.
+	deliverName string
+	deliverFn   func(sim.Time)
+	mach        *kernel.Machine
+	sendSC      kernel.Syscall
+	recvSC      kernel.Syscall
+	trySC       kernel.Syscall
 }
 
 // NewQueue returns a queue with the given capacity (0 = unbounded).
 func NewQueue(name string, capacity int) *Queue {
-	return &Queue{
-		Name:    name,
-		Cap:     capacity,
-		readers: kernel.NewWaitQueue(name + ".readers"),
-		writers: kernel.NewWaitQueue(name + ".writers"),
+	q := &Queue{
+		Name:        name,
+		Cap:         capacity,
+		readers:     kernel.NewWaitQueue(name + ".readers"),
+		writers:     kernel.NewWaitQueue(name + ".writers"),
+		deliverName: name + ".deliver",
 	}
+	q.sendSC = kernel.Syscall{Name: name + ".send", Exec: execSend, Obj: q}
+	q.recvSC = kernel.Syscall{Name: name + ".recv", Exec: execRecv, Obj: q}
+	q.trySC = kernel.Syscall{Name: name + ".tryrecv", Exec: execTryRecv, Obj: q}
+	q.deliverFn = q.deliverOne
+	return q
 }
 
 // Len returns the number of queued messages.
@@ -72,21 +92,31 @@ func (q *Queue) Delivered() uint64 { return q.delivered }
 
 // full reports whether a bounded queue has no room, counting in-flight
 // (sent but not yet delivered) messages against the capacity.
-func (q *Queue) full() bool { return q.Cap > 0 && len(q.buf)+q.inFlight >= q.Cap }
+func (q *Queue) full() bool { return q.Cap > 0 && len(q.buf)+len(q.pending) >= q.Cap }
 
 // deposit makes m visible to receivers now or after the delivery latency.
+// Delayed messages sit in the pending FIFO and one prebound handler moves
+// the head across per delivery event; the latency is a per-queue constant,
+// so event order matches deposit order and the FIFO discipline holds.
 func (q *Queue) deposit(p *kernel.Proc, m Msg) {
 	if q.DeliverLatency == 0 {
 		q.buf = append(q.buf, m)
 		p.M.WakeOne(q.readers)
 		return
 	}
-	q.inFlight++
-	p.M.Engine().After(q.DeliverLatency, q.Name+".deliver", func(sim.Time) {
-		q.inFlight--
-		q.buf = append(q.buf, m)
-		p.M.WakeOne(q.readers)
-	})
+	q.mach = p.M
+	q.pending = append(q.pending, m)
+	p.M.Engine().After(q.DeliverLatency, q.deliverName, q.deliverFn)
+}
+
+// deliverOne is the delivery-event handler: the oldest pending message
+// becomes visible and one reader wakes.
+func (q *Queue) deliverOne(sim.Time) {
+	m := q.pending[0]
+	copy(q.pending, q.pending[1:])
+	q.pending = q.pending[:len(q.pending)-1]
+	q.buf = append(q.buf, m)
+	q.mach.WakeOne(q.readers)
 }
 
 // serialGate reserves the queue's serialized resource once per syscall
@@ -105,71 +135,75 @@ func (q *Queue) serialGate(now sim.Time, reserved *bool) (kernel.Outcome, bool) 
 
 // Send returns a syscall action that enqueues m, blocking while the queue
 // is full. cost is the simulated in-kernel work of the write path
-// (socket buffer copy, protocol processing).
+// (socket buffer copy, protocol processing). The action re-arms the
+// queue's scratch Syscall, so it must be returned from the program's Step
+// directly (which every workload does), not stashed across calls.
 func (q *Queue) Send(cost uint64, m Msg) kernel.Action {
-	reserved := false
-	return kernel.Syscall{
-		Name: q.Name + ".send",
-		Cost: cost,
-		Fn: func(p *kernel.Proc, now sim.Time) kernel.Outcome {
-			if out, wait := q.serialGate(now, &reserved); wait {
-				return out
-			}
-			if q.full() {
-				return kernel.BlockOn(q.writers)
-			}
-			q.sent++
-			q.deposit(p, m)
-			return kernel.Done()
-		},
-	}
+	sc := &q.sendSC
+	sc.Cost = cost
+	sc.Args = [3]int64{int64(m.From), int64(m.Seq), m.Payload}
+	sc.Ptr = nil
+	sc.Reserved = false
+	return sc
 }
 
 // SendFunc is like Send but computes the message at completion time, for
 // messages whose content depends on state mutated by earlier actions.
 func (q *Queue) SendFunc(cost uint64, f func() Msg) kernel.Action {
-	reserved := false
-	return kernel.Syscall{
-		Name: q.Name + ".send",
-		Cost: cost,
-		Fn: func(p *kernel.Proc, now sim.Time) kernel.Outcome {
-			if out, wait := q.serialGate(now, &reserved); wait {
-				return out
-			}
-			if q.full() {
-				return kernel.BlockOn(q.writers)
-			}
-			q.sent++
-			q.deposit(p, f())
-			return kernel.Done()
-		},
+	sc := &q.sendSC
+	sc.Cost = cost
+	sc.Ptr = f
+	sc.Reserved = false
+	return sc
+}
+
+// execSend is the static effect behind Send and SendFunc: Ptr carries a
+// deferred message constructor when set, Args the literal message fields
+// otherwise.
+func execSend(sc *kernel.Syscall, p *kernel.Proc, now sim.Time) kernel.Outcome {
+	q := sc.Obj.(*Queue)
+	if out, wait := q.serialGate(now, &sc.Reserved); wait {
+		return out
 	}
+	if q.full() {
+		return kernel.BlockOn(q.writers)
+	}
+	q.sent++
+	if sc.Ptr != nil {
+		q.deposit(p, sc.Ptr.(func() Msg)())
+	} else {
+		q.deposit(p, Msg{From: int(sc.Args[0]), Seq: int(sc.Args[1]), Payload: sc.Args[2]})
+	}
+	return kernel.Done()
 }
 
 // Recv returns a syscall action that dequeues the oldest message into out,
 // blocking while the queue is empty.
 func (q *Queue) Recv(cost uint64, out *Msg) kernel.Action {
-	reserved := false
-	return kernel.Syscall{
-		Name: q.Name + ".recv",
-		Cost: cost,
-		Fn: func(p *kernel.Proc, now sim.Time) kernel.Outcome {
-			if o, wait := q.serialGate(now, &reserved); wait {
-				return o
-			}
-			if len(q.buf) == 0 {
-				return kernel.BlockOn(q.readers)
-			}
-			*out = q.buf[0]
-			copy(q.buf, q.buf[1:])
-			q.buf = q.buf[:len(q.buf)-1]
-			q.delivered++
-			if q.Cap > 0 {
-				p.M.WakeOne(q.writers)
-			}
-			return kernel.Done()
-		},
+	sc := &q.recvSC
+	sc.Cost = cost
+	sc.Ptr = out
+	sc.Reserved = false
+	return sc
+}
+
+// execRecv is the static effect behind Recv; Ptr is the destination.
+func execRecv(sc *kernel.Syscall, p *kernel.Proc, now sim.Time) kernel.Outcome {
+	q := sc.Obj.(*Queue)
+	if o, wait := q.serialGate(now, &sc.Reserved); wait {
+		return o
 	}
+	if len(q.buf) == 0 {
+		return kernel.BlockOn(q.readers)
+	}
+	*sc.Ptr.(*Msg) = q.buf[0]
+	copy(q.buf, q.buf[1:])
+	q.buf = q.buf[:len(q.buf)-1]
+	q.delivered++
+	if q.Cap > 0 {
+		p.M.WakeOne(q.writers)
+	}
+	return kernel.Done()
 }
 
 // TryRecv returns a syscall action that polls the queue without blocking:
@@ -178,29 +212,34 @@ func (q *Queue) Recv(cost uint64, out *Msg) kernel.Action {
 // JVM thread library, whose lonely yields are what drive the stock
 // scheduler's recalculation storm (paper Figure 2).
 func (q *Queue) TryRecv(cost uint64, out *Msg, got *bool) kernel.Action {
-	reserved := false
-	return kernel.Syscall{
-		Name: q.Name + ".tryrecv",
-		Cost: cost,
-		Fn: func(p *kernel.Proc, now sim.Time) kernel.Outcome {
-			if o, wait := q.serialGate(now, &reserved); wait {
-				return o
-			}
-			if len(q.buf) == 0 {
-				*got = false
-				return kernel.Done()
-			}
-			*out = q.buf[0]
-			copy(q.buf, q.buf[1:])
-			q.buf = q.buf[:len(q.buf)-1]
-			q.delivered++
-			*got = true
-			if q.Cap > 0 {
-				p.M.WakeOne(q.writers)
-			}
-			return kernel.Done()
-		},
+	sc := &q.trySC
+	sc.Cost = cost
+	sc.Ptr = out
+	sc.Flag = got
+	sc.Reserved = false
+	return sc
+}
+
+// execTryRecv is the static effect behind TryRecv; Ptr is the destination
+// and Flag reports whether anything was dequeued.
+func execTryRecv(sc *kernel.Syscall, p *kernel.Proc, now sim.Time) kernel.Outcome {
+	q := sc.Obj.(*Queue)
+	if o, wait := q.serialGate(now, &sc.Reserved); wait {
+		return o
 	}
+	if len(q.buf) == 0 {
+		*sc.Flag = false
+		return kernel.Done()
+	}
+	*sc.Ptr.(*Msg) = q.buf[0]
+	copy(q.buf, q.buf[1:])
+	q.buf = q.buf[:len(q.buf)-1]
+	q.delivered++
+	*sc.Flag = true
+	if q.Cap > 0 {
+		p.M.WakeOne(q.writers)
+	}
+	return kernel.Done()
 }
 
 // Inject deposits a message from outside any simulated task — e.g. an
@@ -251,6 +290,12 @@ type YieldMutex struct {
 	acqs    uint64
 	blocked uint64
 	tryFee  uint64
+
+	// Scratch Syscalls, prebound like the Queue ops: the cost of every
+	// mutex op is fixed at construction, so only output pointers re-arm.
+	trySC    kernel.Syscall
+	lockSC   kernel.Syscall
+	unlockSC kernel.Syscall
 }
 
 // NewYieldMutex returns an unlocked mutex. tryCost is the simulated cost
@@ -259,11 +304,15 @@ func NewYieldMutex(name string, tryCost uint64) *YieldMutex {
 	if tryCost == 0 {
 		tryCost = 120
 	}
-	return &YieldMutex{
+	mu := &YieldMutex{
 		Name:    name,
 		tryFee:  tryCost,
 		waiters: kernel.NewWaitQueue(name + ".waiters"),
 	}
+	mu.trySC = kernel.Syscall{Name: name + ".trylock", Cost: tryCost, Exec: execTryLock, Obj: mu}
+	mu.lockSC = kernel.Syscall{Name: name + ".lock", Cost: tryCost, Exec: execLock, Obj: mu}
+	mu.unlockSC = kernel.Syscall{Name: name + ".unlock", Cost: tryCost / 2, Exec: execUnlock, Obj: mu}
+	return mu
 }
 
 // Locked reports whether the mutex is held.
@@ -278,40 +327,40 @@ func (mu *YieldMutex) Acquisitions() uint64 { return mu.acqs }
 
 // TryLock attempts the lock once; *got reports success.
 func (mu *YieldMutex) TryLock(got *bool) kernel.Action {
-	return kernel.Syscall{
-		Name: mu.Name + ".trylock",
-		Cost: mu.tryFee,
-		Fn: func(p *kernel.Proc, now sim.Time) kernel.Outcome {
-			if mu.owner == nil {
-				mu.owner = p
-				mu.acqs++
-				*got = true
-			} else {
-				mu.spins++
-				*got = false
-			}
-			return kernel.Done()
-		},
+	sc := &mu.trySC
+	sc.Flag = got
+	return sc
+}
+
+func execTryLock(sc *kernel.Syscall, p *kernel.Proc, now sim.Time) kernel.Outcome {
+	mu := sc.Obj.(*YieldMutex)
+	if mu.owner == nil {
+		mu.owner = p
+		mu.acqs++
+		*sc.Flag = true
+	} else {
+		mu.spins++
+		*sc.Flag = false
 	}
+	return kernel.Done()
 }
 
 // LockBlocking acquires the lock, suspending the caller until it is
 // available — the JVM monitor's post-spin fallback. The kernel's syscall
 // retry loop re-checks the condition after every wake.
 func (mu *YieldMutex) LockBlocking() kernel.Action {
-	return kernel.Syscall{
-		Name: mu.Name + ".lock",
-		Cost: mu.tryFee,
-		Fn: func(p *kernel.Proc, now sim.Time) kernel.Outcome {
-			if mu.owner == nil {
-				mu.owner = p
-				mu.acqs++
-				return kernel.Done()
-			}
-			mu.blocked++
-			return kernel.BlockOn(mu.waiters)
-		},
+	return &mu.lockSC
+}
+
+func execLock(sc *kernel.Syscall, p *kernel.Proc, now sim.Time) kernel.Outcome {
+	mu := sc.Obj.(*YieldMutex)
+	if mu.owner == nil {
+		mu.owner = p
+		mu.acqs++
+		return kernel.Done()
 	}
+	mu.blocked++
+	return kernel.BlockOn(mu.waiters)
 }
 
 // BlockedAcquires returns how many acquisitions had to suspend.
@@ -321,16 +370,15 @@ func (mu *YieldMutex) BlockedAcquires() uint64 { return mu.blocked }
 // the caller does not hold it, which in a deterministic simulation
 // indicates a workload bug.
 func (mu *YieldMutex) Unlock() kernel.Action {
-	return kernel.Syscall{
-		Name: mu.Name + ".unlock",
-		Cost: mu.tryFee / 2,
-		Fn: func(p *kernel.Proc, now sim.Time) kernel.Outcome {
-			if mu.owner != p {
-				panic("ipc: unlock of a mutex not held by caller")
-			}
-			mu.owner = nil
-			p.M.WakeOne(mu.waiters)
-			return kernel.Done()
-		},
+	return &mu.unlockSC
+}
+
+func execUnlock(sc *kernel.Syscall, p *kernel.Proc, now sim.Time) kernel.Outcome {
+	mu := sc.Obj.(*YieldMutex)
+	if mu.owner != p {
+		panic("ipc: unlock of a mutex not held by caller")
 	}
+	mu.owner = nil
+	p.M.WakeOne(mu.waiters)
+	return kernel.Done()
 }

@@ -32,16 +32,48 @@ type Compute struct {
 
 func (Compute) isAction() {}
 
-// Syscall crosses into the kernel: Cost cycles of system time, then Fn
-// runs at the completion instant. Fn may complete the call (return Done)
-// or block the task on a wait queue, in which case the kernel re-runs Fn
-// after each wake-up — the condition-recheck loop of a Linux wait queue,
-// tolerant of spurious wakeups.
+// Syscall crosses into the kernel: Cost cycles of system time, then the
+// effect (Exec or Fn) runs at the completion instant. The effect may
+// complete the call (return Done) or block the task on a wait queue, in
+// which case the kernel re-runs it after each wake-up — the
+// condition-recheck loop of a Linux wait queue, tolerant of spurious
+// wakeups.
+//
+// The closure form (Fn) is the convenient one for workloads. The prebound
+// form (Exec plus the operand fields) is the allocation-free one for hot
+// IPC paths: a static effect function receives the in-flight syscall value
+// itself, so per-call operands ride in the Syscall instead of a captured
+// environment, and returning the action as a *Syscall pointer avoids the
+// interface boxing a Syscall value pays. The kernel copies the Syscall
+// into the proc's own storage the moment the action is consumed, so a
+// shared scratch Syscall may be re-armed for the next call, and operand
+// mutations across block/retry cycles (Reserved) stay private to the
+// calling task.
 type Syscall struct {
 	Name string
 	Cost uint64
 	Fn   func(p *Proc, now sim.Time) Outcome
+
+	// Exec, when non-nil, runs instead of Fn.
+	Exec SyscallExec
+	// Obj is the operation's target (an IPC queue, a mutex, ...).
+	Obj any
+	// Ptr is an output destination or auxiliary callback (a message
+	// pointer, a deferred message constructor, ...).
+	Ptr any
+	// Flag is a boolean output destination (TryRecv's got).
+	Flag *bool
+	// Args carries scalar operands (message fields).
+	Args [3]int64
+	// Reserved marks a once-per-instance gate as already passed; it
+	// survives block/retry cycles because it lives in the proc's own
+	// copy of the syscall.
+	Reserved bool
 }
+
+// SyscallExec is the closure-free form of a syscall effect. sc is the
+// proc-private copy of the in-flight syscall, valid across retries.
+type SyscallExec func(sc *Syscall, p *Proc, now sim.Time) Outcome
 
 func (Syscall) isAction() {}
 

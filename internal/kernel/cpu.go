@@ -286,6 +286,15 @@ func (c *CPU) nextAction(now sim.Time) {
 		p.remaining = a.Cost + m.env.Cost.SyscallBase
 		p.onDone = runSyscall
 		c.startSegment(now)
+	case *Syscall:
+		// Prebound form: copy out of the (possibly shared, re-armed)
+		// scratch Syscall immediately, so the action's operands are
+		// proc-private from here on.
+		p.syscallBuf = *a
+		p.syscall = &p.syscallBuf
+		p.remaining = a.Cost + m.env.Cost.SyscallBase
+		p.onDone = runSyscall
+		c.startSegment(now)
 	case Yield:
 		p.remaining = m.env.Cost.SyscallBase
 		p.onDone = doYield
@@ -311,7 +320,12 @@ func runSyscall(c *CPU, now sim.Time) {
 	p := c.current
 	m := c.m
 	m.wakerCPU = c.id
-	out := p.syscall.Fn(p, now)
+	var out Outcome
+	if p.syscall.Exec != nil {
+		out = p.syscall.Exec(p.syscall, p, now)
+	} else {
+		out = p.syscall.Fn(p, now)
+	}
 	m.wakerCPU = -1
 	if out.Delay > 0 {
 		// Spinning on a serialized kernel resource: burn the cycles,

@@ -110,7 +110,11 @@ type Machine struct {
 	// for the stock and ELSC schedulers (as in 2.3.99), one per CPU for
 	// policies that advertise PerCPU queues.
 	rqLocks []spinlock
-	stats   Stats
+	// lockAcqBase/lockContBase carry lock totals from run-queue lock sets
+	// retired by SwitchPolicy (the lock regime can change mid-run).
+	lockAcqBase  uint64
+	lockContBase uint64
+	stats        Stats
 
 	// wakerCPU is the processor executing the current syscall effect, or
 	// -1 outside one (timer and engine-event wake-ups have no waker).
@@ -241,8 +245,8 @@ func (m *Machine) Scheduler() sched.Scheduler { return m.sched }
 
 // Stats returns the accumulated machine statistics.
 func (m *Machine) Stats() *Stats {
-	m.stats.LockAcquisitions = 0
-	m.stats.LockContended = 0
+	m.stats.LockAcquisitions = m.lockAcqBase
+	m.stats.LockContended = m.lockContBase
 	for i := range m.rqLocks {
 		m.stats.LockAcquisitions += m.rqLocks[i].acquisitions
 		m.stats.LockContended += m.rqLocks[i].contended
@@ -594,6 +598,120 @@ func (m *Machine) SetPolicy(p *Proc, policy task.Policy, rtprio int) {
 		m.sched.MoveFirstRunqueue(t)
 		m.rescheduleIdle(p)
 	}
+}
+
+// SwitchPolicy hot-swaps the scheduling policy: it drains every queued
+// task out of the current scheduler, builds a fresh one via factory, and
+// imports the set atomically (in virtual time — the swap happens between
+// events, so no CPU ever observes a half-populated queue). Returns the
+// number of tasks handed over, queued plus running.
+//
+// The handoff has three hazards this function is careful about:
+//
+//  1. Bookkeeping conventions differ per policy (ELSC leaves zero-section
+//     tags stale after removal, heapsched encodes membership in QZero), so
+//     every live task — including ones currently blocked, whose stale tags
+//     would otherwise resurface at their next wake-up — is normalized with
+//     sched.ResetQueueState before the successor sees it.
+//  2. Running tasks: most policies dequeue a dispatched task, but the
+//     stock scheduler keeps it listed and counts it via NoteRunning. The
+//     old policy is told to forget running tasks before the drain, and a
+//     runningNoter successor is handed them back after the import.
+//  3. The lock regime can change (global lock <-> per-CPU locks), so the
+//     retired lock set's totals are folded into base accumulators and a
+//     fresh set is built to the successor's shape.
+//
+// Call from between-events contexts only (an engine event callback or
+// between Run calls), never from inside a syscall effect.
+func (m *Machine) SwitchPolicy(factory SchedulerFactory) int {
+	now := m.eng.Now()
+	old := m.sched
+
+	// Detach running tasks from the old policy's bookkeeping. HasCPU
+	// tasks are exactly the CPUs' current and in-flight dispatch procs.
+	var running []*task.Task
+	for _, c := range m.cpus {
+		if c.current != nil {
+			running = append(running, c.current.Task)
+		}
+		if c.dispatchNext != nil {
+			running = append(running, c.dispatchNext.Task)
+		}
+	}
+	for _, t := range running {
+		old.DelFromRunqueue(t)
+	}
+
+	// Drain the queued set and verify nothing was lost on the way out.
+	want := old.Runnable()
+	exported := old.ExportRunnable()
+	if len(exported) != want || old.Runnable() != 0 {
+		panic(fmt.Sprintf("kernel: %s exported %d tasks, had %d queued, %d left",
+			old.Name(), len(exported), want, old.Runnable()))
+	}
+
+	// Normalize every live task. Exported ones already are; this catches
+	// running and blocked tasks whose scheduler-private fields still
+	// carry the old policy's conventions.
+	for _, p := range m.procs {
+		if !p.exited {
+			sched.ResetQueueState(p.Task)
+		}
+	}
+
+	// Retire the old lock set, keeping its totals, and rebuild everything
+	// policy-shaped: the scheduler, its optional kernel hooks, the locks.
+	for i := range m.rqLocks {
+		m.lockAcqBase += m.rqLocks[i].acquisitions
+		m.lockContBase += m.rqLocks[i].contended
+	}
+	m.cfg.NewScheduler = factory
+	m.sched = factory(m.env)
+	m.noter, _ = m.sched.(runningNoter)
+	m.preempter, _ = m.sched.(preemptComparer)
+	m.ticker, _ = m.sched.(tickPreempter)
+	m.placer, _ = m.sched.(wakePlacer)
+	nlocks := 1
+	if pc, ok := m.sched.(perCPUQueues); ok && pc.PerCPU() {
+		nlocks = m.cfg.CPUs
+	}
+	m.rqLocks = make([]spinlock, nlocks)
+
+	// Import in export order, then hand running tasks to a successor that
+	// keeps them listed (the stock scheduler; AddToRunqueue sees HasCPU
+	// and counts them as running, so Runnable is unaffected).
+	for _, t := range exported {
+		m.sched.AddToRunqueue(t)
+	}
+	if m.noter != nil {
+		for _, t := range running {
+			m.sched.AddToRunqueue(t)
+		}
+	}
+	if got := m.sched.Runnable(); got != len(exported) {
+		panic(fmt.Sprintf("kernel: %s imported %d runnable tasks, want %d",
+			m.sched.Name(), got, len(exported)))
+	}
+
+	// The swap's critical section: one pass over the migrated set under
+	// the new lock regime.
+	m.rqLocks[0].bump(now, m.env.Cost.LockOp+
+		uint64(len(exported)+len(running))*m.env.Cost.AddRunqueue)
+	m.stats.PolicySwitches++
+
+	// The imported backlog may be visible to CPUs that went idle under
+	// the old policy (or sit behind a transitioning CPU's dispatch);
+	// nothing else will trigger their schedule(), so kick them here.
+	if m.sched.Runnable() > 0 {
+		for _, c := range m.cpus {
+			if c.isIdle() {
+				c.kickIdle()
+			} else if c.transitioning {
+				c.needResched = true
+			}
+		}
+	}
+	return len(exported) + len(running)
 }
 
 // procOf maps a task back to its proc.

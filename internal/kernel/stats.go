@@ -47,6 +47,9 @@ type Stats struct {
 	LockAcquisitions uint64
 	LockContended    uint64
 
+	// PolicySwitches counts hot scheduler replacements (SwitchPolicy).
+	PolicySwitches uint64
+
 	// Harness scale: engine events dispatched over the run — the unit the
 	// zero-allocation event engine is priced in. Deterministic for a seed
 	// (it is pure virtual-time behavior); BENCH_wallclock.json divides
@@ -108,6 +111,7 @@ func (s *Stats) Registry() *stats.Registry {
 	set("tick_cycles", s.TickCycles)
 	set("rq_lock_acquisitions", s.LockAcquisitions)
 	set("rq_lock_contended", s.LockContended)
+	set("policy_switches", s.PolicySwitches)
 	set("events_fired", s.EventsFired)
 	*r.Dist("cycles_per_schedule") = s.PerSchedule
 	*r.Dist("examined_per_schedule") = s.ExaminedDist

@@ -1,0 +1,231 @@
+package conformance
+
+// Hot policy switching conformance: every ordered pair of registered
+// policies is driven into a messy mid-run state (running tasks, blocked
+// tasks, real-time tasks, pinned tasks, expired/zero-section residents)
+// and then swapped, emulating kernel.Machine.SwitchPolicy's exact
+// handoff sequence. The invariants are the ones the fuzzer checks on
+// whole machines, isolated to the policy layer so a failure names the
+// policy pair directly:
+//
+//   - the queued-task multiset is preserved across the swap — no task
+//     lost, none duplicated;
+//   - the predecessor is empty afterwards;
+//   - blocked tasks whose scheduler-private state was normalized still
+//     integrate when they wake under the successor;
+//   - every surviving task is eventually scheduled by the successor.
+
+import (
+	"fmt"
+	"testing"
+
+	"elsc/internal/experiments"
+	"elsc/internal/sched"
+	"elsc/internal/task"
+)
+
+// swapSpec is one machine shape the pair matrix runs on.
+type swapSpec struct {
+	label   string
+	ncpu    int
+	domains int // 0 = flat
+}
+
+var swapSpecs = []swapSpec{
+	{label: "8P", ncpu: 8},
+	{label: "32P-NUMA", ncpu: 32, domains: 4},
+}
+
+// kernelSwap performs the policy-layer half of Machine.SwitchPolicy: it
+// detaches the running tasks from old, drains it, normalizes every live
+// task, imports into a fresh successor, and hands running tasks back to a
+// NoteRunning successor. It returns the exported set in drain order.
+func kernelSwap(t *testing.T, h *harness, succ sched.Scheduler, blocked []*task.Task) []*task.Task {
+	t.Helper()
+	old := h.s
+	var running []*task.Task
+	for _, cur := range h.current {
+		if cur != nil {
+			running = append(running, cur)
+		}
+	}
+	for _, tk := range running {
+		old.DelFromRunqueue(tk)
+	}
+	want := old.Runnable()
+	exported := old.ExportRunnable()
+	if len(exported) != want {
+		t.Fatalf("%s exported %d tasks, Runnable said %d", old.Name(), len(exported), want)
+	}
+	if old.Runnable() != 0 {
+		t.Fatalf("%s still reports %d runnable after export", old.Name(), old.Runnable())
+	}
+	for _, tk := range exported {
+		if old.OnRunqueue(tk) && !tk.HasCPU {
+			t.Fatalf("%s still tracks exported task %v", old.Name(), tk)
+		}
+	}
+	for _, tk := range running {
+		sched.ResetQueueState(tk)
+	}
+	for _, tk := range blocked {
+		sched.ResetQueueState(tk)
+	}
+	for _, tk := range exported {
+		succ.AddToRunqueue(tk)
+	}
+	if _, ok := succ.(runningNoter); ok {
+		for _, tk := range running {
+			succ.AddToRunqueue(tk)
+		}
+	}
+	if got := succ.Runnable(); got != len(exported) {
+		t.Fatalf("%s imported %d runnable, want %d", succ.Name(), got, len(exported))
+	}
+	for _, tk := range exported {
+		if !succ.OnRunqueue(tk) {
+			t.Fatalf("%s dropped imported task %v", succ.Name(), tk)
+		}
+	}
+	h.s = succ
+	return exported
+}
+
+// churn drives the harness for rounds schedule() calls per CPU with a
+// deterministic block/yield/wake pattern, returning the currently blocked
+// tasks. Tasks end up spread across every internal structure a policy
+// has: per-CPU queues, expired arrays, the zero section, heaps.
+func churn(h *harness, ncpu, rounds int, blocked *[]*task.Task) {
+	step := 0
+	for r := 0; r < rounds; r++ {
+		for cpu := 0; cpu < ncpu; cpu++ {
+			step++
+			next := h.schedule(cpu)
+			if next == nil {
+				continue
+			}
+			switch step % 5 {
+			case 0:
+				h.block(cpu)
+				*blocked = append(*blocked, next)
+			case 2:
+				next.Yielded = true
+			case 3:
+				// Burn quantum so recalc/expiry paths trigger.
+				next.DrainRun(1)
+			}
+			// Wake one blocked task every few steps.
+			if step%7 == 0 && len(*blocked) > 0 {
+				wake := (*blocked)[0]
+				*blocked = (*blocked)[1:]
+				wake.State = task.Running
+				h.s.AddToRunqueue(wake)
+			}
+		}
+	}
+}
+
+func TestSwapPreservesQueuedMultisetAllPairs(t *testing.T) {
+	for _, spec := range swapSpecs {
+		for _, from := range experiments.Policies {
+			for _, to := range experiments.Policies {
+				spec, from, to := spec, from, to
+				t.Run(fmt.Sprintf("%s/%s-to-%s", spec.label, from, to), func(t *testing.T) {
+					t.Parallel()
+					n := 3 * spec.ncpu
+					env := sched.NewEnv(spec.ncpu, true, func() int { return n })
+					if spec.domains > 1 {
+						env.Topo = sched.UniformTopology(spec.ncpu, spec.domains)
+					}
+					s := experiments.Factory(from)(env)
+
+					tasks := make([]*task.Task, 0, n)
+					for i := 0; i < n; i++ {
+						var tk *task.Task
+						switch {
+						case i%11 == 10:
+							tk = task.NewRT(i+1, fmt.Sprintf("rt%d", i), task.FIFO, 1+i%99, env.Epoch)
+						default:
+							tk = mkTask(env, i+1, 1+(i*3)%40, 2+i%12)
+						}
+						if i%7 == 6 {
+							tk.CPUsAllowed = 1 << uint(i%spec.ncpu)
+						}
+						tasks = append(tasks, tk)
+						s.AddToRunqueue(tk)
+					}
+
+					h := newHarness(s, spec.ncpu)
+					var blocked []*task.Task
+					churn(h, spec.ncpu, 6, &blocked)
+
+					// What the kernel would consider queued right now:
+					// runnable, tracked, and not holding a CPU.
+					expected := map[*task.Task]bool{}
+					for _, tk := range tasks {
+						if tk.Runnable() && !tk.HasCPU && s.OnRunqueue(tk) {
+							expected[tk] = true
+						}
+					}
+
+					succ := experiments.Factory(to)(env)
+					exported := kernelSwap(t, h, succ, blocked)
+
+					seen := map[*task.Task]bool{}
+					for _, tk := range exported {
+						if seen[tk] {
+							t.Fatalf("task %v exported twice", tk)
+						}
+						seen[tk] = true
+						if !expected[tk] {
+							t.Fatalf("task %v exported but was not queued", tk)
+						}
+					}
+					if len(seen) != len(expected) {
+						t.Fatalf("exported %d tasks, %d were queued", len(seen), len(expected))
+					}
+
+					// Wake everything that was blocked: normalized state
+					// must integrate cleanly into the successor.
+					for _, tk := range blocked {
+						tk.State = task.Running
+						succ.AddToRunqueue(tk)
+						if !succ.OnRunqueue(tk) {
+							t.Fatalf("%s dropped woken task %v after swap", to, tk)
+						}
+					}
+
+					// The successor must eventually schedule every task.
+					picked := map[*task.Task]bool{}
+					for _, cur := range h.current {
+						if cur != nil {
+							picked[cur] = true
+						}
+					}
+					for left := 0; left < 20*n && len(picked) < len(tasks); left++ {
+						for cpu := 0; cpu < spec.ncpu; cpu++ {
+							if next := h.schedule(cpu); next != nil {
+								picked[next] = true
+								h.block(cpu)
+								h.schedule(cpu)
+							}
+						}
+						// Re-wake what we just blocked so nothing is starved
+						// out of the census.
+						for _, tk := range tasks {
+							if !tk.Runnable() && !picked[tk] {
+								tk.State = task.Running
+								succ.AddToRunqueue(tk)
+							}
+						}
+					}
+					for i, tk := range tasks {
+						if !picked[tk] {
+							t.Fatalf("task %d never scheduled by %s after swap", i, to)
+						}
+					}
+				})
+			}
+		}
+	}
+}

@@ -319,6 +319,28 @@ func (s *Sched) NextTop() int { return s.nextTop }
 // ListLen returns the number of tasks in table list idx. For tests.
 func (s *Sched) ListLen(idx int) int { return s.lists[idx].Len() }
 
+// ExportRunnable implements sched.Scheduler. Drain order is table list
+// 0..size-1, each front to back (selectable section first, then the
+// parked zero section). DelFromRunqueue repairs nz/z/top/nextTop as it
+// goes; ResetQueueState clears the QZero/QStamp tags ELSC deliberately
+// leaves stale on removed tasks.
+func (s *Sched) ExportRunnable() []*task.Task {
+	out := make([]*task.Task, 0, s.total)
+	for i := range s.lists {
+		for {
+			n := s.lists[i].First()
+			if n == nil {
+				break
+			}
+			t := task.FromNode(n)
+			s.DelFromRunqueue(t)
+			sched.ResetQueueState(t)
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
 // checkInvariants panics if the table bookkeeping is inconsistent. Called
 // from tests.
 func (s *Sched) checkInvariants() {

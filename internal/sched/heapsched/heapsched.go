@@ -118,6 +118,25 @@ func (s *Sched) Runnable() int { return s.total }
 // OnRunqueue reports whether the scheduler holds t.
 func (s *Sched) OnRunqueue(t *task.Task) bool { return t.QZero }
 
+// ExportRunnable implements sched.Scheduler. Drain order is heap 0..NCPU
+// (per-CPU affinity heaps then the never-ran heap), each popped root
+// first — i.e. per heap in (key desc, seq asc) priority order.
+func (s *Sched) ExportRunnable() []*task.Task {
+	out := make([]*task.Task, 0, s.total)
+	for h := range s.heaps {
+		for {
+			e, ok := s.heaps[h].peek()
+			if !ok {
+				break
+			}
+			s.DelFromRunqueue(e.t)
+			sched.ResetQueueState(e.t)
+			out = append(out, e.t)
+		}
+	}
+	return out
+}
+
 // Schedule picks the best of the heap tops.
 func (s *Sched) Schedule(cpu int, prev *task.Task) sched.Result {
 	env := s.env

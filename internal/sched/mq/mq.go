@@ -115,6 +115,25 @@ func (s *Sched) OnRunqueue(t *task.Task) bool { return t.OnRunqueue() }
 // QueueLen returns queue q's length, for tests.
 func (s *Sched) QueueLen(q int) int { return s.counts[q] }
 
+// ExportRunnable implements sched.Scheduler. Drain order is per-CPU queue
+// 0..n-1, each front to back.
+func (s *Sched) ExportRunnable() []*task.Task {
+	out := make([]*task.Task, 0, s.Runnable())
+	for q := range s.queues {
+		for {
+			n := s.queues[q].First()
+			if n == nil {
+				break
+			}
+			t := task.FromNode(n)
+			s.DelFromRunqueue(t)
+			sched.ResetQueueState(t)
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
 // Schedule scans only this CPU's queue — O(n/ncpu) — and steals when it
 // is empty.
 func (s *Sched) Schedule(cpu int, prev *task.Task) sched.Result {
@@ -152,14 +171,33 @@ func (s *Sched) Schedule(cpu int, prev *task.Task) sched.Result {
 				best, bestG, _ = s.scanQueue(victim, cpu, prev, yielded, &res)
 			}
 		}
-		_ = bestG
 		if best == nil && sawZero && attempt == 0 {
-			// The local queue holds only exhausted tasks: global
-			// recalculation, as the stock scheduler would.
-			env.Epoch.Bump()
-			res.Recalcs++
-			res.Cycles += uint64(env.NTasks()) * env.Cost.RecalcPerTask
-			continue
+			// The local queue holds only exhausted tasks. The stock
+			// scheduler recalculates counters only when NO runnable task
+			// in the system has quantum left; with private queues that
+			// global condition must be checked explicitly. Recalculating
+			// on local exhaustion alone recharges tasks on busy remote
+			// queues too, and a never-run task — its counter capped at
+			// the 2*prio-1 fixed point — loses to freshly recharged
+			// affinity-bonused neighbours forever (scenario fuzzer,
+			// seed 586). Steal the best remote task that still has
+			// quantum; recalculate only if there is none anywhere.
+			for q := range s.queues {
+				if q == cpu || s.counts[q] == 0 {
+					continue
+				}
+				res.Cycles += env.Cost.LockOp // remote queue's lock
+				b, g, _ := s.scanQueue(q, cpu, prev, yielded, &res)
+				if b != nil && g > bestG {
+					best, bestG = b, g
+				}
+			}
+			if best == nil {
+				env.Epoch.Bump()
+				res.Recalcs++
+				res.Cycles += uint64(env.NTasks()) * env.Cost.RecalcPerTask
+				continue
+			}
 		}
 		if best == nil && yielded && prev.Runnable() && prev.OnRunqueue() {
 			best = prev

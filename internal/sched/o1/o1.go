@@ -559,6 +559,30 @@ func (s *Sched) QueueLen(q int) int { return s.rqs[q].len() }
 func (s *Sched) ActiveLen(q int) int  { return s.rqs[q].active().count }
 func (s *Sched) ExpiredLen(q int) int { return s.rqs[q].expired().count }
 
+// ExportRunnable implements sched.Scheduler. Drain order is CPU 0..n-1;
+// per CPU the active array then the expired one, each in ascending level
+// order (best priority first), each level front to back.
+func (s *Sched) ExportRunnable() []*task.Task {
+	out := make([]*task.Task, 0, s.Runnable())
+	for cpu := range s.rqs {
+		rq := &s.rqs[cpu]
+		for _, arr := range [2]*prioArray{rq.active(), rq.expired()} {
+			for {
+				lvl := arr.firstSet()
+				if lvl < 0 {
+					break
+				}
+				t := task.FromNode(arr.lists[lvl].First())
+				s.DelFromRunqueue(t)
+				sched.ResetQueueState(t)
+				out = append(out, t)
+			}
+		}
+		rq.rotate = nil
+	}
+	return out
+}
+
 // Schedule implements the O(1) pick: file the previous task, swap arrays
 // if the active one drained, read the bitmap, take the head of the best
 // list. Cost is charged per bitmap word touched and per list head

@@ -108,6 +108,32 @@ type Scheduler interface {
 
 	// OnRunqueue reports whether the scheduler currently tracks t.
 	OnRunqueue(t *task.Task) bool
+
+	// ExportRunnable drains every queued task from the policy's
+	// structures, in a deterministic policy-defined order, and returns
+	// them fully detached: RunList unlinked and the scheduler-private
+	// QIndex/QZero/QStamp bookkeeping reset via ResetQueueState, so a
+	// freshly constructed successor policy can import the set with plain
+	// AddToRunqueue calls without inheriting the predecessor's
+	// conventions. The policy must be empty afterwards (Runnable() == 0).
+	// Running (HasCPU) tasks are out of scope: the kernel detaches them
+	// itself before exporting. This is the state-handoff half of hot
+	// policy switching (Machine.SwitchPolicy).
+	ExportRunnable() []*task.Task
+}
+
+// ResetQueueState clears a task's scheduler-private bookkeeping
+// (QIndex/QZero/QStamp) to the never-queued zero values every policy
+// accepts at AddToRunqueue. Policies leave these fields stale in ways that
+// are internally consistent but mutually incompatible — ELSC keeps a
+// parked task's zero tag after removal, heapsched encodes membership in
+// QZero — so every task crossing a policy boundary must pass through here
+// or risk being silently dropped by the successor's "already queued"
+// guards.
+func ResetQueueState(t *task.Task) {
+	t.QIndex = 0
+	t.QZero = false
+	t.QStamp = 0
 }
 
 // Env is what every scheduler needs from the kernel: the recalculation

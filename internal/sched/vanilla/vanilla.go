@@ -97,6 +97,25 @@ func (s *Sched) Runnable() int { return s.rq.Len() - s.running }
 // OnRunqueue reports whether the scheduler tracks t.
 func (s *Sched) OnRunqueue(t *task.Task) bool { return t.OnRunqueue() }
 
+// ExportRunnable implements sched.Scheduler. Drain order is queue order,
+// front to back. The kernel detaches HasCPU tasks before calling this
+// (the stock scheduler is the one policy that keeps them queued), so
+// everything left is selectable.
+func (s *Sched) ExportRunnable() []*task.Task {
+	out := make([]*task.Task, 0, s.rq.Len())
+	for {
+		n := s.rq.First()
+		if n == nil {
+			break
+		}
+		t := task.FromNode(n)
+		s.DelFromRunqueue(t)
+		sched.ResetQueueState(t)
+		out = append(out, t)
+	}
+	return out
+}
+
 // NoteRunning must be called by the kernel when it flips t.HasCPU while t
 // is on the run queue, so Runnable stays O(1). The stock scheduler keeps
 // running tasks on the queue, unlike ELSC.

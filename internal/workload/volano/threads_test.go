@@ -10,7 +10,7 @@ import (
 // actionKind classifies an action for state-machine tests.
 func actionKind(a kernel.Action) string {
 	switch a.(type) {
-	case kernel.Syscall:
+	case kernel.Syscall, *kernel.Syscall:
 		return "syscall"
 	case kernel.Yield:
 		return "yield"
@@ -25,13 +25,27 @@ func actionKind(a kernel.Action) string {
 	}
 }
 
+// asSyscall unwraps either syscall form (the closure value or the prebound
+// pointer the IPC fast paths return).
+func asSyscall(t *testing.T, a kernel.Action) *kernel.Syscall {
+	t.Helper()
+	switch sc := a.(type) {
+	case kernel.Syscall:
+		return &sc
+	case *kernel.Syscall:
+		return sc
+	}
+	t.Fatalf("expected syscall, got %T", a)
+	return nil
+}
+
 // execSyscall runs a syscall action's effect directly; valid only for
 // effects that do not touch the machine (polls of unbounded queues).
 func execSyscall(t *testing.T, a kernel.Action) kernel.Outcome {
 	t.Helper()
-	sc, ok := a.(kernel.Syscall)
-	if !ok {
-		t.Fatalf("expected syscall, got %T", a)
+	sc := asSyscall(t, a)
+	if sc.Exec != nil {
+		return sc.Exec(sc, nil, 0)
 	}
 	return sc.Fn(nil, 0)
 }
@@ -59,11 +73,11 @@ func TestSpinRecvPollsYieldsThenBlocks(t *testing.T) {
 				t.Fatalf("step %d: poll must not block", i)
 			}
 		case "recv":
-			sc, ok := act.(kernel.Syscall)
-			if !ok || sc.Name != "q.recv" {
+			sc := asSyscall(t, act)
+			if sc.Name != "q.recv" {
 				t.Fatalf("step %d: got %v, want blocking recv", i, act)
 			}
-			out := sc.Fn(nil, 0)
+			out := execSyscall(t, act)
 			if out.Wait == nil {
 				t.Fatalf("step %d: blocking recv on empty queue must block", i)
 			}
