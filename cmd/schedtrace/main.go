@@ -6,11 +6,17 @@
 // counters grouped by cache domain, splitting in-domain from cross-domain
 // moves.
 //
+// With -hotplug it hot-unplugs a CPU mid-run and brings it back,
+// printing the transitions inline with the schedule() stream, and with
+// -watchdog it arms the starvation/lockup watchdog so any liveness
+// violation prints at its virtual timestamp.
+//
 // Usage:
 //
 //	schedtrace -sched reg -tasks 6 -n 40
 //	schedtrace -sched elsc -tasks 6 -n 40
 //	schedtrace -sched o1 -cpus 8 -domains 2 -tasks 32 -n 0
+//	schedtrace -sched o1 -cpus 4 -tasks 16 -hotplug 2 -watchdog -n 0
 package main
 
 import (
@@ -22,6 +28,7 @@ import (
 	"elsc/internal/sched"
 	"elsc/internal/sched/elsc"
 	"elsc/internal/sched/o1"
+	"elsc/internal/sim"
 	"elsc/internal/stats"
 )
 
@@ -34,6 +41,8 @@ func main() {
 		n         = flag.Int("n", 40, "decisions to print (0 = trace nothing, stats only)")
 		seed      = flag.Int64("seed", 42, "simulation seed")
 		showTable = flag.Bool("table", false, "dump the ELSC table (Figure 1b view) at the end")
+		hotplug   = flag.Int("hotplug", -1, "CPU to hot-unplug at t=500k cycles and re-plug at t=1.5M (-1 = none)")
+		watchdog  = flag.Bool("watchdog", false, "arm the starvation/lockup watchdog; violations print inline")
 	)
 	flag.Parse()
 
@@ -43,7 +52,7 @@ func main() {
 	}
 	printed := 0
 	var m *kernel.Machine
-	m = kernel.NewMachine(kernel.Config{
+	cfg := kernel.Config{
 		CPUs:         *cpus,
 		SMP:          *cpus > 1,
 		Topology:     topo,
@@ -69,7 +78,36 @@ func main() {
 			fmt.Printf("t=%-12d cpu%d  %-18s -> %-18s examined=%-3d cycles=%-6d%s\n",
 				ev.Now, ev.CPU, ev.Prev.String(), next, ev.Examined, ev.Cycles, extra)
 		},
-	})
+	}
+	if *watchdog {
+		cfg.Watchdog = &kernel.WatchdogConfig{
+			OnViolation: func(v kernel.WatchdogViolation) {
+				fmt.Printf("t=%-12d WATCHDOG %s\n", v.Now, v)
+			},
+		}
+	}
+	m = kernel.NewMachine(cfg)
+	if *hotplug >= 0 {
+		if *hotplug >= *cpus {
+			fmt.Printf("-hotplug %d: no such CPU on a %d-processor machine\n", *hotplug, *cpus)
+			return
+		}
+		cpu := *hotplug
+		m.Engine().At(500_000, "trace-offline", func(now sim.Time) {
+			if err := m.OfflineCPU(cpu); err != nil {
+				fmt.Printf("t=%-12d cpu%d  OFFLINE refused: %v\n", now, cpu, err)
+				return
+			}
+			fmt.Printf("t=%-12d cpu%d  OFFLINE (tasks drained to survivors)\n", now, cpu)
+		})
+		m.Engine().At(1_500_000, "trace-online", func(now sim.Time) {
+			if err := m.OnlineCPU(cpu); err != nil {
+				fmt.Printf("t=%-12d cpu%d  ONLINE refused: %v\n", now, cpu, err)
+				return
+			}
+			fmt.Printf("t=%-12d cpu%d  ONLINE (tick re-armed, affinities restored)\n", now, cpu)
+		})
+	}
 
 	for i := 0; i < *tasks; i++ {
 		steps := 0
@@ -108,6 +146,18 @@ func main() {
 	if bs, ok := m.Scheduler().(bonusStatser); ok {
 		fmt.Println()
 		fmt.Print(bonusTable(bs).Render())
+	}
+	// Hotplug and watchdog sections follow the same conditional-section
+	// rule as steals and bonus: a run with no CPU transitions gets no
+	// hotplug table, and an unarmed run gets no watchdog line — existing
+	// invocations render byte-identically.
+	if s.CPUOfflines > 0 || s.CPUOnlines > 0 {
+		fmt.Println()
+		fmt.Print(hotplugTable(m.CPUStats()).Render())
+	}
+	if s.WatchdogEnabled {
+		fmt.Printf("\nwatchdog: %d starvations, %d lost wakeups, %d cpu stalls\n",
+			s.WatchdogStarvations, s.WatchdogLostWakeups, s.WatchdogCPUStalls)
 	}
 	if *showTable {
 		if es, ok := m.Scheduler().(*elsc.Sched); ok {
@@ -158,6 +208,21 @@ func stealTable(perCPU []o1.CPUSteals, topo *sched.Topology) *stats.Table {
 		totalCross += domCross
 	}
 	t.AddRow("total", "-", totalIn, totalCross)
+	return t
+}
+
+// hotplugTable renders the per-CPU hotplug history: final state, how
+// many times each processor was unplugged, and its total offline time.
+func hotplugTable(perCPU []kernel.CPUStat) *stats.Table {
+	t := stats.NewTable("cpu hotplug transitions",
+		"CPU", "state", "offlines", "offline-cycles")
+	for _, c := range perCPU {
+		state := "online"
+		if !c.Online {
+			state = "offline"
+		}
+		t.AddRow(c.CPU, state, c.Offlines, c.OfflineCycles)
+	}
 	return t
 }
 

@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"elsc/internal/experiments"
+	"elsc/internal/kernel"
 	"elsc/internal/stats"
 	"elsc/internal/workload"
 )
@@ -44,6 +45,8 @@ func run() int {
 	var (
 		exp      = flag.String("exp", "all", "experiment to run (table2 fig2 fig3 fig4 fig5 fig6 profile alt web latency lock numa matrix wakestorm interactive ablate fuzz all)")
 		fuzzN    = flag.Int("fuzzn", 16, "scenarios for -exp fuzz (seeds seed..seed+n-1)")
+		fuzzHot  = flag.Bool("fuzzhotplug", true, "keep hotplug storms in -exp fuzz scenarios (false strips them, for A/B isolation)")
+		wdTrace  = flag.Bool("wdtrace", false, "print each watchdog violation as it fires during -exp fuzz")
 		quick    = flag.Bool("quick", false, "reduced message counts for a fast pass")
 		messages = flag.Int("messages", 0, "override messages per user")
 		seed     = flag.Int64("seed", 42, "simulation seed")
@@ -220,14 +223,23 @@ func run() int {
 		failed := 0
 		for i := 0; i < *fuzzN; i++ {
 			s := experiments.GenScenario(*seed + int64(i))
-			rep, err := experiments.RunScenario(s)
+			if !*fuzzHot {
+				s.Hotplugs = nil
+			}
+			var opts experiments.ScenarioOpts
+			if *wdTrace {
+				opts.OnViolation = func(v kernel.WatchdogViolation) {
+					fmt.Printf("     watchdog: %s\n", v)
+				}
+			}
+			rep, err := experiments.RunScenarioOpts(s, opts)
 			if err != nil {
 				failed++
 				fmt.Printf("FAIL %v\n", err)
 				continue
 			}
-			fmt.Printf("ok   %s (migrated=%d forked=%d %.2fs virtual)\n",
-				s, rep.Migrated, rep.Forked, rep.Result.Seconds)
+			fmt.Printf("ok   %s (migrated=%d forked=%d offlined=%d onlined=%d %.2fs virtual)\n",
+				s, rep.Migrated, rep.Forked, rep.Offlined, rep.Onlined, rep.Result.Seconds)
 		}
 		if failed > 0 {
 			fmt.Fprintf(os.Stderr, "%d of %d scenarios violated an invariant\n", failed, *fuzzN)

@@ -98,6 +98,24 @@
 // internal/sched/conformance holds every policy to a bounded
 // wakeup-to-run worst case.
 //
+// # CPU hotplug and the watchdog
+//
+// Processors hot-unplug and re-plug mid-run (Machine.OfflineCPU /
+// OnlineCPU): the dying CPU's running task is preempted and re-queued,
+// its private queues drain through the Scheduler.DrainCPU hook, its
+// preallocated tick/dispatch events park, in-flight IPIs re-route to a
+// survivor, and tasks affined solely to it widen to run anywhere (Linux
+// cpuset fallback) until their CPU returns and the saved mask re-pins.
+// The last online CPU refuses to go down. An opt-in starvation/lockup
+// watchdog (MachineConfig.Watchdog) sweeps periodically — allocation
+// free, like the rest of the event path — and reports starved runnable
+// tasks (threshold scaled by the policy's latency capability and the
+// run-queue depth), tasks lost from every queue, and online CPUs whose
+// timer chain died, each at its virtual timestamp. The scenario fuzzer
+// arms it everywhere and injects hotplug storms; the machine-level
+// conformance matrix drives scripted storms over every policy on 8P and
+// 32P-NUMA shapes.
+//
 // # The event engine
 //
 // Everything above runs on internal/sim, a discrete-event engine built

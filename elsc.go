@@ -86,6 +86,11 @@ type MachineConfig struct {
 	// UniformSpawnCounter disables fork-style quantum inheritance; see
 	// the kernel documentation. Tests use it; realistic runs should not.
 	UniformSpawnCounter bool
+	// Watchdog, when non-nil, arms the starvation/lockup watchdog: a
+	// periodic sweep that reports runnable tasks starved past a
+	// threshold, tasks lost from every run queue, and online CPUs whose
+	// timer chain died. Zero-value thresholds select the defaults.
+	Watchdog *WatchdogConfig
 }
 
 // Machine is a simulated multiprocessor ready to run tasks or workloads.
@@ -124,6 +129,7 @@ func NewMachine(cfg MachineConfig) *Machine {
 		Cost:                cfg.Cost,
 		MaxCycles:           cfg.MaxSeconds * kernel.DefaultHz,
 		UniformSpawnCounter: cfg.UniformSpawnCounter,
+		Watchdog:            cfg.Watchdog,
 	})
 	return &Machine{m: m}
 }
@@ -219,6 +225,35 @@ func (m *Machine) SwitchPolicy(kind SchedulerKind) int {
 func (m *Machine) SwitchPolicyConfigured(kind SchedulerKind, ecfg *ELSCConfig, ocfg *O1Config) int {
 	return m.m.SwitchPolicy(factoryFor(kind, ecfg, ocfg))
 }
+
+// Hotplug errors, for callers that script transitions.
+var (
+	// ErrCPUOffline: the target CPU is already offline.
+	ErrCPUOffline = kernel.ErrCPUOffline
+	// ErrCPUOnline: the target CPU is already online.
+	ErrCPUOnline = kernel.ErrCPUOnline
+	// ErrLastCPU: refusing to offline the only online CPU.
+	ErrLastCPU = kernel.ErrLastCPU
+)
+
+// OfflineCPU hot-unplugs a processor mid-run: its running task is
+// preempted and re-queued, its private queues are drained to the
+// survivors, in-flight IPIs are re-routed, and tasks affined solely to it
+// fall back to running anywhere (Linux cpuset semantics). The last online
+// CPU cannot be removed. Call it between Run calls or from an engine
+// event, like SwitchPolicy.
+func (m *Machine) OfflineCPU(id int) error { return m.m.OfflineCPU(id) }
+
+// OnlineCPU brings an offlined processor back: its timer chain re-arms,
+// it participates in placement again, and tasks whose affinity was
+// widened by its removal are re-pinned to their original masks.
+func (m *Machine) OnlineCPU(id int) error { return m.m.OnlineCPU(id) }
+
+// CPUIsOnline reports whether processor id is currently hot-plugged in.
+func (m *Machine) CPUIsOnline(id int) bool { return m.m.CPUIsOnline(id) }
+
+// OnlineCount returns how many processors are currently online.
+func (m *Machine) OnlineCount() int { return m.m.OnlineCount() }
 
 // Task wraps a spawned task.
 type Task struct {

@@ -203,3 +203,42 @@ func TestFacadePS(t *testing.T) {
 		t.Fatal("PS missing the spawned task")
 	}
 }
+
+func TestFacadeHotplugAndWatchdog(t *testing.T) {
+	var violations []elsc.WatchdogViolation
+	m := elsc.NewMachine(elsc.MachineConfig{
+		CPUs: 4, SMP: true, Scheduler: elsc.O1, Seed: 9,
+		Watchdog: &elsc.WatchdogConfig{
+			OnViolation: func(v elsc.WatchdogViolation) { violations = append(violations, v) },
+		},
+	})
+	if err := m.OfflineCPU(2); err != nil {
+		t.Fatal(err)
+	}
+	if m.CPUIsOnline(2) || m.OnlineCount() != 3 {
+		t.Fatalf("online state wrong after offline: cpu2=%v count=%d",
+			m.CPUIsOnline(2), m.OnlineCount())
+	}
+	if err := m.OfflineCPU(2); err != elsc.ErrCPUOffline {
+		t.Fatalf("double offline: err = %v, want ErrCPUOffline", err)
+	}
+	res := m.RunVolanoMark(elsc.VolanoConfig{Rooms: 1, UsersPerRoom: 4, MessagesPerUser: 3})
+	if res.Deliveries == 0 {
+		t.Fatal("three survivors delivered nothing")
+	}
+	if err := m.OnlineCPU(2); err != nil {
+		t.Fatal(err)
+	}
+	if m.OnlineCount() != 4 {
+		t.Fatalf("online count = %d after online, want 4", m.OnlineCount())
+	}
+	if len(violations) != 0 {
+		t.Fatalf("watchdog fired on a healthy run: %s", violations[0])
+	}
+	if !strings.Contains(m.ProcStat(), "watchdog_starvations 0") {
+		t.Fatal("armed watchdog's counters missing from procstat")
+	}
+	if !strings.Contains(m.ProcStat(), "cpu_offlines 1") {
+		t.Fatal("hotplug transition missing from procstat")
+	}
+}

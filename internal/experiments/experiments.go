@@ -159,14 +159,28 @@ func NewMachine(spec MachineSpec, policy string, sc Scale) *kernel.Machine {
 // NewMachineWith builds a machine for a spec with an explicit scheduler
 // factory — the entry for ablation variants that tune a policy's config.
 func NewMachineWith(spec MachineSpec, factory kernel.SchedulerFactory, sc Scale) *kernel.Machine {
-	return kernel.NewMachine(kernel.Config{
+	return kernel.NewMachine(machineConfig(spec, factory, sc))
+}
+
+// NewWatchedMachineWith builds a machine like NewMachineWith with the
+// starvation/lockup watchdog armed — what the scenario fuzzer runs on,
+// so liveness violations surface at their virtual timestamp instead of
+// end-of-run.
+func NewWatchedMachineWith(spec MachineSpec, factory kernel.SchedulerFactory, sc Scale, wd kernel.WatchdogConfig) *kernel.Machine {
+	cfg := machineConfig(spec, factory, sc)
+	cfg.Watchdog = &wd
+	return kernel.NewMachine(cfg)
+}
+
+func machineConfig(spec MachineSpec, factory kernel.SchedulerFactory, sc Scale) kernel.Config {
+	return kernel.Config{
 		CPUs:         spec.CPUs,
 		SMP:          spec.SMP,
 		Topology:     spec.Topology(),
 		Seed:         sc.Seed,
 		NewScheduler: factory,
 		MaxCycles:    sc.HorizonSeconds * kernel.DefaultHz,
-	})
+	}
 }
 
 // VolanoRun is one VolanoMark measurement.

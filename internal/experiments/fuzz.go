@@ -2,9 +2,10 @@ package experiments
 
 // The whole-machine scenario fuzzer. A Scenario is a seeded composition
 // of one registry workload with mid-run fault injections — hot policy
-// swaps, affinity and priority churn, fork storms — run on a real
-// simulated machine and audited against the task-conservation invariants
-// at every injection point and at the end of the run:
+// swaps, affinity and priority churn, fork storms, CPU hotplug storms —
+// run on a real simulated machine and audited against the
+// task-conservation invariants at every injection point and at the end
+// of the run:
 //
 //   - census: every live runnable task is tracked (on the run queue or
 //     holding a CPU), and the scheduler's Runnable() agrees with a walk
@@ -12,6 +13,13 @@ package experiments
 //   - swap conservation: a policy swap migrates exactly the queued plus
 //     running population, every queued task is still queued afterwards,
 //     and virtual time does not move;
+//   - hotplug conservation: offlining a CPU preempts and re-queues its
+//     task and drains its private queues without losing anything, and
+//     virtual time does not move;
+//   - liveness: every machine runs with the kernel watchdog armed, so a
+//     starved task, a lost wakeup, or a dead per-CPU timer chain fails
+//     the scenario at the virtual instant the sweep catches it, not at
+//     end-of-run;
 //   - completion: the workload finishes before the horizon and every
 //     storm-forked task exits;
 //   - determinism: the same scenario produces byte-identical digests on
@@ -57,15 +65,23 @@ type ForkPoint struct {
 	Work uint64 // compute cycles per task per step
 }
 
+// HotplugPoint is one injected offline→online cycle on one CPU.
+type HotplugPoint struct {
+	At     uint64 // offline instant, permille of the baseline run
+	BackAt uint64 // online instant, permille; always > At
+	CPU    int    // CPU index, modulo the spec's CPU count at run time
+}
+
 // Scenario is one deterministic whole-machine fuzz case.
 type Scenario struct {
-	Seed   int64
-	Spec   string // machine spec label
-	Load   string // registry workload name
-	Policy string // starting policy
-	Swaps  []SwapPoint
-	Churns []ChurnPoint
-	Forks  []ForkPoint
+	Seed     int64
+	Spec     string // machine spec label
+	Load     string // registry workload name
+	Policy   string // starting policy
+	Swaps    []SwapPoint
+	Churns   []ChurnPoint
+	Forks    []ForkPoint
+	Hotplugs []HotplugPoint
 }
 
 // String renders the scenario as a one-line trace for failure reports.
@@ -80,11 +96,14 @@ func (s Scenario) String() string {
 	for _, fk := range s.Forks {
 		out += fmt.Sprintf(" fork@%d‰(n=%d)", fk.At, fk.N)
 	}
+	for _, hp := range s.Hotplugs {
+		out += fmt.Sprintf(" hotplug@%d-%d‰(cpu=%d)", hp.At, hp.BackAt, hp.CPU)
+	}
 	return out
 }
 
 func (s Scenario) injections() int {
-	return len(s.Swaps) + len(s.Churns) + len(s.Forks)
+	return len(s.Swaps) + len(s.Churns) + len(s.Forks) + len(s.Hotplugs)
 }
 
 // fuzzSpecs are the machine shapes scenarios draw from: a paper-era SMP,
@@ -130,6 +149,16 @@ func GenScenario(seed int64) Scenario {
 			Work: 50_000 + rng.Uint64n(400_000),
 		})
 	}
+	// Hotplug draws come last so every seed pinned before hotplug existed
+	// still generates its original swap/churn/fork composition.
+	for i, n := 0, rng.Intn(3); i < n; i++ {
+		off := at()
+		back := off + 20 + rng.Uint64n(180)
+		if back > 990 {
+			back = 990
+		}
+		s.Hotplugs = append(s.Hotplugs, HotplugPoint{At: off, BackAt: back, CPU: rng.Intn(64)})
+	}
 	return s
 }
 
@@ -140,6 +169,8 @@ type FuzzReport struct {
 	Digest   string
 	Migrated int // tasks handed over across all swaps
 	Forked   int
+	Offlined int // hot-unplugs that actually took effect
+	Onlined  int // hot-plugs that actually took effect
 }
 
 // fuzzScale is the workload sizing every scenario runs at: the quick
@@ -152,25 +183,43 @@ func fuzzDigest(res workload.Result, m *kernel.Machine) string {
 	return fmt.Sprintf("%+v\n%s", res, m.Stats().Registry().Render())
 }
 
+// FuzzWatchdogConfig is the watchdog arming every fuzz machine runs
+// with: the laxest policy-derived starvation bar, since scenarios can
+// hot-swap to any registered policy mid-run.
+func FuzzWatchdogConfig() kernel.WatchdogConfig {
+	return kernel.WatchdogConfig{StarveQuanta: MaxWatchdogStarveQuanta()}
+}
+
+// ScenarioOpts tunes RunScenarioOpts for harness tests.
+type ScenarioOpts struct {
+	// FactoryFor overrides the policy-name-to-factory mapping for the
+	// starting policy and every swap target (nil: the registry's
+	// Factory). The seed-586 regression test uses it to replay the
+	// scenario against the pre-fix mq recalc semantics.
+	FactoryFor func(name string) kernel.SchedulerFactory
+	// OnViolation observes every watchdog violation on the injected
+	// machine, in addition to the run failing on the first one.
+	OnViolation func(kernel.WatchdogViolation)
+	// Trace, when non-nil, is installed on the injected machine — the
+	// schedule()-decision firehose, for digging into a failing seed.
+	Trace func(kernel.TraceEvent)
+}
+
 // RunScenario executes one scenario and audits it. The returned error
 // carries the scenario trace and the first violated invariant.
 func RunScenario(s Scenario) (FuzzReport, error) {
+	return RunScenarioOpts(s, ScenarioOpts{})
+}
+
+// RunScenarioOpts is RunScenario with harness-test hooks.
+func RunScenarioOpts(s Scenario, opts ScenarioOpts) (FuzzReport, error) {
 	rep := FuzzReport{Scenario: s}
 	spec := SpecByLabel(s.Spec)
 	sc := fuzzScale(s.Seed)
-
-	// Baseline: the identical machine with no injections. It provides
-	// the injection timebase (virtual cycles the undisturbed run takes)
-	// and the reference digest for zero-injection scenarios.
-	bm := NewMachine(spec, s.Policy, sc)
-	bres := workload.Build(s.Load, bm, WorkloadParams(spec, sc)).Run()
-	if !bres.Complete {
-		return rep, fmt.Errorf("%s: baseline run incomplete", s)
+	factoryFor := opts.FactoryFor
+	if factoryFor == nil {
+		factoryFor = Factory
 	}
-	span := uint64(bm.Now())
-
-	m := NewMachine(spec, s.Policy, sc)
-	inst := workload.Build(s.Load, m, WorkloadParams(spec, sc))
 
 	var violation error
 	fail := func(format string, args ...any) {
@@ -178,6 +227,37 @@ func RunScenario(s Scenario) (FuzzReport, error) {
 			violation = fmt.Errorf("%s: %s", s, fmt.Sprintf(format, args...))
 		}
 	}
+
+	// Baseline: the identical machine with no injections. It provides
+	// the injection timebase (virtual cycles the undisturbed run takes)
+	// and the reference digest for zero-injection scenarios. It runs
+	// watchdog-armed like the injected machine — a violation here is a
+	// liveness bug (or a watchdog false positive) on a clean run.
+	bwd := FuzzWatchdogConfig()
+	bwd.OnViolation = func(v kernel.WatchdogViolation) { fail("baseline %s", v) }
+	bm := NewWatchedMachineWith(spec, factoryFor(s.Policy), sc, bwd)
+	bres := workload.Build(s.Load, bm, WorkloadParams(spec, sc)).Run()
+	if violation != nil {
+		return rep, violation
+	}
+	if !bres.Complete {
+		return rep, fmt.Errorf("%s: baseline run incomplete", s)
+	}
+	span := uint64(bm.Now())
+
+	wd := FuzzWatchdogConfig()
+	wd.OnViolation = func(v kernel.WatchdogViolation) {
+		fail("%s", v)
+		if opts.OnViolation != nil {
+			opts.OnViolation(v)
+		}
+	}
+	mcfg := machineConfig(spec, factoryFor(s.Policy), sc)
+	mcfg.Watchdog = &wd
+	mcfg.Trace = opts.Trace
+	m := kernel.NewMachine(mcfg)
+	inst := workload.Build(s.Load, m, WorkloadParams(spec, sc))
+
 	rng := sim.NewRNG(s.Seed ^ 0x5eed)
 	at := func(permille uint64) sim.Cycles {
 		c := span * permille / 1000
@@ -199,7 +279,7 @@ func RunScenario(s Scenario) (FuzzReport, error) {
 			}
 			queued := queuedTasks(m)
 			running := runningCount(m)
-			migrated := m.SwitchPolicy(Factory(to))
+			migrated := m.SwitchPolicy(factoryFor(to))
 			rep.Migrated += migrated
 			if migrated != len(queued)+running {
 				fail("swap to %s migrated %d tasks, machine held %d queued + %d running",
@@ -265,6 +345,53 @@ func RunScenario(s Scenario) (FuzzReport, error) {
 			}
 			if err := auditCensus(m); err != nil {
 				fail("post-fork %v", err)
+			}
+		})
+	}
+	for _, hp := range s.Hotplugs {
+		cpu := hp.CPU % spec.CPUs
+		m.Engine().After(at(hp.At), "fuzz-offline", func(now sim.Time) {
+			if violation != nil {
+				return
+			}
+			if err := auditCensus(m); err != nil {
+				fail("pre-offline(cpu%d) %v", cpu, err)
+				return
+			}
+			queued := queuedTasks(m)
+			if err := m.OfflineCPU(cpu); err != nil {
+				// Refused: already offline (overlapping storms) or the
+				// last online CPU. The refusal is the correct behavior;
+				// nothing changed, nothing to audit.
+				return
+			}
+			rep.Offlined++
+			if m.Now() != now {
+				fail("offlining cpu%d moved the clock from %d to %d", cpu, now, m.Now())
+				return
+			}
+			for _, t := range queued {
+				if !m.Scheduler().OnRunqueue(t) && !t.HasCPU {
+					fail("offlining cpu%d dropped queued task %s", cpu, t.Name)
+					return
+				}
+			}
+			if err := auditCensus(m); err != nil {
+				fail("post-offline(cpu%d) %v", cpu, err)
+			}
+		})
+		m.Engine().After(at(hp.BackAt), "fuzz-online", func(now sim.Time) {
+			if violation != nil {
+				return
+			}
+			if err := m.OnlineCPU(cpu); err != nil {
+				// Already online: its offline was refused, or an
+				// overlapping storm brought it back first.
+				return
+			}
+			rep.Onlined++
+			if err := auditCensus(m); err != nil {
+				fail("post-online(cpu%d) %v", cpu, err)
 			}
 		})
 	}
@@ -336,6 +463,10 @@ func runningCount(m *kernel.Machine) int {
 	return n
 }
 
+// AuditCensus re-exports the fuzzer's conservation walk for other suites
+// (the hotplug conformance tests audit machines mid-cycle with it).
+func AuditCensus(m *kernel.Machine) error { return auditCensus(m) }
+
 // auditCensus walks the task table and checks task conservation: every
 // live runnable task is either queued or running (nothing vanished), and
 // the scheduler's Runnable() count agrees with the walk (nothing is
@@ -362,8 +493,15 @@ func auditCensus(m *kernel.Machine) error {
 		}
 	}
 	if got := m.Scheduler().Runnable(); got != queued {
-		return fmt.Errorf("census: scheduler reports %d runnable, task table holds %d queued",
-			got, queued)
+		var names []string
+		for _, p := range m.Procs() {
+			t := p.Task
+			if !p.Exited() && t.Runnable() && !t.HasCPU && m.Scheduler().OnRunqueue(t) {
+				names = append(names, fmt.Sprintf("%s(id=%d,cpu=%d)", t.Name, t.ID, t.Processor))
+			}
+		}
+		return fmt.Errorf("census: scheduler reports %d runnable, task table holds %d queued: %s",
+			got, queued, strings.Join(names, " "))
 	}
 	return nil
 }
@@ -377,7 +515,48 @@ func auditCensus(m *kernel.Machine) error {
 // counters whenever one private queue was exhausted, endlessly recharging
 // the hogs sharing the probe's queue past its capped counter. Fixed by
 // restoring the stock recalc condition (no quantum left anywhere) with a
-// steal of the best remote task that still has quantum.
+// steal of the best remote task that still has quantum. The pre-fix
+// semantics survive behind mq.Config.RecalcOnLocalExhaustion, and
+// TestWatchdogCatchesSeed586PreFix replays this seed against them to
+// prove the watchdog would have flagged the starvation at its first
+// threshold crossing instead of end-of-run.
+//
+// Seeds 7700 and 31337 pin hotplug-storm compositions: offline→online
+// cycles racing swaps and churn across the mid-size and NUMA specs.
+//
+// Seed 90875 (32P-NUMA/latency, heap→mq swap, churn that pinned a
+// max-priority probe to a busy CPU, two hotplug cycles) was the armed
+// watchdog's first live catch: with the probe exhausted and pinned, every
+// other CPU's quantum expiry found nothing stealable and bumped the recalc
+// epoch, and the running hogs — lazily resyncing their counters on each
+// tick — absorbed counter/2+priority refills mid-quantum, postponing their
+// own expiry ~10x past the nominal quantum. The whole 32-CPU machine
+// collapsed to one or two schedule() calls per 100M cycles while the probe
+// starved for 1.36G cycles. Fixed in task.TickDecrement: a running task's
+// quantum is fixed at dispatch, remote recalcs no longer refill it.
+//
+// Seed -74 (4P/db, elsc, fork storm racing an offline) stranded a task the
+// offlined CPU had claimed mid-dispatch: offlineDispatch released claimed
+// tasks only when the policy said they were off the queue, but the global
+// policies leave the run-list marker set on a running task (footnote 3),
+// so the release was skipped — marked queued, in no list, invisible to
+// every count. Caught by the post-fork census audit; fixed by mirroring
+// the OfflineCPU preempt path's del-then-add release.
+//
+// Seed 90031 (4P/latency, heap, priority churn) pinned the watchdog's one
+// false positive: the starvation threshold scales with the task's own
+// quantum, so churning a long-queued hog from priority 20 down to 1 shrank
+// its bar twenty-fold and the wait accrued under the old quantum crossed
+// it instantly. SetPriority now restarts the starvation stopwatch of a
+// queued task, the same way reconfiguring a real hung-task watchdog
+// touches it.
+//
+// Seed 91091 (2P/latency, o1→heap, early churn to priority 1) pinned the
+// companion calibration bug: the threshold scaled with the starved task's
+// own quantum, but one turn of the rotation waits behind everyone else's
+// timeslice — a priority-1 hog among twenty-five priority-20 hogs on two
+// CPUs legitimately waits ~150 of its own 2-tick slices. The yardstick is
+// now the largest runnable task's quantum.
 var RegressionSeeds = []int64{
-	1, 2, 3, 5, 8, 13, 42, 586, 1001, 90210,
+	1, 2, 3, 5, 8, 13, 42, 586, 1001, 7700, 31337, 90210, 90875, -74, 90031, 91091,
 }

@@ -5,6 +5,9 @@ import (
 	"strings"
 	"testing"
 
+	"elsc/internal/kernel"
+	"elsc/internal/sched"
+	"elsc/internal/sched/mq"
 	"elsc/internal/workload"
 )
 
@@ -76,7 +79,10 @@ func TestFuzzScenarioDeterministic(t *testing.T) {
 // a scenario with no injections must reproduce the plain (non-fuzzed)
 // run byte for byte — same result struct, same stats registry, same
 // event count. If the fuzz harness perturbs the machine at all (an extra
-// engine event, a stray RNG draw), this catches it.
+// engine event, a stray RNG draw), this catches it. The reference
+// machine carries the same watchdog arming as every fuzz machine — the
+// watchdog sweeps are part of the run's event stream, but a clean run's
+// violation counters must all render as zero.
 func TestFuzzZeroInjectionMatchesPlainDigest(t *testing.T) {
 	const seed = 7
 	for _, policy := range Policies {
@@ -90,14 +96,98 @@ func TestFuzzZeroInjectionMatchesPlainDigest(t *testing.T) {
 			}
 			spec := SpecByLabel(s.Spec)
 			sc := fuzzScale(seed)
-			m := NewMachine(spec, policy, sc)
+			m := NewWatchedMachineWith(spec, Factory(policy), sc, FuzzWatchdogConfig())
 			res := workload.Build(s.Load, m, WorkloadParams(spec, sc)).Run()
 			plain := fmt.Sprintf("%+v\n%s", res, m.Stats().Registry().Render())
 			if rep.Digest != plain {
 				t.Fatalf("zero-injection scenario diverged from the plain run:\n--- fuzz\n%s\n--- plain\n%s",
 					rep.Digest, plain)
 			}
+			for _, line := range []string{"watchdog_starvations 0", "watchdog_lost_wakeups 0", "watchdog_cpu_stalls 0"} {
+				if !strings.Contains(rep.Digest, line) {
+					t.Fatalf("clean run's digest missing %q:\n%s", line, rep.Digest)
+				}
+			}
 		})
+	}
+}
+
+// TestWatchdogCatchesSeed586PreFix replays the pinned seed-586 scenario
+// against mq's pre-fix recalc semantics (recalculate whenever one
+// private queue is exhausted — the bug the fuzzer originally caught as
+// an incomplete run after the full 600-second horizon) and requires the
+// watchdog to flag the starvation at its first threshold crossing, a
+// small fraction of the horizon into the run.
+func TestWatchdogCatchesSeed586PreFix(t *testing.T) {
+	s := GenScenario(586)
+	usesMQ := s.Policy == MQ
+	for _, sw := range s.Swaps {
+		if sw.To == MQ {
+			usesMQ = true
+		}
+	}
+	if !usesMQ {
+		t.Fatal("seed 586 no longer involves mq; the pre-fix replay is meaningless")
+	}
+	var first *kernel.WatchdogViolation
+	_, err := RunScenarioOpts(s, ScenarioOpts{
+		FactoryFor: func(name string) kernel.SchedulerFactory {
+			if name == MQ {
+				return func(env *sched.Env) sched.Scheduler {
+					return mq.NewWithConfig(env, mq.Config{RecalcOnLocalExhaustion: true})
+				}
+			}
+			return Factory(name)
+		},
+		OnViolation: func(v kernel.WatchdogViolation) {
+			if first == nil {
+				first = &v
+			}
+		},
+	})
+	if err == nil {
+		t.Fatal("pre-fix mq ran seed 586 clean; the regression replay lost its bug")
+	}
+	if first == nil || first.Kind != kernel.WatchdogStarvation {
+		t.Fatalf("expected a starvation violation, got error %v (first violation %v)", err, first)
+	}
+	horizon := fuzzScale(586).HorizonSeconds * kernel.DefaultHz
+	if uint64(first.Now) > horizon/4 {
+		t.Fatalf("watchdog flagged the starvation only at t=%d, past a quarter of the %d-cycle horizon",
+			first.Now, horizon)
+	}
+	if !strings.Contains(err.Error(), "starvation") {
+		t.Fatalf("scenario error does not carry the watchdog violation: %v", err)
+	}
+}
+
+// TestFuzzHotplugSeedsExerciseStorms pins that the hotplug-bearing
+// regression seeds actually perform offline→online cycles (a generator
+// change that quietly stops drawing hotplugs would otherwise leave the
+// storm path untested).
+func TestFuzzHotplugSeedsExerciseStorms(t *testing.T) {
+	hot := 0
+	for _, seed := range RegressionSeeds {
+		s := GenScenario(seed)
+		if len(s.Hotplugs) == 0 {
+			continue
+		}
+		rep, err := RunScenario(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Offlined > 0 {
+			hot++
+			if rep.Onlined == 0 && uint64(rep.Offlined) != 0 {
+				// An offline with no matching online means BackAt landed
+				// past workload completion — legal, but at least one
+				// pinned seed must complete a full cycle.
+				continue
+			}
+		}
+	}
+	if hot < 2 {
+		t.Fatalf("only %d regression seeds exercised hotplug storms; pin more seeds", hot)
 	}
 }
 

@@ -3,6 +3,7 @@ package kernel
 import (
 	"math/bits"
 
+	"elsc/internal/sched"
 	"elsc/internal/sim"
 	"elsc/internal/task"
 )
@@ -20,6 +21,18 @@ type CPU struct {
 	transitioning bool
 	needResched   bool
 	reschedSent   bool
+
+	// online is false while the CPU is hot-unplugged: it runs nothing,
+	// its timer chain parks itself, and IPIs landing here are re-routed.
+	// offlineFrom stamps the current offline stretch; offlineAccum and
+	// offlines total completed stretches for MPStat.
+	online       bool
+	offlineFrom  sim.Time
+	offlineAccum uint64
+	offlines     uint64
+	// wdStallFlagged marks that the watchdog already reported this CPU's
+	// dead timer chain, so one stall is one violation, not one per sweep.
+	wdStallFlagged bool
 
 	runDone  *sim.Event
 	segStart sim.Time
@@ -49,9 +62,13 @@ type CPU struct {
 // ID returns the processor number.
 func (c *CPU) ID() int { return c.id }
 
+// Online reports whether the CPU is hot-plugged in.
+func (c *CPU) Online() bool { return c.online }
+
 // isIdle reports whether the CPU has nothing running and no dispatch in
-// flight.
-func (c *CPU) isIdle() bool { return c.current == nil && !c.transitioning }
+// flight. Offline CPUs are never idle in the schedulable sense: they must
+// not be kicked, offered wakes, or counted as placement targets.
+func (c *CPU) isIdle() bool { return c.online && c.current == nil && !c.transitioning }
 
 // kickIdle asks an idle CPU to run schedule() after the wake-up IPI
 // latency. Duplicate kicks collapse via reschedSent — later wake-ups
@@ -86,6 +103,14 @@ func (c *CPU) sendResched() {
 // the dispatch path re-checks it.
 func (c *CPU) ipiArrive(now sim.Time) {
 	c.reschedSent = false
+	if !c.online {
+		// The IPI raced an offline: the target is gone, but the wakes
+		// that piggybacked on it still name runnable queued tasks.
+		// Re-route the nudge to the surviving CPUs instead of dropping
+		// it — a dropped kick here is a lost wake-up.
+		c.m.nudgeOnline()
+		return
+	}
 	switch {
 	case c.transitioning:
 		c.needResched = true
@@ -168,6 +193,12 @@ func (c *CPU) creditWork(p *Proc, cycles uint64) {
 // task's quantum, and force schedule() on expiry.
 func (c *CPU) tick(now sim.Time) {
 	m := c.m
+	if !c.online {
+		// Hot-unplugged: park the timer chain by not re-arming it.
+		// OnlineCPU restarts the chain (or, if the CPU returns within
+		// one period, this firing never sees the offline state at all).
+		return
+	}
 	m.eng.ScheduleAfter(c.tickEv, m.cfg.TickCycles)
 	m.stats.TickCycles += m.env.Cost.TickCost
 	if c.transitioning {
@@ -391,6 +422,9 @@ func doExit(c *CPU, now sim.Time) {
 // run-queue lock, account the cost, and complete the context switch after
 // the decision's virtual duration.
 func (m *Machine) reschedule(c *CPU, now sim.Time) {
+	if !c.online {
+		panic("kernel: schedule() on an offline CPU")
+	}
 	prev := c.current
 	prevTask := c.idleTask
 	if prev != nil {
@@ -470,6 +504,8 @@ func (m *Machine) reschedule(c *CPU, now sim.Time) {
 		next.HasCPU = true
 		next.Processor = c.id
 		next.EverRan = true
+		nextProc.lastDispatched = now
+		nextProc.wdFlagged = false
 		if m.noter != nil && next.OnRunqueue() {
 			m.noter.NoteRunning(next, true)
 		}
@@ -485,7 +521,47 @@ func (m *Machine) reschedule(c *CPU, now sim.Time) {
 func (c *CPU) dispatchArrive(now sim.Time) {
 	p := c.dispatchNext
 	c.dispatchNext = nil
+	if !c.online {
+		c.m.offlineDispatch(c, p, now)
+		return
+	}
 	c.m.dispatch(c, p, now)
+}
+
+// offlineDispatch lands a context switch whose CPU was hot-unplugged
+// mid-transition. The chosen task was claimed (HasCPU) when the decision
+// was made, so no other CPU could take it in flight; instead of starting
+// it here — an offline CPU must never run a task — it is released back to
+// the run queue and the surviving CPUs are nudged.
+func (m *Machine) offlineDispatch(c *CPU, p *Proc, now sim.Time) {
+	c.transitioning = false
+	c.needResched = false
+	if p == nil {
+		return
+	}
+	t := p.Task
+	if m.noter != nil && t.OnRunqueue() {
+		m.noter.NoteRunning(t, false)
+	}
+	t.HasCPU = false
+	p.workStamp = c.work
+	if t.Runnable() {
+		// Del-then-Add, like the OfflineCPU preempt path: under the global
+		// policies the claimed task still carries the run-list marker even
+		// though Schedule pulled it out of the structure (footnote 3), so a
+		// bare "re-add if not on queue" would skip it and strand the task —
+		// marked queued, in no list, invisible to every scheduler count
+		// (fuzzer seed -74). DelFromRunqueue clears the illusion (or the
+		// real listing, for policies that keep running tasks listed) and the
+		// re-add files it where survivors can pick it.
+		if m.sched.OnRunqueue(t) {
+			m.sched.DelFromRunqueue(t)
+		}
+		sched.ResetQueueState(t)
+		m.sched.AddToRunqueue(t)
+		m.rqLockOfTask(t).bump(now, m.env.Cost.AddRunqueue+m.env.Cost.LockOp)
+		m.rescheduleIdle(p)
+	}
 }
 
 // dispatch completes the context switch started by reschedule.

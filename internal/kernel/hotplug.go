@@ -1,0 +1,210 @@
+package kernel
+
+import (
+	"errors"
+
+	"elsc/internal/sched"
+)
+
+// Hotplug errors. Offline/Online refuse rather than panic on redundant or
+// impossible requests, so fault-injection harnesses can fire blind.
+var (
+	// ErrCPUOffline: OfflineCPU of a CPU that is already offline.
+	ErrCPUOffline = errors.New("kernel: CPU already offline")
+	// ErrCPUOnline: OnlineCPU of a CPU that is already online.
+	ErrCPUOnline = errors.New("kernel: CPU already online")
+	// ErrLastCPU: OfflineCPU would leave the machine with no processor.
+	ErrLastCPU = errors.New("kernel: cannot offline the last online CPU")
+)
+
+// OfflineCPU hot-unplugs processor id, like Linux's cpu_down: the running
+// task is preempted and re-queued, the policy's per-CPU structures are
+// drained and their tasks re-homed, tasks affined solely to dead CPUs fall
+// back to running anywhere (cpuset semantics, undone when a CPU of theirs
+// returns), and the CPU's timer chain parks itself. The preallocated
+// tick/IPI/dispatch events are never cancelled — a cancelled event stays
+// queued until the heap prunes it and cannot be re-armed — they instead
+// no-op or re-route while the CPU is offline, so hotplug is O(queue
+// length) with zero allocation in steady state.
+//
+// Call from between-events contexts only (an engine event callback or
+// between Run calls), never from inside a syscall effect. The last online
+// CPU refuses with ErrLastCPU.
+func (m *Machine) OfflineCPU(id int) error {
+	if id < 0 || id >= len(m.cpus) {
+		panic("kernel: OfflineCPU out of range")
+	}
+	c := m.cpus[id]
+	if !c.online {
+		return ErrCPUOffline
+	}
+	if m.env.OnlineCount() == 1 {
+		return ErrLastCPU
+	}
+	now := m.eng.Now()
+	if c.isIdle() {
+		// Close the idle stretch before the clock stops counting it.
+		d := uint64(now - c.idleFrom)
+		m.stats.IdleCycles += d
+		c.idleAccum += d
+	}
+	c.online = false
+	m.env.SetCPUOnline(id, false)
+	c.offlineFrom = now
+	c.offlines++
+	m.stats.CPUOfflines++
+
+	// Cpuset fallback first: a task whose mask names only dead CPUs must
+	// be widened before any re-homing below asks the policy to place it,
+	// or it would be filed somewhere it can never be picked from.
+	m.applyAffinityFallback()
+
+	// Preempt and detach the victim's running task.
+	if p := c.current; p != nil {
+		t := p.Task
+		c.interrupt(now)
+		t.InvSwitches++
+		if m.noter != nil && t.OnRunqueue() {
+			m.noter.NoteRunning(t, false)
+		}
+		t.HasCPU = false
+		p.workStamp = c.work
+		c.current = nil
+		if t.Runnable() {
+			if m.sched.OnRunqueue(t) {
+				m.sched.DelFromRunqueue(t)
+			}
+			sched.ResetQueueState(t)
+			m.sched.AddToRunqueue(t)
+			m.rqLockOfTask(t).bump(now, m.env.Cost.AddRunqueue+m.env.Cost.LockOp)
+		}
+	}
+	// A dispatch in flight is left alone: dispatchArrive sees the offline
+	// CPU and releases its claimed task back to the queue. The pending
+	// needResched it might have carried dies with the schedulable state.
+	c.needResched = false
+
+	// Drain the policy's per-CPU structures and re-file each task; the
+	// policy's online-aware placement re-homes them onto survivors.
+	m.drainBuf = m.sched.DrainCPU(id, m.drainBuf[:0])
+	for i, t := range m.drainBuf {
+		m.sched.AddToRunqueue(t)
+		m.rqLockOfTask(t).bump(now, m.env.Cost.AddRunqueue+m.env.Cost.LockOp)
+		m.drainBuf[i] = nil
+	}
+
+	// Anything that moved is invisible to CPUs already idle or mid-switch;
+	// nothing else would trigger their schedule().
+	m.nudgeOnline()
+	return nil
+}
+
+// OnlineCPU hot-plugs processor id back in: its timer chain is re-armed,
+// tasks the offline forced into cpuset fallback are re-pinned if their own
+// mask is satisfiable again, and the CPU rejoins placement and balancing
+// (the online mask bit is what the policies consult).
+func (m *Machine) OnlineCPU(id int) error {
+	if id < 0 || id >= len(m.cpus) {
+		panic("kernel: OnlineCPU out of range")
+	}
+	c := m.cpus[id]
+	if c.online {
+		return ErrCPUOnline
+	}
+	now := m.eng.Now()
+	c.online = true
+	c.wdStallFlagged = false
+	m.env.SetCPUOnline(id, true)
+	d := uint64(now - c.offlineFrom)
+	c.offlineAccum += d
+	m.stats.CPUOnlines++
+	m.stats.OfflineCycles += d
+	c.idleFrom = now
+	if !c.tickEv.Pending() {
+		// The parked timer chain: restart it one period out. (If the CPU
+		// returned within one period the chain never parked and is still
+		// pending — re-arming a queued event would panic.)
+		m.eng.ScheduleAfter(c.tickEv, m.cfg.TickCycles)
+	}
+	m.restoreAffinity()
+	if c.isIdle() && m.sched.Runnable() > 0 {
+		c.kickIdle()
+	}
+	return nil
+}
+
+// applyAffinityFallback widens the mask of every live task affined solely
+// to offline CPUs, per Linux cpuset fallback: rather than strand the task
+// unschedulable, let it run anywhere and remember its own mask for
+// restoreAffinity.
+func (m *Machine) applyAffinityFallback() {
+	mask := m.env.OnlineMask()
+	for _, p := range m.procs {
+		if p.exited {
+			continue
+		}
+		t := p.Task
+		if t.CPUsAllowed == 0 || t.CPUsAllowed&mask != 0 {
+			continue
+		}
+		if p.savedAffinity == 0 {
+			p.savedAffinity = t.CPUsAllowed
+		}
+		queued := m.sched.OnRunqueue(t) && !t.HasCPU
+		if queued {
+			m.sched.DelFromRunqueue(t)
+		}
+		t.CPUsAllowed = 0
+		if queued {
+			m.sched.AddToRunqueue(t)
+		}
+	}
+}
+
+// restoreAffinity re-pins tasks whose cpuset fallback is over: their own
+// saved mask names at least one online CPU again.
+func (m *Machine) restoreAffinity() {
+	mask := m.env.OnlineMask()
+	for _, p := range m.procs {
+		if p.exited || p.savedAffinity == 0 || p.savedAffinity&mask == 0 {
+			continue
+		}
+		t := p.Task
+		queued := m.sched.OnRunqueue(t) && !t.HasCPU
+		if queued {
+			m.sched.DelFromRunqueue(t)
+		}
+		t.CPUsAllowed = p.savedAffinity
+		p.savedAffinity = 0
+		if queued {
+			m.sched.AddToRunqueue(t)
+			m.rescheduleIdle(p)
+		}
+	}
+}
+
+// nudgeOnline makes queued work visible to every online CPU that will not
+// otherwise run schedule(): idle ones are kicked, mid-switch ones flagged
+// to re-pick at dispatch. Used after bulk queue changes (hotplug drains,
+// policy switches) and to re-route IPIs that landed on an offline CPU.
+func (m *Machine) nudgeOnline() {
+	if m.sched.Runnable() == 0 {
+		return
+	}
+	for _, c := range m.cpus {
+		if c.isIdle() {
+			c.kickIdle()
+		} else if c.online && c.transitioning {
+			c.needResched = true
+		}
+	}
+}
+
+// CPUIsOnline reports whether processor id is online.
+func (m *Machine) CPUIsOnline(id int) bool { return m.cpus[id].online }
+
+// OnlineCount returns the number of online processors.
+func (m *Machine) OnlineCount() int { return m.env.OnlineCount() }
+
+// NumCPU returns the machine's processor count, online or not.
+func (m *Machine) NumCPU() int { return len(m.cpus) }

@@ -1,0 +1,271 @@
+package kernel
+
+import (
+	"testing"
+
+	"elsc/internal/sim"
+)
+
+func TestHotplugRefusals(t *testing.T) {
+	m := newMachine(t, 2, vanillaFactory)
+	if err := m.OnlineCPU(0); err != ErrCPUOnline {
+		t.Fatalf("onlining an online CPU: err = %v, want ErrCPUOnline", err)
+	}
+	if err := m.OfflineCPU(1); err != nil {
+		t.Fatalf("first offline: %v", err)
+	}
+	if err := m.OfflineCPU(1); err != ErrCPUOffline {
+		t.Fatalf("double offline: err = %v, want ErrCPUOffline", err)
+	}
+	if err := m.OfflineCPU(0); err != ErrLastCPU {
+		t.Fatalf("offlining the last CPU: err = %v, want ErrLastCPU", err)
+	}
+	if m.OnlineCount() != 1 || m.CPUIsOnline(1) {
+		t.Fatalf("online count = %d, cpu1 online = %v", m.OnlineCount(), m.CPUIsOnline(1))
+	}
+	if err := m.OnlineCPU(1); err != nil {
+		t.Fatalf("bringing cpu1 back: %v", err)
+	}
+	if m.OnlineCount() != 2 {
+		t.Fatalf("online count = %d after online, want 2", m.OnlineCount())
+	}
+	if s := m.Stats(); s.CPUOfflines != 1 || s.CPUOnlines != 1 {
+		t.Fatalf("transition counters = %d/%d, want 1/1", s.CPUOfflines, s.CPUOnlines)
+	}
+}
+
+// TestOfflineRehomesRunningTask: offlining a CPU mid-run preempts its
+// task, re-queues it, and the survivor finishes everything; nothing runs
+// on the dead CPU afterwards.
+func TestOfflineRehomesRunningTask(t *testing.T) {
+	bothSchedulers(t, func(t *testing.T, f SchedulerFactory) {
+		m := newMachine(t, 2, f)
+		a := m.Spawn("a", nil, computeLoop(50, 100_000))
+		b := m.Spawn("b", nil, computeLoop(50, 100_000))
+		m.Run(func() bool { return m.cpus[0].current != nil && m.cpus[1].current != nil })
+		victim := m.cpus[1].current
+		if victim == nil {
+			t.Fatal("cpu1 runs nothing with two runnable hogs")
+		}
+		if err := m.OfflineCPU(1); err != nil {
+			t.Fatal(err)
+		}
+		if victim.Task.HasCPU {
+			t.Fatal("victim still marked running after its CPU went offline")
+		}
+		if !m.sched.OnRunqueue(victim.Task) {
+			t.Fatal("preempted victim not re-queued")
+		}
+		m.Run(func() bool { return m.Alive() == 0 })
+		if !a.Exited() || !b.Exited() {
+			t.Fatal("tasks did not finish on the surviving CPU")
+		}
+		if a.Task.Processor != 0 || b.Task.Processor != 0 {
+			t.Fatalf("tasks last ran on CPUs %d/%d; only CPU 0 was online",
+				a.Task.Processor, b.Task.Processor)
+		}
+	})
+}
+
+// TestWakeRacingOfflineCPUIsNotLost is the IPI re-route regression test:
+// a wake-idle IPI already in flight to a CPU that goes offline before it
+// lands must be re-routed to a surviving CPU, not dropped — the woken
+// task still runs.
+func TestWakeRacingOfflineCPUIsNotLost(t *testing.T) {
+	bothSchedulers(t, func(t *testing.T, f SchedulerFactory) {
+		m := newMachine(t, 2, f)
+		phase := 0
+		sleeper := m.Spawn("sleeper", nil, ProgramFunc(func(p *Proc) Action {
+			phase++
+			switch phase {
+			case 1:
+				return Sleep{Cycles: 5 * DefaultTickCycles}
+			case 2:
+				return Compute{Cycles: 100_000}
+			default:
+				return Exit{}
+			}
+		}))
+		m.Run(func() bool { return !sleeper.Task.Runnable() })
+		// The machine is fully idle; the sleep-expiry wake will kick an
+		// idle CPU with an ipiLatency-delayed IPI. Stop the instant the
+		// wake fires, while that IPI is still in flight.
+		m.Run(func() bool { return sleeper.Task.Runnable() })
+		target := -1
+		for _, c := range m.cpus {
+			if c.ipiEv.Pending() {
+				target = c.id
+			}
+		}
+		if target == -1 {
+			t.Fatal("no wake IPI in flight after the wake fired")
+		}
+		if err := m.OfflineCPU(target); err != nil {
+			t.Fatal(err)
+		}
+		m.Run(func() bool { return m.Alive() == 0 })
+		if !sleeper.Exited() {
+			t.Fatalf("woken task lost: wake IPI to offlined cpu%d was dropped", target)
+		}
+		if sleeper.Task.Processor == target {
+			t.Fatalf("sleeper ran on cpu%d after it went offline", target)
+		}
+	})
+}
+
+// TestOfflineParksTickAndOnlineRearms: an offline CPU's timer chain dies
+// at its next firing (the preallocated event is parked, never cancelled)
+// and OnlineCPU restarts it.
+func TestOfflineParksTickAndOnlineRearms(t *testing.T) {
+	m := newMachine(t, 2, elscFactory)
+	hog := m.Spawn("hog", nil, computeLoop(400, 100_000))
+	if err := m.OfflineCPU(1); err != nil {
+		t.Fatal(err)
+	}
+	var target sim.Time
+	stop := func() bool { return m.Now() >= target }
+	target = m.Now() + sim.Time(3*DefaultTickCycles)
+	m.Run(stop)
+	if m.cpus[1].tickEv.Pending() {
+		t.Fatal("tick chain still armed three periods after offline")
+	}
+	if err := m.OnlineCPU(1); err != nil {
+		t.Fatal(err)
+	}
+	if !m.cpus[1].tickEv.Pending() {
+		t.Fatal("tick chain not re-armed at online")
+	}
+	m.Run(func() bool { return hog.Exited() })
+	if !hog.Exited() {
+		t.Fatal("workload did not survive the offline/online cycle")
+	}
+}
+
+// TestPinnedTaskFallsBackWhenCPUDies: a task affined solely to an
+// offlined CPU is widened to run anywhere (cpuset fallback) and re-pinned
+// the moment its CPU returns. The restored mask binds at the next
+// scheduling decision (as with SetAffinity), so the task is given several
+// quanta of work past the online point — its final dispatches can only
+// land on its own CPU again.
+func TestPinnedTaskFallsBackWhenCPUDies(t *testing.T) {
+	bothSchedulers(t, func(t *testing.T, f SchedulerFactory) {
+		m := newMachine(t, 2, f)
+		p := m.Spawn("pinned", nil, computeLoop(1200, 1_000_000)) // ~300 ticks of work
+		m.SetAffinity(p, 1<<1)
+		bg := m.Spawn("bg", nil, computeLoop(1600, 1_000_000))
+		m.Run(func() bool { return p.Task.UserCycles > 0 })
+		if err := m.OfflineCPU(1); err != nil {
+			t.Fatal(err)
+		}
+		if p.Task.CPUsAllowed != 0 {
+			t.Fatalf("fallback not applied: mask %#x", p.Task.CPUsAllowed)
+		}
+		if p.savedAffinity != 1<<1 {
+			t.Fatalf("saved affinity %#x, want %#x", p.savedAffinity, uint64(1<<1))
+		}
+		// The task must make progress on the survivor while its CPU is
+		// down. The window spans more than a full default quantum, since
+		// the background hog may hold the survivor until its quantum
+		// expires before the fallback task gets its first turn.
+		before := p.Task.UserCycles
+		var target sim.Time
+		stop := func() bool { return m.Now() >= target }
+		target = m.Now() + sim.Time(45*DefaultTickCycles)
+		m.Run(stop)
+		if p.Task.UserCycles <= before {
+			t.Fatal("pinned task made no progress under cpuset fallback")
+		}
+		if err := m.OnlineCPU(1); err != nil {
+			t.Fatal(err)
+		}
+		if p.Task.CPUsAllowed != 1<<1 || p.savedAffinity != 0 {
+			t.Fatalf("re-pin failed: mask %#x saved %#x", p.Task.CPUsAllowed, p.savedAffinity)
+		}
+		m.Run(func() bool { return p.Exited() })
+		if p.Task.Processor != 1 {
+			t.Fatalf("re-pinned task finished on CPU %d, want 1", p.Task.Processor)
+		}
+		_ = bg
+	})
+}
+
+// TestSetAffinityToOfflineCPUFallsBackImmediately: pinning a task to an
+// already-offline CPU applies the fallback at SetAffinity time rather
+// than stranding it.
+func TestSetAffinityToOfflineCPUFallsBackImmediately(t *testing.T) {
+	m := newMachine(t, 2, elscFactory)
+	p := m.Spawn("p", nil, computeLoop(100, 100_000))
+	if err := m.OfflineCPU(1); err != nil {
+		t.Fatal(err)
+	}
+	m.SetAffinity(p, 1<<1)
+	if p.Task.CPUsAllowed != 0 || p.savedAffinity != 1<<1 {
+		t.Fatalf("mask %#x saved %#x after pinning to a dead CPU",
+			p.Task.CPUsAllowed, p.savedAffinity)
+	}
+	m.Run(func() bool { return p.Exited() })
+	if !p.Exited() {
+		t.Fatal("task pinned to a dead CPU never ran")
+	}
+}
+
+// preboundHog is a CPU hog whose Compute action is boxed once at
+// construction: steady-state program steps then touch the allocator zero
+// times, which is what the AllocsPerRun tests below need. Segments are
+// short (2 ticks) so an event cancelled by a mid-segment preemption is
+// pruned from the engine heap — and recycled — promptly.
+func preboundHog(steps int, c uint64) Program {
+	n := 0
+	act := Action(Compute{Cycles: c})
+	return ProgramFunc(func(p *Proc) Action {
+		n++
+		if n > steps {
+			return Exit{}
+		}
+		return act
+	})
+}
+
+// TestHotplugCycleAllocFree locks in the zero-allocation contract for the
+// hotplug path itself: once the machine, engine heap, and drain buffer
+// are warm, a full offline→online cycle (preempt, drain, re-file, re-arm)
+// under the per-CPU-array policy with a real DrainCPU, watchdog armed,
+// allocates nothing.
+func TestHotplugCycleAllocFree(t *testing.T) {
+	m := NewMachine(Config{
+		CPUs: 4, SMP: true, Seed: 42, NewScheduler: o1Factory,
+		MaxCycles: 60_000 * DefaultHz,
+		Watchdog:  &WatchdogConfig{PeriodCycles: DefaultTickCycles},
+	})
+	for i := 0; i < 8; i++ {
+		m.Spawn("hog", nil, preboundHog(1_000_000, 2*DefaultTickCycles))
+	}
+	var target sim.Time
+	stop := func() bool { return m.Now() >= target }
+	target = m.Now() + sim.Time(100*DefaultTickCycles)
+	m.Run(stop)
+
+	var offErr, onErr error
+	cycle := func() {
+		offErr = m.OfflineCPU(2)
+		target = m.Now() + sim.Time(10*DefaultTickCycles)
+		m.Run(stop)
+		onErr = m.OnlineCPU(2)
+		target = m.Now() + sim.Time(10*DefaultTickCycles)
+		m.Run(stop)
+	}
+	cycle() // warm: drain buffer capacity, heap high-water mark
+	allocs := testing.AllocsPerRun(5, cycle)
+	if offErr != nil || onErr != nil {
+		t.Fatalf("cycle errors: offline %v, online %v", offErr, onErr)
+	}
+	if allocs != 0 {
+		t.Fatalf("offline/online cycle allocates %.1f objects, want 0", allocs)
+	}
+	if m.Alive() == 0 {
+		t.Fatal("workload drained before the measurement ended; cycles ran on an idle machine")
+	}
+	if s := m.Stats(); s.WatchdogStarvations+s.WatchdogLostWakeups+s.WatchdogCPUStalls != 0 {
+		t.Fatalf("watchdog flagged a healthy hotplug cycle: %+v", *s)
+	}
+}

@@ -73,6 +73,10 @@ type Config struct {
 	UniformSpawnCounter bool
 	// Trace, when non-nil, is invoked at every schedule() decision.
 	Trace func(ev TraceEvent)
+	// Watchdog, when non-nil, arms the starvation/lockup watchdog at
+	// boot (see WatchdogConfig). Off by default: the watchdog adds
+	// periodic engine events, which perturbs event counts.
+	Watchdog *WatchdogConfig
 }
 
 // TraceEvent describes one schedule() decision for tracing tools.
@@ -121,6 +125,12 @@ type Machine struct {
 	// try_to_wake_up reads it for SD_WAKE_IDLE placement: a wake issued
 	// from CPU c prefers an idle CPU in c's cache domain.
 	wakerCPU int
+
+	// drainBuf is the reusable buffer DrainCPU fills at each offline, so
+	// steady-state hotplug never allocates.
+	drainBuf []*task.Task
+	// watchdog is the optional starvation/lockup detector.
+	watchdog *watchdog
 }
 
 // wakePlacer is implemented by policies (o1) that accept an SD_WAKE_IDLE
@@ -211,7 +221,7 @@ func NewMachine(cfg Config) *Machine {
 
 	m.cpus = make([]*CPU, cfg.CPUs)
 	for i := range m.cpus {
-		c := &CPU{id: i, m: m}
+		c := &CPU{id: i, m: m, online: true}
 		c.idleTask = task.New(-(i + 1), fmt.Sprintf("idle/%d", i), nil, m.env.Epoch)
 		c.idleTask.IsIdle = true
 		c.idleTask.Processor = i
@@ -227,6 +237,9 @@ func NewMachine(cfg Config) *Machine {
 		// Stagger per-CPU timer interrupts slightly so four CPUs do
 		// not pile onto the run-queue lock at the exact same instant.
 		m.eng.Schedule(c.tickEv, sim.Time(cfg.TickCycles+uint64(i)*997))
+	}
+	if cfg.Watchdog != nil {
+		m.EnableWatchdog(*cfg.Watchdog)
 	}
 	return m
 }
@@ -329,6 +342,7 @@ func (m *Machine) spawn(t *task.Task, prog Program) *Proc {
 	// hog (it has not run yet) nor fully interactive (it has not slept) —
 	// and earns its bonus from its own behavior within its first ticks.
 	t.CreditSleep(m.env.Cost.MaxSleepAvg/2, m.env.Cost.MaxSleepAvg)
+	p.runnableSince = m.eng.Now()
 	m.sched.AddToRunqueue(t)
 	m.rqLockOfTask(t).bump(m.eng.Now(), m.env.Cost.AddRunqueue+m.env.Cost.LockOp)
 	m.rescheduleIdle(p)
@@ -353,6 +367,14 @@ func (m *Machine) SetPriority(p *Proc, prio int) {
 	if c := t.Counter(m.env.Epoch); c > t.MaxCounter() {
 		t.SetCounter(m.env.Epoch, t.MaxCounter())
 	}
+	// Restart the watchdog's starvation stopwatch: its threshold is scaled
+	// by the task's quantum, so a priority drop must not let wait time
+	// accrued under the old, larger quantum retroactively cross the new,
+	// tighter bar (fuzzer seed 90031 flagged a hog the instant churn
+	// dropped it from priority 20 to 1).
+	if t.Runnable() && !t.HasCPU {
+		p.runnableSince = m.eng.Now()
+	}
 	if queued {
 		m.sched.AddToRunqueue(t)
 	}
@@ -363,7 +385,7 @@ func (m *Machine) SetPriority(p *Proc, prio int) {
 // schedule() at time zero and flushes idle accounting on return.
 func (m *Machine) Run(stop func() bool) {
 	for _, c := range m.cpus {
-		if c.current == nil && !c.transitioning {
+		if c.isIdle() {
 			m.reschedule(c, m.eng.Now())
 		}
 	}
@@ -427,6 +449,7 @@ func (m *Machine) wake(p *Proc) {
 		t.CreditSleep(uint64(now-p.sleepFrom), m.env.Cost.MaxSleepAvg)
 	}
 	t.State = task.Running
+	p.runnableSince = now
 	wakeCost := m.env.Cost.AddRunqueue + m.env.Cost.WakeupCost/4 + m.env.Cost.LockOp + m.env.Cost.SleepAvgOp
 	if m.placer != nil {
 		if target := m.wakeIdleTarget(t); target >= 0 && m.placer.PlaceWake(t, target) {
@@ -551,9 +574,11 @@ func (m *Machine) rescheduleIdle(p *Proc) {
 	// context-switch, flag it so its dispatch path re-runs schedule():
 	// otherwise a wake landing in a transition-to-idle window would be
 	// lost — the task would sit runnable on the queue with every CPU
-	// idle and nothing left to trigger a schedule.
+	// idle and nothing left to trigger a schedule. An offline CPU can be
+	// transitioning too (its last dispatch still in flight), but its
+	// dispatch path will not schedule, so it cannot carry the wake.
 	for _, c := range candidates {
-		if c.transitioning && t.AllowedOn(c.id) {
+		if c.online && c.transitioning && t.AllowedOn(c.id) {
 			c.needResched = true
 			return
 		}
@@ -561,14 +586,22 @@ func (m *Machine) rescheduleIdle(p *Proc) {
 }
 
 // SetAffinity pins a task to the CPUs in mask (bit i allows CPU i; zero
-// allows all), re-filing it if it waits on a per-CPU queue.
+// allows all), re-filing it if it waits on a per-CPU queue. An explicit
+// mask supersedes any cpuset fallback in effect; if the new mask names
+// only offline CPUs, fallback applies to it immediately (the task runs
+// anywhere until one of its CPUs returns).
 func (m *Machine) SetAffinity(p *Proc, mask uint64) {
 	t := p.Task
 	queued := m.sched.OnRunqueue(t) && !t.HasCPU
 	if queued {
 		m.sched.DelFromRunqueue(t)
 	}
+	p.savedAffinity = 0
 	t.CPUsAllowed = mask
+	if mask != 0 && mask&m.env.OnlineMask() == 0 {
+		p.savedAffinity = mask
+		t.CPUsAllowed = 0
+	}
 	if queued {
 		m.sched.AddToRunqueue(t)
 		m.rescheduleIdle(p)
@@ -702,15 +735,7 @@ func (m *Machine) SwitchPolicy(factory SchedulerFactory) int {
 	// The imported backlog may be visible to CPUs that went idle under
 	// the old policy (or sit behind a transitioning CPU's dispatch);
 	// nothing else will trigger their schedule(), so kick them here.
-	if m.sched.Runnable() > 0 {
-		for _, c := range m.cpus {
-			if c.isIdle() {
-				c.kickIdle()
-			} else if c.transitioning {
-				c.needResched = true
-			}
-		}
-	}
+	m.nudgeOnline()
 	return len(exported) + len(running)
 }
 

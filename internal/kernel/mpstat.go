@@ -7,10 +7,13 @@ import (
 
 // CPUStat is one processor's time breakdown, mpstat-style.
 type CPUStat struct {
-	CPU        int
-	WorkCycles uint64 // task work executed (user + syscall segments)
-	IdleCycles uint64 // time with nothing to run
-	Dispatches uint64 // context switches completed here
+	CPU           int
+	WorkCycles    uint64 // task work executed (user + syscall segments)
+	IdleCycles    uint64 // time with nothing to run
+	Dispatches    uint64 // context switches completed here
+	Online        bool   // currently hot-plugged in
+	Offlines      uint64 // hot-unplug transitions
+	OfflineCycles uint64 // time spent offline
 }
 
 // Utilization returns the busy fraction over the elapsed time.
@@ -30,22 +33,52 @@ func (m *Machine) CPUStats() []CPUStat {
 		if c.isIdle() {
 			idle += uint64(m.eng.Now() - c.idleFrom)
 		}
+		offline := c.offlineAccum
+		if !c.online {
+			offline += uint64(m.eng.Now() - c.offlineFrom)
+		}
 		out[i] = CPUStat{
-			CPU:        i,
-			WorkCycles: c.work,
-			IdleCycles: idle,
-			Dispatches: c.dispatches,
+			CPU:           i,
+			WorkCycles:    c.work,
+			IdleCycles:    idle,
+			Dispatches:    c.dispatches,
+			Online:        c.online,
+			Offlines:      c.offlines,
+			OfflineCycles: offline,
 		}
 	}
 	return out
 }
 
-// MPStat renders the per-CPU table.
+// MPStat renders the per-CPU table. The hotplug columns appear only when
+// some CPU actually went offline, so pre-hotplug output is unchanged.
 func (m *Machine) MPStat() string {
 	elapsed := uint64(m.eng.Now())
+	stats := m.CPUStats()
+	hotplug := false
+	for _, s := range stats {
+		if s.Offlines > 0 {
+			hotplug = true
+			break
+		}
+	}
 	var b strings.Builder
+	if hotplug {
+		fmt.Fprintf(&b, "%4s %14s %14s %10s %7s %6s %14s\n",
+			"CPU", "WORK", "IDLE", "DISPATCH", "UTIL", "STATE", "OFFLINE")
+		for _, s := range stats {
+			state := "on"
+			if !s.Online {
+				state = "off"
+			}
+			fmt.Fprintf(&b, "%4d %14d %14d %10d %6.1f%% %6s %14d\n",
+				s.CPU, s.WorkCycles, s.IdleCycles, s.Dispatches,
+				100*s.Utilization(elapsed), state, s.OfflineCycles)
+		}
+		return b.String()
+	}
 	fmt.Fprintf(&b, "%4s %14s %14s %10s %7s\n", "CPU", "WORK", "IDLE", "DISPATCH", "UTIL")
-	for _, s := range m.CPUStats() {
+	for _, s := range stats {
 		fmt.Fprintf(&b, "%4d %14d %14d %10d %6.1f%%\n",
 			s.CPU, s.WorkCycles, s.IdleCycles, s.Dispatches, 100*s.Utilization(elapsed))
 	}

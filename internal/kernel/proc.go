@@ -61,6 +61,23 @@ type Proc struct {
 	segWork uint64
 	segWall uint64
 
+	// savedAffinity holds the task's own CPU mask while cpuset fallback
+	// has it widened: when every CPU the mask names is offline, the
+	// kernel lets the task run anywhere (Linux cpuset semantics) and
+	// re-pins it here as soon as one of its CPUs returns. Zero means no
+	// fallback is in effect.
+	savedAffinity uint64
+
+	// Watchdog stamps. runnableSince is when the task last became
+	// runnable (spawn or wake); lastDispatched is when it last won a
+	// schedule() decision. The starvation clock reads from whichever is
+	// later. wdFlagged marks an already-reported starvation/lost-wake
+	// episode (cleared at the next dispatch) so one episode is one
+	// violation, not one per sweep.
+	runnableSince  sim.Time
+	lastDispatched sim.Time
+	wdFlagged      bool
+
 	exited bool
 	// ExitCode is user-settable before Exit for workload bookkeeping.
 	ExitCode int

@@ -50,6 +50,20 @@ type Stats struct {
 	// PolicySwitches counts hot scheduler replacements (SwitchPolicy).
 	PolicySwitches uint64
 
+	// Hotplug. CPUOfflines/CPUOnlines count transitions; OfflineCycles
+	// totals completed offline stretches machine-wide.
+	CPUOfflines   uint64
+	CPUOnlines    uint64
+	OfflineCycles uint64
+
+	// Watchdog violation counts (see WatchdogConfig). WatchdogEnabled
+	// records whether the watchdog was armed, gating the registry lines
+	// so runs without it render byte-identically to before it existed.
+	WatchdogEnabled     bool
+	WatchdogStarvations uint64
+	WatchdogLostWakeups uint64
+	WatchdogCPUStalls   uint64
+
 	// Harness scale: engine events dispatched over the run — the unit the
 	// zero-allocation event engine is priced in. Deterministic for a seed
 	// (it is pure virtual-time behavior); BENCH_wallclock.json divides
@@ -112,6 +126,18 @@ func (s *Stats) Registry() *stats.Registry {
 	set("rq_lock_acquisitions", s.LockAcquisitions)
 	set("rq_lock_contended", s.LockContended)
 	set("policy_switches", s.PolicySwitches)
+	// Hotplug and watchdog counters appear only on runs that used them,
+	// so every pre-hotplug render stays byte-identical.
+	if s.CPUOfflines != 0 || s.CPUOnlines != 0 {
+		set("cpu_offlines", s.CPUOfflines)
+		set("cpu_onlines", s.CPUOnlines)
+		set("cpu_offline_cycles", s.OfflineCycles)
+	}
+	if s.WatchdogEnabled {
+		set("watchdog_starvations", s.WatchdogStarvations)
+		set("watchdog_lost_wakeups", s.WatchdogLostWakeups)
+		set("watchdog_cpu_stalls", s.WatchdogCPUStalls)
+	}
 	set("events_fired", s.EventsFired)
 	*r.Dist("cycles_per_schedule") = s.PerSchedule
 	*r.Dist("examined_per_schedule") = s.ExaminedDist

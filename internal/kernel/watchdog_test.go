@@ -1,0 +1,201 @@
+package kernel
+
+import (
+	"strings"
+	"testing"
+
+	"elsc/internal/sched"
+	"elsc/internal/sim"
+)
+
+func watchedMachine(t *testing.T, cpus int, f SchedulerFactory, wd WatchdogConfig, sink *[]WatchdogViolation) *Machine {
+	t.Helper()
+	wd.OnViolation = func(v WatchdogViolation) { *sink = append(*sink, v) }
+	return NewMachine(Config{
+		CPUs: cpus, SMP: cpus > 1, Seed: 42, NewScheduler: f,
+		MaxCycles: 600 * DefaultHz,
+		Watchdog:  &wd,
+	})
+}
+
+// TestWatchdogCleanRunIsQuiet: a healthy oversubscribed run under the
+// default thresholds produces zero violations, and the armed watchdog's
+// counters render (as zeros) in the stats registry.
+func TestWatchdogCleanRunIsQuiet(t *testing.T) {
+	var got []WatchdogViolation
+	m := watchedMachine(t, 2, elscFactory,
+		WatchdogConfig{PeriodCycles: DefaultTickCycles}, &got)
+	for i := 0; i < 6; i++ {
+		m.Spawn("w", nil, computeLoop(100, 400_000))
+	}
+	m.Run(func() bool { return m.Alive() == 0 })
+	if len(got) != 0 {
+		t.Fatalf("clean run flagged %d violations, first: %s", len(got), got[0])
+	}
+	if !m.WatchdogEnabled() {
+		t.Fatal("WatchdogEnabled false on an armed machine")
+	}
+	out := m.Stats().Registry().Render()
+	for _, line := range []string{"watchdog_starvations 0", "watchdog_lost_wakeups 0", "watchdog_cpu_stalls 0"} {
+		if !strings.Contains(out, line) {
+			t.Fatalf("registry missing %q:\n%s", line, out)
+		}
+	}
+}
+
+// TestWatchdogUnarmedRendersNothing: without arming, no watchdog lines
+// appear — pre-watchdog registry output is byte-compatible.
+func TestWatchdogUnarmedRendersNothing(t *testing.T) {
+	m := newMachine(t, 1, elscFactory)
+	p := m.Spawn("w", nil, computeLoop(3, 100_000))
+	m.Run(func() bool { return p.Exited() })
+	if m.WatchdogEnabled() {
+		t.Fatal("watchdog armed without a config")
+	}
+	if strings.Contains(m.Stats().Registry().Render(), "watchdog_") {
+		t.Fatal("watchdog counters rendered on an unarmed machine")
+	}
+}
+
+// TestWatchdogFlagsStarvation: with a microscopic threshold, a queued
+// task waiting out another's full quantum crosses the bar at the first
+// sweep — the violation carries the task and its measured wait.
+func TestWatchdogFlagsStarvation(t *testing.T) {
+	var got []WatchdogViolation
+	m := watchedMachine(t, 1, vanillaFactory,
+		WatchdogConfig{PeriodCycles: DefaultTickCycles, StarveQuanta: 0.001}, &got)
+	m.Spawn("hog", nil, computeLoop(100, DefaultTickCycles))
+	m.Spawn("waiter", nil, computeLoop(100, DefaultTickCycles))
+	m.Run(func() bool { return len(got) > 0 || m.Alive() == 0 })
+	if len(got) == 0 {
+		t.Fatal("no starvation flagged under a microscopic threshold")
+	}
+	v := got[0]
+	if v.Kind != WatchdogStarvation {
+		t.Fatalf("first violation: %s, want starvation", v)
+	}
+	if v.P == nil || v.Waited == 0 {
+		t.Fatalf("violation missing task or wait: %s", v)
+	}
+	if m.Stats().WatchdogStarvations == 0 {
+		t.Fatal("starvation counter not bumped")
+	}
+	if !strings.Contains(v.String(), "starvation") {
+		t.Fatalf("violation renders as %q", v.String())
+	}
+}
+
+// TestWatchdogFlagsLostWakeup: a runnable task that is neither queued nor
+// on a CPU (simulated by dropping it from the run queue behind the
+// kernel's back) is flagged at the next sweep.
+func TestWatchdogFlagsLostWakeup(t *testing.T) {
+	var got []WatchdogViolation
+	m := watchedMachine(t, 2, elscFactory,
+		WatchdogConfig{PeriodCycles: DefaultTickCycles}, &got)
+	for i := 0; i < 5; i++ {
+		m.Spawn("w", nil, computeLoop(200, 400_000))
+	}
+	var target sim.Time
+	stop := func() bool { return m.Now() >= target }
+	target = m.Now() + sim.Time(DefaultTickCycles/2)
+	m.Run(stop)
+
+	var lost *Proc
+	for _, p := range m.procs {
+		if !p.exited && p.Task.Runnable() && !p.Task.HasCPU && m.sched.OnRunqueue(p.Task) {
+			lost = p
+			break
+		}
+	}
+	if lost == nil {
+		t.Fatal("no queued task to lose")
+	}
+	m.sched.DelFromRunqueue(lost.Task)
+
+	m.Run(func() bool { return len(got) > 0 })
+	if len(got) == 0 || got[0].Kind != WatchdogLostWakeup {
+		t.Fatalf("violations %v, want a lost-wakeup", got)
+	}
+	if got[0].P != lost {
+		t.Fatalf("flagged %v, lost %v", got[0].P.Task, lost.Task)
+	}
+	if m.Stats().WatchdogLostWakeups == 0 {
+		t.Fatal("lost-wakeup counter not bumped")
+	}
+
+	// Repair and finish: the machine must still be able to run the task
+	// to completion once it is found again.
+	sched.ResetQueueState(lost.Task)
+	m.sched.AddToRunqueue(lost.Task)
+	m.Run(func() bool { return m.Alive() == 0 })
+	if !lost.Exited() {
+		t.Fatal("repaired task never finished")
+	}
+}
+
+// TestWatchdogFlagsCPUStall: an online CPU whose timer chain died (forced
+// here by resurrecting an offlined CPU behind OnlineCPU's back) is
+// reported as stalled, once.
+func TestWatchdogFlagsCPUStall(t *testing.T) {
+	var got []WatchdogViolation
+	m := watchedMachine(t, 2, elscFactory,
+		WatchdogConfig{PeriodCycles: DefaultTickCycles}, &got)
+	m.Spawn("hog", nil, computeLoop(400, 100_000))
+	if err := m.OfflineCPU(1); err != nil {
+		t.Fatal(err)
+	}
+	var target sim.Time
+	stop := func() bool { return m.Now() >= target }
+	target = m.Now() + sim.Time(3*DefaultTickCycles)
+	m.Run(stop)
+	if m.cpus[1].tickEv.Pending() {
+		t.Fatal("tick chain should have parked while offline")
+	}
+	// The bug under test: a CPU marked online whose tick chain is dead.
+	// OnlineCPU would re-arm it, so flip the bit directly.
+	m.cpus[1].online = true
+	m.env.SetCPUOnline(1, true)
+
+	m.Run(func() bool { return len(got) > 0 || m.Alive() == 0 })
+	if len(got) == 0 || got[0].Kind != WatchdogCPUStall {
+		t.Fatalf("violations %v, want a cpu-stall", got)
+	}
+	if got[0].CPU != 1 {
+		t.Fatalf("stall reported on cpu%d, want 1", got[0].CPU)
+	}
+	if m.Stats().WatchdogCPUStalls != 1 {
+		t.Fatalf("stall counter = %d, want exactly 1 (once per episode)",
+			m.Stats().WatchdogCPUStalls)
+	}
+}
+
+// TestWatchdogSweepAllocFree: the periodic sweep over a loaded machine
+// is part of the zero-allocation event path — whole swept tick periods
+// touch the allocator zero times.
+func TestWatchdogSweepAllocFree(t *testing.T) {
+	var got []WatchdogViolation
+	m := watchedMachine(t, 2, elscFactory,
+		WatchdogConfig{PeriodCycles: DefaultTickCycles}, &got)
+	for i := 0; i < 8; i++ {
+		m.Spawn("hog", nil, preboundHog(1_000_000, 2*DefaultTickCycles))
+	}
+	var target sim.Time
+	stop := func() bool { return m.Now() >= target }
+	target = m.Now() + sim.Time(20*DefaultTickCycles)
+	m.Run(stop)
+
+	runPeriod := func() {
+		target = m.Now() + sim.Time(DefaultTickCycles)
+		m.Run(stop)
+	}
+	allocs := testing.AllocsPerRun(10, runPeriod)
+	if allocs != 0 {
+		t.Fatalf("swept tick period allocates %.1f objects, want 0", allocs)
+	}
+	if m.Alive() == 0 {
+		t.Fatal("workload drained mid-measurement; sweeps ran over an empty machine")
+	}
+	if len(got) != 0 {
+		t.Fatalf("healthy machine flagged: %s", got[0])
+	}
+}

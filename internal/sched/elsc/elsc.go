@@ -341,6 +341,10 @@ func (s *Sched) ExportRunnable() []*task.Task {
 	return out
 }
 
+// DrainCPU implements sched.Scheduler. ELSC's 30-list table is global —
+// every CPU's Schedule scans it — so an offlined CPU leaves nothing behind.
+func (s *Sched) DrainCPU(cpu int, out []*task.Task) []*task.Task { return out }
+
 // checkInvariants panics if the table bookkeeping is inconsistent. Called
 // from tests.
 func (s *Sched) checkInvariants() {

@@ -137,6 +137,11 @@ func (s *Sched) ExportRunnable() []*task.Task {
 	return out
 }
 
+// DrainCPU implements sched.Scheduler. The per-last-run-CPU heaps are all
+// globally visible — Schedule scans every heap top from any CPU — so tasks
+// keyed to an offlined CPU's heap remain reachable and nothing is drained.
+func (s *Sched) DrainCPU(cpu int, out []*task.Task) []*task.Task { return out }
+
 // Schedule picks the best of the heap tops.
 func (s *Sched) Schedule(cpu int, prev *task.Task) sched.Result {
 	env := s.env

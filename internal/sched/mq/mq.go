@@ -17,16 +17,34 @@ import (
 	"elsc/internal/task"
 )
 
+// Config selects mq variants for ablation studies.
+type Config struct {
+	// RecalcOnLocalExhaustion restores the pre-fix behaviour that the
+	// scenario fuzzer caught at seed 586: recalculate counters as soon as
+	// the local queue holds only exhausted tasks, without first stealing
+	// a remote task that still has quantum. Under it a never-run task can
+	// starve forever behind freshly recharged affinity-bonused
+	// neighbours. Kept so the watchdog tests can replay the bug.
+	RecalcOnLocalExhaustion bool
+}
+
 // Sched is the per-CPU multi-queue scheduler. Create with New.
 type Sched struct {
 	env    *sched.Env
+	cfg    Config
 	queues []*klist.Head
 	counts []int
 }
 
 // New returns a multi-queue scheduler bound to env.
 func New(env *sched.Env) *Sched {
-	s := &Sched{env: env}
+	return NewWithConfig(env, Config{})
+}
+
+// NewWithConfig returns a multi-queue scheduler with explicit variant
+// selection.
+func NewWithConfig(env *sched.Env, cfg Config) *Sched {
+	s := &Sched{env: env, cfg: cfg}
 	s.queues = make([]*klist.Head, env.NCPU)
 	s.counts = make([]int, env.NCPU)
 	for i := range s.queues {
@@ -41,15 +59,16 @@ func (s *Sched) Name() string { return "mq" }
 // PerCPU marks the policy as using per-CPU run-queue locks.
 func (s *Sched) PerCPU() bool { return true }
 
-// homeOf picks the queue for t: its last CPU, or the least-loaded queue
-// for a task that has never run.
+// homeOf picks the queue for t: its last CPU, or the least-loaded online
+// queue for a task that has never run. Offline CPUs' queues are drained at
+// hotplug and must stay empty, so they are never a home.
 func (s *Sched) homeOf(t *task.Task) int {
-	if t.EverRan && t.AllowedOn(t.Processor%len(s.queues)) {
-		return t.Processor % len(s.queues)
+	if last := t.Processor % len(s.queues); t.EverRan && t.AllowedOn(last) && s.env.CPUOnline(last) {
+		return last
 	}
 	best := -1
 	for i, c := range s.counts {
-		if !t.AllowedOn(i) {
+		if !t.AllowedOn(i) || !s.env.CPUOnline(i) {
 			continue
 		}
 		if best < 0 || c < s.counts[best] {
@@ -57,7 +76,14 @@ func (s *Sched) homeOf(t *task.Task) int {
 		}
 	}
 	if best < 0 {
-		best = 0 // inconsistent mask: fall back rather than lose the task
+		// Inconsistent mask (or it names only offline CPUs): fall back to
+		// the first online queue rather than lose the task.
+		for i := range s.counts {
+			if s.env.CPUOnline(i) {
+				return i
+			}
+		}
+		best = 0
 	}
 	return best
 }
@@ -134,6 +160,22 @@ func (s *Sched) ExportRunnable() []*task.Task {
 	return out
 }
 
+// DrainCPU implements sched.Scheduler: empty the offlined CPU's private
+// queue so its tasks can be re-filed on surviving queues.
+func (s *Sched) DrainCPU(cpu int, out []*task.Task) []*task.Task {
+	for {
+		n := s.queues[cpu].First()
+		if n == nil {
+			break
+		}
+		t := task.FromNode(n)
+		s.DelFromRunqueue(t)
+		sched.ResetQueueState(t)
+		out = append(out, t)
+	}
+	return out
+}
+
 // Schedule scans only this CPU's queue — O(n/ncpu) — and steals when it
 // is empty.
 func (s *Sched) Schedule(cpu int, prev *task.Task) sched.Result {
@@ -182,14 +224,18 @@ func (s *Sched) Schedule(cpu int, prev *task.Task) sched.Result {
 			// affinity-bonused neighbours forever (scenario fuzzer,
 			// seed 586). Steal the best remote task that still has
 			// quantum; recalculate only if there is none anywhere.
-			for q := range s.queues {
-				if q == cpu || s.counts[q] == 0 {
-					continue
-				}
-				res.Cycles += env.Cost.LockOp // remote queue's lock
-				b, g, _ := s.scanQueue(q, cpu, prev, yielded, &res)
-				if b != nil && g > bestG {
-					best, bestG = b, g
+			// (Config.RecalcOnLocalExhaustion skips the steal sweep to
+			// replay the bug for the watchdog tests.)
+			if !s.cfg.RecalcOnLocalExhaustion {
+				for q := range s.queues {
+					if q == cpu || s.counts[q] == 0 {
+						continue
+					}
+					res.Cycles += env.Cost.LockOp // remote queue's lock
+					b, g, _ := s.scanQueue(q, cpu, prev, yielded, &res)
+					if b != nil && g > bestG {
+						best, bestG = b, g
+					}
 				}
 			}
 			if best == nil {

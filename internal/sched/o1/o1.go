@@ -378,14 +378,16 @@ func (s *Sched) Name() string { return "o1" }
 func (s *Sched) PerCPU() bool { return true }
 
 // homeOf picks the queue for t: its last CPU when the affinity mask
-// allows it, otherwise the least-loaded allowed queue.
+// allows it, otherwise the least-loaded allowed queue. Offline CPUs'
+// queues are drained at hotplug and must stay empty, so they are never a
+// home.
 func (s *Sched) homeOf(t *task.Task) int {
-	if t.EverRan && t.Processor < len(s.rqs) && t.AllowedOn(t.Processor) {
+	if t.EverRan && t.Processor < len(s.rqs) && t.AllowedOn(t.Processor) && s.env.CPUOnline(t.Processor) {
 		return t.Processor
 	}
 	best := -1
 	for i := range s.rqs {
-		if !t.AllowedOn(i) {
+		if !t.AllowedOn(i) || !s.env.CPUOnline(i) {
 			continue
 		}
 		if best < 0 || s.rqs[i].len() < s.rqs[best].len() {
@@ -393,7 +395,14 @@ func (s *Sched) homeOf(t *task.Task) int {
 		}
 	}
 	if best < 0 {
-		best = 0 // inconsistent mask: fall back rather than lose the task
+		// Inconsistent mask (or it names only offline CPUs): fall back to
+		// the first online queue rather than lose the task.
+		for i := range s.rqs {
+			if s.env.CPUOnline(i) {
+				return i
+			}
+		}
+		best = 0
 	}
 	return best
 }
@@ -464,7 +473,7 @@ func (s *Sched) AddToRunqueue(t *task.Task) {
 // variant is defined not to see — pre-sched_domains kernels had no
 // SD_WAKE_IDLE either), or when the hint is unusable.
 func (s *Sched) PlaceWake(t *task.Task, cpu int) bool {
-	if s.cfg.WakeIdleOff || s.cfg.TopologyBlind || t.IsIdle || cpu < 0 || cpu >= len(s.rqs) || !t.AllowedOn(cpu) {
+	if s.cfg.WakeIdleOff || s.cfg.TopologyBlind || t.IsIdle || cpu < 0 || cpu >= len(s.rqs) || !t.AllowedOn(cpu) || !s.env.CPUOnline(cpu) {
 		return false
 	}
 	if t.OnRunqueue() {
@@ -580,6 +589,27 @@ func (s *Sched) ExportRunnable() []*task.Task {
 		}
 		rq.rotate = nil
 	}
+	return out
+}
+
+// DrainCPU implements sched.Scheduler: empty the offlined CPU's private
+// arrays — active first, then expired, each in ascending level order —
+// so its tasks can be re-filed on surviving queues.
+func (s *Sched) DrainCPU(cpu int, out []*task.Task) []*task.Task {
+	rq := &s.rqs[cpu]
+	for _, arr := range [2]*prioArray{rq.active(), rq.expired()} {
+		for {
+			lvl := arr.firstSet()
+			if lvl < 0 {
+				break
+			}
+			t := task.FromNode(arr.lists[lvl].First())
+			s.DelFromRunqueue(t)
+			sched.ResetQueueState(t)
+			out = append(out, t)
+		}
+	}
+	rq.rotate = nil
 	return out
 }
 

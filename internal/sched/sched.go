@@ -13,6 +13,8 @@
 package sched
 
 import (
+	"math/bits"
+
 	"elsc/internal/task"
 )
 
@@ -120,6 +122,18 @@ type Scheduler interface {
 	// itself before exporting. This is the state-handoff half of hot
 	// policy switching (Machine.SwitchPolicy).
 	ExportRunnable() []*task.Task
+
+	// DrainCPU removes every task filed on cpu's private structures and
+	// appends them to out, fully detached (RunList unlinked,
+	// ResetQueueState applied), returning the extended slice. The kernel
+	// calls it when cpu goes offline, then re-files the tasks through
+	// AddToRunqueue so the policy's (by then online-mask-aware) placement
+	// re-homes them. Policies with only globally visible structures — a
+	// shared queue or heaps every CPU's Schedule scans — return out
+	// unchanged: their tasks remain reachable from the surviving CPUs.
+	// Implementations must not allocate when out has capacity; the kernel
+	// reuses one buffer across hotplug events.
+	DrainCPU(cpu int, out []*task.Task) []*task.Task
 }
 
 // ResetQueueState clears a task's scheduler-private bookkeeping
@@ -155,6 +169,12 @@ type Env struct {
 	// no dispatch is ever cross-domain.
 	Topo *Topology
 	Cost CostModel
+
+	// online is the bitmask of online CPUs (bit i == CPU i is online),
+	// maintained by the kernel across hotplug events. NCPU is capped at
+	// 64 by the same word-size limit as task.CPUsAllowed. The Env object
+	// is shared across hot policy switches, so the mask survives them.
+	online uint64
 }
 
 // NewEnv returns an Env with the given topology, a fresh epoch, and the
@@ -164,7 +184,7 @@ func NewEnv(ncpu int, smp bool, ntasks func() int) *Env {
 	if ntasks == nil {
 		ntasks = func() int { return 0 }
 	}
-	return &Env{
+	env := &Env{
 		Epoch:  &task.Epoch{},
 		NTasks: ntasks,
 		NCPU:   ncpu,
@@ -172,4 +192,36 @@ func NewEnv(ncpu int, smp bool, ntasks func() int) *Env {
 		Topo:   FlatTopology(ncpu),
 		Cost:   DefaultCostModel(),
 	}
+	for i := 0; i < ncpu && i < 64; i++ {
+		env.online |= 1 << uint(i)
+	}
+	return env
 }
+
+// CPUOnline reports whether cpu is online. CPUs beyond the 64-bit mask
+// (never created by the kernel) read as offline.
+func (e *Env) CPUOnline(cpu int) bool {
+	if cpu < 0 || cpu >= 64 {
+		return false
+	}
+	return e.online&(1<<uint(cpu)) != 0
+}
+
+// SetCPUOnline flips cpu's bit in the online mask. Called only by the
+// kernel's hotplug path.
+func (e *Env) SetCPUOnline(cpu int, on bool) {
+	if cpu < 0 || cpu >= 64 {
+		return
+	}
+	if on {
+		e.online |= 1 << uint(cpu)
+	} else {
+		e.online &^= 1 << uint(cpu)
+	}
+}
+
+// OnlineCount returns the number of online CPUs.
+func (e *Env) OnlineCount() int { return bits.OnesCount64(e.online) }
+
+// OnlineMask returns the online-CPU bitmask (bit i == CPU i online).
+func (e *Env) OnlineMask() uint64 { return e.online }

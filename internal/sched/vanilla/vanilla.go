@@ -116,6 +116,10 @@ func (s *Sched) ExportRunnable() []*task.Task {
 	return out
 }
 
+// DrainCPU implements sched.Scheduler. The stock scheduler has a single
+// global queue every CPU scans, so an offlined CPU leaves nothing behind.
+func (s *Sched) DrainCPU(cpu int, out []*task.Task) []*task.Task { return out }
+
 // NoteRunning must be called by the kernel when it flips t.HasCPU while t
 // is on the run queue, so Runnable stays O(1). The stock scheduler keeps
 // running tasks on the queue, unlike ELSC.

@@ -249,11 +249,18 @@ func (t *Task) SetCounter(ep *Epoch, v int) {
 }
 
 // TickDecrement consumes one tick of quantum. The caller must only invoke
-// it on the running task (whose counter is guaranteed synced because it was
-// synced when dispatched and the epoch cannot advance while it runs without
-// touching it). Returns the new counter value.
+// it on the running task. A recalculation performed by another processor
+// must not refill the quantum this task was dispatched with: on a busy SMP
+// machine every remote expiry can trigger a recalc, and applying
+// counter/2+priority to the running task mid-quantum postpones its own
+// expiry indefinitely — a queued task pinned to this CPU then starves
+// behind an endlessly recharged hog (fuzzer seed 90875). So pending epochs
+// are absorbed without the refill; the task picks up recharges the next
+// time it is evaluated on a queue. Returns the new counter value.
 func (t *Task) TickDecrement(ep *Epoch) int {
-	t.SyncCounter(ep)
+	if ep != nil {
+		t.counterEpoch = ep.N()
+	}
 	if t.counter > 0 {
 		t.counter--
 	}

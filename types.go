@@ -84,6 +84,27 @@ func NewYieldMutex(name string, tryCost uint64) *YieldMutex {
 // Stats is the machine-wide scheduler instrumentation.
 type Stats = kernel.Stats
 
+// WatchdogConfig arms the starvation/lockup watchdog (MachineConfig.Watchdog).
+type WatchdogConfig = kernel.WatchdogConfig
+
+// WatchdogViolation is one liveness violation the watchdog detected.
+type WatchdogViolation = kernel.WatchdogViolation
+
+// WatchdogKind classifies a violation.
+type WatchdogKind = kernel.WatchdogKind
+
+// The watchdog's violation kinds.
+const (
+	// WatchdogStarvation: a runnable task queued past its policy-scaled
+	// wait threshold without being dispatched.
+	WatchdogStarvation = kernel.WatchdogStarvation
+	// WatchdogLostWakeup: a runnable task that is neither queued nor on a
+	// CPU — it fell out of the scheduler entirely.
+	WatchdogLostWakeup = kernel.WatchdogLostWakeup
+	// WatchdogCPUStall: an online CPU whose timer chain stopped firing.
+	WatchdogCPUStall = kernel.WatchdogCPUStall
+)
+
 // Table renders aligned text tables for experiment output.
 type Table = stats.Table
 
