@@ -9,28 +9,40 @@ import (
 // benchWallclockSchema mirrors cmd/sweep's BENCH_wallclock.json output.
 // Where BENCH_sweep.json tracks virtual-time results (byte-identical for
 // a seed), this file tracks the harness's own speed: host wall-clock per
-// matrix cell. The committed copy keeps the trajectory visible across
-// PRs; CI regenerates one with a -parallel 2 one-cell sweep and re-runs
-// this test against it.
+// matrix cell, the wheel/heap split of each cell's event traffic, and —
+// when the scaling experiment ran — the measured parallel-speedup rungs.
+// The committed copy keeps the trajectory visible across PRs; CI
+// regenerates one with a -parallel 2 one-cell sweep and re-runs this
+// test against it.
 type benchWallclockSchema struct {
-	Experiment   string  `json:"experiment"`
-	Seed         int64   `json:"seed"`
-	Parallel     int     `json:"parallel"`
-	GoMaxProcs   int     `json:"gomaxprocs"`
-	TotalSeconds float64 `json:"total_seconds"`
-	Cells        []struct {
-		Workload string  `json:"workload"`
-		Policy   string  `json:"policy"`
-		Spec     string  `json:"spec"`
-		WallMS   float64 `json:"wall_ms"`
-		Events   *uint64 `json:"events"` // pointer so a stale file fails loudly
+	Experiment      string  `json:"experiment"`
+	Seed            int64   `json:"seed"`
+	Parallel        int     `json:"parallel"`
+	GoMaxProcs      int     `json:"gomaxprocs"`
+	TotalSeconds    float64 `json:"total_seconds"`
+	ParallelSpeedup float64 `json:"parallel_speedup"`
+	Scaling         []struct {
+		Parallel   int     `json:"parallel"`
+		Seconds    float64 `json:"seconds"`
+		Events     uint64  `json:"events"`
+		Speedup    float64 `json:"speedup"`
+		NsPerEvent float64 `json:"ns_per_event"`
+	} `json:"scaling"`
+	Cells []struct {
+		Workload    string  `json:"workload"`
+		Policy      string  `json:"policy"`
+		Spec        string  `json:"spec"`
+		WallMS      float64 `json:"wall_ms"`
+		Events      *uint64 `json:"events"` // pointers so a stale file fails loudly
+		EventsWheel *uint64 `json:"events_wheel"`
+		EventsHeap  *uint64 `json:"events_heap"`
 	} `json:"cells"`
 }
 
 func TestBenchWallclockJSONSchema(t *testing.T) {
 	raw, err := os.ReadFile("BENCH_wallclock.json")
 	if err != nil {
-		t.Fatalf("reading BENCH_wallclock.json: %v (regenerate with: go run ./cmd/sweep -quick -exp matrix -json)", err)
+		t.Fatalf("reading BENCH_wallclock.json: %v (regenerate with: go run ./cmd/sweep -quick -exp all -json)", err)
 	}
 	var got benchWallclockSchema
 	if err := json.Unmarshal(raw, &got); err != nil {
@@ -48,6 +60,7 @@ func TestBenchWallclockJSONSchema(t *testing.T) {
 	if len(got.Cells) == 0 {
 		t.Fatal("BENCH_wallclock.json has no cells; run sweep with -exp matrix (or all) and -json")
 	}
+	anyWheel := false
 	for _, c := range got.Cells {
 		if c.Workload == "" || c.Policy == "" || c.Spec == "" {
 			t.Fatalf("cell missing identity fields: %+v", c)
@@ -57,6 +70,53 @@ func TestBenchWallclockJSONSchema(t *testing.T) {
 		}
 		if c.Events == nil || *c.Events == 0 {
 			t.Fatalf("cell %s-%s-%s missing events count; regenerate the file", c.Workload, c.Policy, c.Spec)
+		}
+		if c.EventsWheel == nil || c.EventsHeap == nil {
+			t.Fatalf("cell %s-%s-%s missing events_wheel/events_heap split; regenerate the file",
+				c.Workload, c.Policy, c.Spec)
+		}
+		if *c.EventsWheel+*c.EventsHeap != *c.Events {
+			t.Fatalf("cell %s-%s-%s: events_wheel %d + events_heap %d != events %d",
+				c.Workload, c.Policy, c.Spec, *c.EventsWheel, *c.EventsHeap, *c.Events)
+		}
+		if *c.EventsWheel > 0 {
+			anyWheel = true
+		}
+	}
+	if !anyWheel {
+		t.Fatal("no cell dispatched any event from the timer wheel; the fast path is dead")
+	}
+
+	// The scaling block is present whenever the scaling experiment ran —
+	// which includes -exp all, the mode that generates the committed
+	// file. A matrix-only regeneration (as CI's one-cell sweep does)
+	// legitimately omits it.
+	scalingRan := got.Experiment == "all" || got.Experiment == "scaling"
+	if scalingRan && len(got.Scaling) == 0 {
+		t.Fatalf("experiment %q must record scaling rungs; regenerate the file", got.Experiment)
+	}
+	if len(got.Scaling) > 0 {
+		if got.ParallelSpeedup <= 0 {
+			t.Fatalf("parallel_speedup = %v with %d scaling rungs, want > 0",
+				got.ParallelSpeedup, len(got.Scaling))
+		}
+		if got.Scaling[0].Parallel != 1 || got.Scaling[0].Speedup != 1.0 {
+			t.Fatalf("first scaling rung %+v, want serial baseline (parallel=1, speedup=1)", got.Scaling[0])
+		}
+		for i, l := range got.Scaling {
+			if l.Parallel < 1 || l.Seconds <= 0 || l.Events == 0 || l.Speedup <= 0 || l.NsPerEvent <= 0 {
+				t.Fatalf("scaling rung %d unpopulated: %+v", i, l)
+			}
+			if i > 0 && l.Parallel <= got.Scaling[i-1].Parallel {
+				t.Fatalf("scaling rungs not ascending: %+v", got.Scaling)
+			}
+			if l.Events != got.Scaling[0].Events {
+				t.Fatalf("rung %d dispatched %d events, serial dispatched %d — determinism broke",
+					l.Parallel, l.Events, got.Scaling[0].Events)
+			}
+		}
+		if got.ParallelSpeedup != got.Scaling[len(got.Scaling)-1].Speedup {
+			t.Fatal("parallel_speedup does not match the top scaling rung")
 		}
 	}
 }

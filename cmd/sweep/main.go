@@ -13,9 +13,12 @@
 //	sweep -exp fuzz -seed 500 -fuzzn 32   # scenario fuzzer batch
 //
 // Experiments: table2, fig2, fig3, fig4, fig5, fig6, profile, alt, web,
-// latency, lock, numa, matrix, wakestorm, interactive, ablate, fuzz, all.
-// fuzz runs only when named: it prints one trace line per scenario rather
-// than a paper table.
+// latency, lock, numa, matrix, wakestorm, interactive, ablate, scaling,
+// fuzz, all. fuzz runs only when named: it prints one trace line per
+// scenario rather than a paper table. scaling re-runs the workload
+// matrix at worker-pool sizes 1/2/4/GOMAXPROCS, checks every rung's
+// simulated results are identical to the serial rung's, and reports
+// measured speedup and ns-per-event per rung.
 package main
 
 import (
@@ -43,15 +46,15 @@ func main() {
 
 func run() int {
 	var (
-		exp      = flag.String("exp", "all", "experiment to run (table2 fig2 fig3 fig4 fig5 fig6 profile alt web latency lock numa matrix wakestorm interactive ablate fuzz all)")
-		fuzzN    = flag.Int("fuzzn", 16, "scenarios for -exp fuzz (seeds seed..seed+n-1)")
-		fuzzHot  = flag.Bool("fuzzhotplug", true, "keep hotplug storms in -exp fuzz scenarios (false strips them, for A/B isolation)")
-		wdTrace  = flag.Bool("wdtrace", false, "print each watchdog violation as it fires during -exp fuzz")
-		quick    = flag.Bool("quick", false, "reduced message counts for a fast pass")
-		messages = flag.Int("messages", 0, "override messages per user")
-		seed     = flag.Int64("seed", 42, "simulation seed")
-		parallel = flag.Int("parallel", 0, "concurrent runs (default GOMAXPROCS)")
-		jsonOut  = flag.Bool("json", false, "also write every table to "+jsonPath)
+		exp        = flag.String("exp", "all", "experiment to run (table2 fig2 fig3 fig4 fig5 fig6 profile alt web latency lock numa matrix wakestorm interactive ablate scaling fuzz all)")
+		fuzzN      = flag.Int("fuzzn", 16, "scenarios for -exp fuzz (seeds seed..seed+n-1)")
+		fuzzHot    = flag.Bool("fuzzhotplug", true, "keep hotplug storms in -exp fuzz scenarios (false strips them, for A/B isolation)")
+		wdTrace    = flag.Bool("wdtrace", false, "print each watchdog violation as it fires during -exp fuzz")
+		quick      = flag.Bool("quick", false, "reduced message counts for a fast pass")
+		messages   = flag.Int("messages", 0, "override messages per user")
+		seed       = flag.Int64("seed", 42, "simulation seed")
+		parallel   = flag.Int("parallel", 0, "concurrent runs (default GOMAXPROCS)")
+		jsonOut    = flag.Bool("json", false, "also write every table to "+jsonPath)
 		policies   = flag.String("policies", "", "comma-separated policy filter for the matrix experiments (default: non-baseline policies; retired baselines like mq run only when named)")
 		loads      = flag.String("loads", "", "comma-separated workload filter for the matrix experiments (default all registered)")
 		specs      = flag.String("specs", "", "comma-separated machine specs for the matrix experiment (default 8P,32P-NUMA)")
@@ -212,6 +215,28 @@ func run() int {
 			[]int{15, 30, 60}, sc))
 		section(experiments.AblateUPShortcut(10, sc))
 	}
+	var scalingLevels []experiments.ScalingLevel
+	if want("scaling") {
+		fmt.Fprintf(os.Stderr, "running parallel-scaling sweep (rungs %v, %d cells/rung)...\n",
+			experiments.ScalingRungs(), len(matrixPolicies)*len(matrixLoads)*len(matrixSpecs))
+		levels, sruns, err := experiments.RunScalingSweep(matrixPolicies, matrixSpecs, matrixLoads, sc)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		scalingLevels = levels
+		// Rendered but kept out of the JSON tables: the rung timings are
+		// host wall-clock, and BENCH_sweep.json must stay byte-identical
+		// for a seed. The machine-readable copy goes to
+		// BENCH_wallclock.json with the other host-dependent numbers.
+		fmt.Println(experiments.ScalingTable(levels, strings.Join(labelsOf(matrixSpecs), ",")).Render())
+		// When scaling runs alone its serial rung doubles as the matrix
+		// cells for the JSON outputs; under -exp all the matrix block
+		// already recorded the identical cells.
+		if len(workloadRuns) == 0 {
+			workloadRuns = append(workloadRuns, sruns...)
+		}
+	}
 
 	if *exp == "fuzz" {
 		// The whole-machine scenario fuzzer, outside `go test -fuzz`: one
@@ -248,7 +273,7 @@ func run() int {
 	}
 
 	known := false
-	for _, name := range strings.Fields("table2 fig2 fig3 fig4 fig5 fig6 profile alt web latency lock numa matrix wakestorm interactive ablate fuzz all") {
+	for _, name := range strings.Fields("table2 fig2 fig3 fig4 fig5 fig6 profile alt web latency lock numa matrix wakestorm interactive ablate scaling fuzz all") {
 		if *exp == name {
 			known = true
 			break
@@ -263,7 +288,7 @@ func run() int {
 			fmt.Fprintf(os.Stderr, "writing %s: %v\n", jsonPath, err)
 			return 1
 		}
-		if err := writeWallclockJSON(wallclockPath, *exp, *quick, sc, time.Since(t0), workloadRuns); err != nil {
+		if err := writeWallclockJSON(wallclockPath, *exp, *quick, sc, time.Since(t0), workloadRuns, scalingLevels); err != nil {
 			fmt.Fprintf(os.Stderr, "writing %s: %v\n", wallclockPath, err)
 			return 1
 		}
@@ -400,45 +425,59 @@ type sweepJSON struct {
 // committed file tracks the CI-class container the repo is grown on).
 const wallclockPath = "BENCH_wallclock.json"
 
-// wallclockCell is one matrix cell's harness cost.
+// wallclockCell is one matrix cell's harness cost. events splits into
+// events_wheel (dispatched from the timer wheel's O(1) fast path) and
+// events_heap (the min-heap fallback), so the wheel's hit rate is
+// visible per workload across PRs.
 type wallclockCell struct {
-	Workload string  `json:"workload"`
-	Policy   string  `json:"policy"`
-	Spec     string  `json:"spec"`
-	WallMS   float64 `json:"wall_ms"`
-	Events   uint64  `json:"events"` // engine events dispatched in the cell
+	Workload    string  `json:"workload"`
+	Policy      string  `json:"policy"`
+	Spec        string  `json:"spec"`
+	WallMS      float64 `json:"wall_ms"`
+	Events      uint64  `json:"events"` // engine events dispatched in the cell
+	EventsWheel uint64  `json:"events_wheel"`
+	EventsHeap  uint64  `json:"events_heap"`
 }
 
-// wallclockJSON is the BENCH_wallclock.json schema.
+// wallclockJSON is the BENCH_wallclock.json schema. Scaling and
+// ParallelSpeedup are filled when the scaling experiment ran (-exp
+// scaling or all): one entry per worker-pool rung, and the top rung's
+// measured speedup over serial.
 type wallclockJSON struct {
-	Experiment   string          `json:"experiment"`
-	Quick        bool            `json:"quick"`
-	Seed         int64           `json:"seed"`
-	Parallel     int             `json:"parallel"`
-	GoMaxProcs   int             `json:"gomaxprocs"`
-	TotalSeconds float64         `json:"total_seconds"`
-	Cells        []wallclockCell `json:"cells"`
+	Experiment      string                     `json:"experiment"`
+	Quick           bool                       `json:"quick"`
+	Seed            int64                      `json:"seed"`
+	Parallel        int                        `json:"parallel"`
+	GoMaxProcs      int                        `json:"gomaxprocs"`
+	TotalSeconds    float64                    `json:"total_seconds"`
+	ParallelSpeedup float64                    `json:"parallel_speedup,omitempty"`
+	Scaling         []experiments.ScalingLevel `json:"scaling,omitempty"`
+	Cells           []wallclockCell            `json:"cells"`
 }
 
-func writeWallclockJSON(path, exp string, quick bool, sc experiments.Scale, total time.Duration, wruns []experiments.WorkloadRun) error {
+func writeWallclockJSON(path, exp string, quick bool, sc experiments.Scale, total time.Duration, wruns []experiments.WorkloadRun, scaling []experiments.ScalingLevel) error {
 	cells := make([]wallclockCell, 0, len(wruns))
 	for _, r := range wruns {
 		cells = append(cells, wallclockCell{
-			Workload: r.Load,
-			Policy:   r.Policy,
-			Spec:     r.Spec.Label,
-			WallMS:   float64(r.WallNS) / 1e6,
-			Events:   r.Stats.EventsFired,
+			Workload:    r.Load,
+			Policy:      r.Policy,
+			Spec:        r.Spec.Label,
+			WallMS:      float64(r.WallNS) / 1e6,
+			Events:      r.Stats.EventsFired,
+			EventsWheel: r.Stats.EventsWheel,
+			EventsHeap:  r.Stats.EventsHeap,
 		})
 	}
 	out, err := json.MarshalIndent(wallclockJSON{
-		Experiment:   exp,
-		Quick:        quick,
-		Seed:         sc.Seed,
-		Parallel:     sc.Workers(),
-		GoMaxProcs:   runtime.GOMAXPROCS(0),
-		TotalSeconds: total.Seconds(),
-		Cells:        cells,
+		Experiment:      exp,
+		Quick:           quick,
+		Seed:            sc.Seed,
+		Parallel:        sc.Workers(),
+		GoMaxProcs:      runtime.GOMAXPROCS(0),
+		TotalSeconds:    total.Seconds(),
+		ParallelSpeedup: experiments.ParallelSpeedup(scaling),
+		Scaling:         scaling,
+		Cells:           cells,
 	}, "", "  ")
 	if err != nil {
 		return err

@@ -32,9 +32,9 @@ const BaseLatencyBudgetQuanta = 2.0
 // missing from the table gets the base latency budget and full default
 // participation.
 var Caps = map[string]PolicyCap{
-	Reg:  {LatencyBudgetQuanta: 0.01},  // goodness preemption: tens of µs
+	Reg:  {LatencyBudgetQuanta: 0.01}, // goodness preemption: tens of µs
 	ELSC: {LatencyBudgetQuanta: BaseLatencyBudgetQuanta},
-	Heap: {LatencyBudgetQuanta: 0.01},  // static-goodness heap: tens of µs
+	Heap: {LatencyBudgetQuanta: 0.01}, // static-goodness heap: tens of µs
 	MQ:   {LatencyBudgetQuanta: BaseLatencyBudgetQuanta, Baseline: true},
 	O1:   {LatencyBudgetQuanta: 0.005}, // interactivity-aware: the tightest bar
 }

@@ -16,6 +16,7 @@ import (
 	"elsc/internal/sched/mq"
 	"elsc/internal/sched/o1"
 	"elsc/internal/sched/vanilla"
+	"elsc/internal/sim"
 	"elsc/internal/workload/kbuild"
 	"elsc/internal/workload/volano"
 	"elsc/internal/workload/webserver"
@@ -156,6 +157,14 @@ func NewMachine(spec MachineSpec, policy string, sc Scale) *kernel.Machine {
 	return NewMachineWith(spec, Factory(policy), sc)
 }
 
+// NewMachineOn builds a machine that boots on a recycled event engine
+// (nil allocates a fresh one; see kernel.Config.Engine).
+func NewMachineOn(eng *sim.Engine, spec MachineSpec, policy string, sc Scale) *kernel.Machine {
+	cfg := machineConfig(spec, Factory(policy), sc)
+	cfg.Engine = eng
+	return kernel.NewMachine(cfg)
+}
+
 // NewMachineWith builds a machine for a spec with an explicit scheduler
 // factory — the entry for ablation variants that tune a policy's config.
 func NewMachineWith(spec MachineSpec, factory kernel.SchedulerFactory, sc Scale) *kernel.Machine {
@@ -218,7 +227,13 @@ func RunVolano(spec MachineSpec, policy string, rooms int, sc Scale) VolanoRun {
 // RunVolanoConfig executes one VolanoMark run with a fully specified
 // workload config (the NUMA experiments run the scalable-stack variant).
 func RunVolanoConfig(spec MachineSpec, policy string, vcfg volano.Config, sc Scale) VolanoRun {
-	return runVolanoOn(NewMachine(spec, policy, sc), spec, policy, vcfg)
+	return RunVolanoConfigOn(nil, spec, policy, vcfg, sc)
+}
+
+// RunVolanoConfigOn is RunVolanoConfig on a recycled event engine (nil
+// builds a fresh one) — the matrix worker pool's entry.
+func RunVolanoConfigOn(eng *sim.Engine, spec MachineSpec, policy string, vcfg volano.Config, sc Scale) VolanoRun {
+	return runVolanoOn(NewMachineOn(eng, spec, policy, sc), spec, policy, vcfg)
 }
 
 // runVolanoOn runs the workload on a prepared machine and harvests the
@@ -251,9 +266,10 @@ func RunVolanoMatrix(policies []string, specs []MachineSpec, rooms []int, sc Sca
 			}
 		}
 	}
-	return forEachParallel(len(jobs), sc, func(i int) VolanoRun {
+	return forEachParallel(len(jobs), sc, func(i int, eng *sim.Engine) VolanoRun {
 		j := jobs[i]
-		return RunVolano(j.spec, j.policy, j.rooms, sc)
+		return RunVolanoConfigOn(eng, j.spec, j.policy,
+			volano.Config{Rooms: j.rooms, MessagesPerUser: sc.Messages}, sc)
 	})
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"elsc/internal/sched"
 	"elsc/internal/sched/o1"
+	"elsc/internal/sim"
 	"elsc/internal/stats"
 	"elsc/internal/workload"
 )
@@ -53,7 +54,7 @@ func AblateInteractivity(spec MachineSpec, sc Scale) *stats.Table {
 	arms := []arm{{"interactive", false}, {"interactivity-off", true}}
 	type armRuns struct{ lat, storm WorkloadRun }
 	runs := make([]armRuns, len(arms))
-	forEachIndexParallel(len(arms), sc, func(i int) {
+	forEachIndexParallel(len(arms), sc, func(i int, _ *sim.Engine) {
 		runs[i] = armRuns{
 			lat:   RunO1Interactivity(spec, workload.Latency, arms[i].off, sc),
 			storm: RunO1Interactivity(spec, workload.WakeStorm, arms[i].off, sc),

@@ -1,11 +1,15 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"time"
 
 	"elsc/internal/kernel"
+	"elsc/internal/sim"
 	"elsc/internal/stats"
 	"elsc/internal/workload"
 )
@@ -69,8 +73,16 @@ func (r WorkloadRun) Key() string {
 
 // RunWorkloadCell executes one workload under one policy on one spec.
 func RunWorkloadCell(spec MachineSpec, policy, load string, sc Scale) WorkloadRun {
+	return RunWorkloadCellOn(nil, spec, policy, load, sc)
+}
+
+// RunWorkloadCellOn is RunWorkloadCell on a recycled event engine (nil
+// builds a fresh one): the matrix worker pool passes each worker's
+// engine so hundreds of cells share one heap array, wheel, and freelist
+// instead of re-paying engine construction per cell.
+func RunWorkloadCellOn(eng *sim.Engine, spec MachineSpec, policy, load string, sc Scale) WorkloadRun {
 	start := time.Now()
-	run := runWorkloadOn(NewMachine(spec, policy, sc), spec, policy, load, sc)
+	run := runWorkloadOn(NewMachineOn(eng, spec, policy, sc), spec, policy, load, sc)
 	run.WallNS = time.Since(start).Nanoseconds()
 	return run
 }
@@ -116,9 +128,9 @@ func RunWorkloadMatrix(policies []string, specs []MachineSpec, loads []string, s
 		}
 	}
 	out := make([]WorkloadRun, len(jobs))
-	forEachIndexParallel(len(jobs), sc, func(i int) {
+	forEachIndexParallel(len(jobs), sc, func(i int, eng *sim.Engine) {
 		j := jobs[i]
-		out[i] = RunWorkloadCell(j.spec, j.policy, j.load, sc)
+		out[i] = RunWorkloadCellOn(eng, j.spec, j.policy, j.load, sc)
 	})
 	return out
 }
@@ -201,20 +213,36 @@ func WakeStorm(spec MachineSpec, sc Scale) *stats.Table {
 	return WorkloadDetail(runs, spec, pols, workload.WakeStorm)
 }
 
-// forEachIndexParallel runs n independent jobs concurrently (bounded by
-// sc.workers) with results written by index, keeping table order
-// deterministic regardless of completion order.
-func forEachIndexParallel(n int, sc Scale, run func(i int)) {
-	sem := make(chan struct{}, sc.Workers())
-	var wg sync.WaitGroup
-	for i := 0; i < n; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			run(i)
-		}(i)
+// forEachIndexParallel runs n independent jobs on a pool of sc.Workers()
+// workers, with results written by index so table order stays
+// deterministic regardless of completion order. Each worker owns one
+// recycled event engine for its whole job stream (cells reuse the heap
+// array, wheel rings, and freelist instead of reallocating them) and is
+// tagged with a sweep_worker pprof label, so a CPU profile of a parallel
+// sweep can be sliced per worker.
+func forEachIndexParallel(n int, sc Scale, run func(i int, eng *sim.Engine)) {
+	workers := sc.Workers()
+	if workers > n {
+		workers = n
 	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			labels := pprof.Labels("sweep_worker", strconv.Itoa(w))
+			pprof.Do(context.Background(), labels, func(context.Context) {
+				eng := new(sim.Engine)
+				for i := range jobs {
+					run(i, eng)
+				}
+			})
+		}(w)
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
 	wg.Wait()
 }

@@ -5,6 +5,7 @@ import (
 
 	"elsc/internal/sched"
 	"elsc/internal/sched/o1"
+	"elsc/internal/sim"
 	"elsc/internal/stats"
 	"elsc/internal/workload/volano"
 )
@@ -25,9 +26,9 @@ import (
 // forEachParallel runs n independent simulations concurrently (bounded
 // by sc.workers, as RunVolanoMatrix does) and returns results in input
 // order, so the tables stay deterministic.
-func forEachParallel(n int, sc Scale, run func(i int) VolanoRun) []VolanoRun {
+func forEachParallel(n int, sc Scale, run func(i int, eng *sim.Engine) VolanoRun) []VolanoRun {
 	out := make([]VolanoRun, n)
-	forEachIndexParallel(n, sc, func(i int) { out[i] = run(i) })
+	forEachIndexParallel(n, sc, func(i int, eng *sim.Engine) { out[i] = run(i, eng) })
 	return out
 }
 
@@ -51,8 +52,8 @@ func Numa(spec MachineSpec, rooms int, sc Scale) *stats.Table {
 			rooms, spec.Label, domains, spec.CPUs/domains),
 		"Scheduler", "Throughput", "spin cyc/sched", "migrations", "cross-dom",
 		"remote Mcyc", "intra-steal", "cross-steal")
-	runs := forEachParallel(len(Policies), sc, func(i int) VolanoRun {
-		return RunVolanoConfig(spec, Policies[i], numaVolanoConfig(rooms, sc), sc)
+	runs := forEachParallel(len(Policies), sc, func(i int, eng *sim.Engine) VolanoRun {
+		return RunVolanoConfigOn(eng, spec, Policies[i], numaVolanoConfig(rooms, sc), sc)
 	})
 	for i, policy := range Policies {
 		r := runs[i]
@@ -106,7 +107,7 @@ func AblateTopology(spec MachineSpec, rooms int, sc Scale) *stats.Table {
 		fmt.Sprintf("Ablation: o1 domain awareness (%s, %d rooms)", spec.Label, rooms),
 		"o1 variant", "Throughput", "migrations", "cross-dom", "remote Mcyc", "cache Mcyc")
 	variants := []bool{false, true}
-	runs := forEachParallel(len(variants), sc, func(i int) VolanoRun {
+	runs := forEachParallel(len(variants), sc, func(i int, _ *sim.Engine) VolanoRun {
 		return runO1Variant(spec, o1.Config{TopologyBlind: variants[i]}, rooms, sc)
 	})
 	for i, blind := range variants {

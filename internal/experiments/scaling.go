@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"time"
+
+	"elsc/internal/stats"
+)
+
+// The parallel-scaling sweep: the same workload matrix run at increasing
+// worker-pool sizes, timed on the host clock. Simulated results must be
+// bit-identical at every rung — parallelism in this harness distributes
+// whole independent cells, never one simulation — so each rung is
+// deep-compared against the serial reference before its timing is
+// trusted. What varies is only the wall clock, and that is the
+// measurement: how much of the matrix's cost the pool actually recovers
+// on this host, and what one engine event costs end to end.
+
+// ScalingLevel is one rung of the scaling sweep.
+type ScalingLevel struct {
+	// Parallel is the worker-pool size for this rung.
+	Parallel int `json:"parallel"`
+	// Seconds is the host wall-clock for the whole matrix at this rung.
+	Seconds float64 `json:"seconds"`
+	// Events is the total engine events dispatched across all cells
+	// (identical at every rung, by determinism).
+	Events uint64 `json:"events"`
+	// Speedup is serial Seconds divided by this rung's Seconds.
+	Speedup float64 `json:"speedup"`
+	// NsPerEvent is wall nanoseconds per engine event at this rung.
+	NsPerEvent float64 `json:"ns_per_event"`
+}
+
+// ScalingRungs returns the worker counts the sweep measures: 1, 2, 4,
+// and GOMAXPROCS, deduplicated and ascending (on a 4-core host that is
+// 1, 2, 4; on a 1-core host just 1, 2, 4 with the upper rungs measuring
+// scheduling overhead rather than speedup).
+func ScalingRungs() []int {
+	rungs := []int{1, 2, 4}
+	n := runtime.GOMAXPROCS(0)
+	found := false
+	for _, r := range rungs {
+		if r == n {
+			found = true
+		}
+	}
+	if !found {
+		rungs = append(rungs, n)
+	}
+	for i := 1; i < len(rungs); i++ {
+		for j := i; j > 0 && rungs[j] < rungs[j-1]; j-- {
+			rungs[j], rungs[j-1] = rungs[j-1], rungs[j]
+		}
+	}
+	return rungs
+}
+
+// stripHostTime zeroes the one host-dependent field so rungs can be
+// deep-compared.
+func stripHostTime(runs []WorkloadRun) []WorkloadRun {
+	out := append([]WorkloadRun(nil), runs...)
+	for i := range out {
+		out[i].WallNS = 0
+	}
+	return out
+}
+
+// RunScalingSweep runs the policies x specs x loads matrix once per
+// rung, verifies each rung's simulated results are identical to the
+// serial rung's (modulo wall-clock), and returns the measured levels
+// plus the serial reference runs. A mismatch is returned as an error:
+// it means cell-level parallelism perturbed a simulation, which the
+// engine's determinism contract forbids.
+func RunScalingSweep(policies []string, specs []MachineSpec, loads []string, sc Scale) ([]ScalingLevel, []WorkloadRun, error) {
+	var (
+		levels    []ScalingLevel
+		reference []WorkloadRun // serial runs, WallNS stripped
+		serialRef []WorkloadRun // serial runs as measured
+	)
+	for _, rung := range ScalingRungs() {
+		rsc := sc
+		rsc.Parallel = rung
+		t0 := time.Now()
+		runs := RunWorkloadMatrix(policies, specs, loads, rsc)
+		secs := time.Since(t0).Seconds()
+
+		var events uint64
+		for _, r := range runs {
+			events += r.Stats.EventsFired
+		}
+		stripped := stripHostTime(runs)
+		if reference == nil {
+			reference = stripped
+			serialRef = runs
+		} else if !reflect.DeepEqual(stripped, reference) {
+			return nil, nil, fmt.Errorf(
+				"experiments: parallel=%d matrix diverged from serial reference (determinism violation)", rung)
+		}
+		lvl := ScalingLevel{Parallel: rung, Seconds: secs, Events: events}
+		if secs > 0 {
+			lvl.Speedup = levels0Seconds(levels, secs)
+			lvl.NsPerEvent = secs * 1e9 / float64(events)
+		}
+		levels = append(levels, lvl)
+	}
+	return levels, serialRef, nil
+}
+
+// levels0Seconds computes the speedup of a rung that took secs against
+// the first (serial) rung; the serial rung itself reports 1.0.
+func levels0Seconds(levels []ScalingLevel, secs float64) float64 {
+	if len(levels) == 0 {
+		return 1.0
+	}
+	return levels[0].Seconds / secs
+}
+
+// ParallelSpeedup returns the speedup of the highest rung, or 0 when
+// the sweep has not run.
+func ParallelSpeedup(levels []ScalingLevel) float64 {
+	if len(levels) == 0 {
+		return 0
+	}
+	return levels[len(levels)-1].Speedup
+}
+
+// ScalingTable renders the measured rungs.
+func ScalingTable(levels []ScalingLevel, spec string) *stats.Table {
+	t := stats.NewTable(
+		fmt.Sprintf("Parallel scaling: workload matrix wall-clock (%s, GOMAXPROCS=%d)",
+			spec, runtime.GOMAXPROCS(0)),
+		"workers", "seconds", "speedup", "ns/event", "events")
+	for _, l := range levels {
+		t.AddRow(l.Parallel,
+			fmt.Sprintf("%.2f", l.Seconds),
+			fmt.Sprintf("%.2fx", l.Speedup),
+			int(l.NsPerEvent),
+			l.Events)
+	}
+	return t
+}

@@ -311,6 +311,12 @@ func (c *CPU) nextAction(now sim.Time) {
 		p.remaining = a.Cycles
 		p.onDone = nil
 		c.startSegment(now)
+	case *Compute:
+		// Prebound form: a program-owned scratch Compute, re-armed per
+		// step so a variable-length burst pays no interface boxing.
+		p.remaining = a.Cycles
+		p.onDone = nil
+		c.startSegment(now)
 	case Syscall:
 		p.syscallBuf = a
 		p.syscall = &p.syscallBuf
@@ -331,6 +337,11 @@ func (c *CPU) nextAction(now sim.Time) {
 		p.onDone = doYield
 		c.startSegment(now)
 	case Sleep:
+		p.sleepDur = a.Cycles
+		p.remaining = m.env.Cost.SyscallBase
+		p.onDone = doSleepAction
+		c.startSegment(now)
+	case *Sleep:
 		p.sleepDur = a.Cycles
 		p.remaining = m.env.Cost.SyscallBase
 		p.onDone = doSleepAction

@@ -77,6 +77,13 @@ type Config struct {
 	// boot (see WatchdogConfig). Off by default: the watchdog adds
 	// periodic engine events, which perturbs event counts.
 	Watchdog *WatchdogConfig
+	// Engine, when non-nil, is a recycled event engine the machine boots
+	// on instead of allocating a fresh one. NewMachine resets it, so its
+	// heap array, wheel rings, and event freelist carry over from the
+	// previous simulation — sweep workers run hundreds of cells without
+	// re-paying engine construction. The engine must not be shared by a
+	// live machine.
+	Engine *sim.Engine
 }
 
 // TraceEvent describes one schedule() decision for tracing tools.
@@ -94,7 +101,7 @@ type TraceEvent struct {
 // Machine is a simulated multiprocessor running one scheduler.
 type Machine struct {
 	cfg       Config
-	eng       sim.Engine
+	eng       *sim.Engine
 	rng       *sim.RNG
 	env       *sched.Env
 	sched     sched.Scheduler
@@ -196,9 +203,15 @@ func NewMachine(cfg Config) *Machine {
 	}
 	m := &Machine{
 		cfg:      cfg,
+		eng:      cfg.Engine,
 		rng:      sim.NewRNG(cfg.Seed),
 		byTask:   make(map[*task.Task]*Proc),
 		wakerCPU: -1,
+	}
+	if m.eng == nil {
+		m.eng = new(sim.Engine)
+	} else {
+		m.eng.Reset()
 	}
 	m.eng.MaxDur = sim.Time(cfg.MaxCycles)
 	m.env = sched.NewEnv(cfg.CPUs, cfg.SMP, func() int { return m.alive })
@@ -229,9 +242,9 @@ func NewMachine(cfg Config) *Machine {
 		// re-arm these objects (tick, IPI) or draw from the engine's
 		// freelist (rundone, sleep), so steady-state execution never
 		// allocates per event.
-		c.tickEv = m.eng.NewEvent("tick", c.tick)
-		c.ipiEv = m.eng.NewEvent("resched-ipi", c.ipiArrive)
-		c.dispatchEv = m.eng.NewEvent("dispatch", c.dispatchArrive)
+		c.tickEv = m.eng.NewPeriodicEvent("tick", c.tick)
+		c.ipiEv = m.eng.NewPeriodicEvent("resched-ipi", c.ipiArrive)
+		c.dispatchEv = m.eng.NewPeriodicEvent("dispatch", c.dispatchArrive)
 		c.runDoneFn = c.segmentDone
 		m.cpus[i] = c
 		// Stagger per-CPU timer interrupts slightly so four CPUs do
@@ -245,7 +258,7 @@ func NewMachine(cfg Config) *Machine {
 }
 
 // Engine exposes the event engine (workloads schedule helper events).
-func (m *Machine) Engine() *sim.Engine { return &m.eng }
+func (m *Machine) Engine() *sim.Engine { return m.eng }
 
 // RNG returns the machine's deterministic random stream.
 func (m *Machine) RNG() *sim.RNG { return m.rng }
@@ -265,6 +278,8 @@ func (m *Machine) Stats() *Stats {
 		m.stats.LockContended += m.rqLocks[i].contended
 	}
 	m.stats.EventsFired = m.eng.Fired()
+	m.stats.EventsWheel = m.eng.FiredWheel()
+	m.stats.EventsHeap = m.eng.FiredHeap()
 	return &m.stats
 }
 

@@ -67,8 +67,14 @@ type Stats struct {
 	// Harness scale: engine events dispatched over the run — the unit the
 	// zero-allocation event engine is priced in. Deterministic for a seed
 	// (it is pure virtual-time behavior); BENCH_wallclock.json divides
-	// host wall-clock by it to get ns/event.
+	// host wall-clock by it to get ns/event. EventsWheel/EventsHeap split
+	// the total by which structure dispatched each event — the timer
+	// wheel's O(1) fast path versus the min-heap fallback — so a routing
+	// regression (periodic events spilling into the heap) is visible per
+	// cell.
 	EventsFired uint64
+	EventsWheel uint64
+	EventsHeap  uint64
 }
 
 // CyclesPerSchedule returns the Figure 5 metric: mean cycles per
@@ -139,6 +145,8 @@ func (s *Stats) Registry() *stats.Registry {
 		set("watchdog_cpu_stalls", s.WatchdogCPUStalls)
 	}
 	set("events_fired", s.EventsFired)
+	set("events_wheel", s.EventsWheel)
+	set("events_heap", s.EventsHeap)
 	*r.Dist("cycles_per_schedule") = s.PerSchedule
 	*r.Dist("examined_per_schedule") = s.ExaminedDist
 	return r

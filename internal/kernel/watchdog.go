@@ -108,7 +108,7 @@ func (m *Machine) EnableWatchdog(cfg WatchdogConfig) {
 		return
 	}
 	wd := &watchdog{m: m, cfg: cfg.withDefaults(m.cfg.TickCycles)}
-	wd.ev = m.eng.NewEvent("watchdog", wd.sweep)
+	wd.ev = m.eng.NewPeriodicEvent("watchdog", wd.sweep)
 	m.watchdog = wd
 	m.stats.WatchdogEnabled = true
 	m.eng.ScheduleAfter(wd.ev, wd.cfg.PeriodCycles)

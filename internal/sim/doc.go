@@ -1,0 +1,52 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// Virtual time is measured in CPU cycles (Time). Events fire in
+// (time, sequence) order so that two events scheduled for the same instant
+// run in the order they were scheduled, which keeps every simulation
+// bit-for-bit reproducible for a given seed.
+//
+// # The pending set: timer wheel + min-heap
+//
+// The engine is built for wall-clock speed as much as determinism. The
+// pending set is split between two structures:
+//
+//   - A hierarchical timer wheel (wheel.go): three levels of 2048 slots.
+//     A level-0 slot spans 512 cycles; each coarser level multiplies the
+//     slot span by 2048, so level 0 covers a ~1M-cycle window (~2.6ms at
+//     the default clock), level 1 ~2.1G cycles (~5.4s), and level 2
+//     ~4.4T cycles — the wheel's horizon. Insert and cancel are O(1);
+//     the next-event scan walks occupancy bitmaps (64 slots per word)
+//     behind a one-entry cache, and events parked in a coarser level
+//     cascade down one level at a time as the cursor crosses their
+//     window.
+//
+//   - A hand-rolled indexed 4-ary min-heap over inline (time, sequence)
+//     keys, for the far-future long tail the wheel cannot express
+//     cheaply.
+//
+// Routing is by deadline distance and hint. An unhinted one-shot (At,
+// After, or a NewEvent armed with Schedule) rides the wheel when its
+// deadline is within the level-2 slot granularity (~2.1G cycles) of the
+// cursor, and falls back to the heap beyond that — a far one-shot would
+// cascade through multiple levels for no benefit. A periodic-hinted
+// event (NewPeriodicEvent) rides the wheel anywhere inside the full
+// horizon, since its repeated re-arms amortize any cascade. Deadlines
+// past the horizon always take the heap.
+//
+// The split is invisible to everything but the profiler: events fire in
+// exactly (At, seq) order across both structures, a property enforced by
+// FuzzWheelHeapDiff, which drives a wheel-enabled and a heap-only engine
+// with identical operation streams and requires identical observable
+// behavior. The Engine's FiredWheel and FiredHeap counters report the
+// per-path dispatch split.
+//
+// # Allocation discipline
+//
+// Fired engine-owned events are recycled through a freelist, so a
+// steady-state schedule→dispatch cycle allocates nothing. Caller-owned
+// events (NewEvent, NewPeriodicEvent) are never recycled and may be
+// re-armed in place — the shape for recurring timers that must not touch
+// the allocator. Cancel is O(1) lazy: the event is marked dead and
+// skipped (then recycled) when it surfaces, instead of an O(log n) heap
+// removal.
+package sim

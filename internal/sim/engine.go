@@ -1,17 +1,6 @@
-// Package sim provides a deterministic discrete-event simulation engine.
-//
-// Virtual time is measured in CPU cycles (Time). Events fire in
-// (time, sequence) order so that two events scheduled for the same instant
-// run in the order they were scheduled, which keeps every simulation
-// bit-for-bit reproducible for a given seed.
-//
-// The engine is built for wall-clock speed as much as determinism: the
-// pending set is a hand-rolled indexed 4-ary min-heap over inline
-// (time, sequence) keys (no interface boxing, no pointer chasing during
-// sift), fired events are recycled through a freelist so a steady-state
-// schedule→dispatch cycle allocates nothing, and Cancel is O(1) lazy
-// (the event is marked dead and skipped when it reaches the top) instead
-// of an O(log n) heap removal.
+// Engine core: the event, the min-heap long tail, the freelist, and the
+// dispatch loop. Package documentation — including how the pending set is
+// split between the timer wheel and this heap — lives in doc.go.
 package sim
 
 // Time is a point in virtual time, in CPU clock cycles.
@@ -38,6 +27,9 @@ type Event struct {
 	queued    bool
 	cancelled bool
 	owned     bool // caller-owned (NewEvent): never recycled
+	periodic  bool // NewPeriodicEvent hint: wheel-eligible out to the full horizon
+	inWheel   bool // resident in the wheel rather than the heap (set at arm)
+	wheelNext *Event
 }
 
 // Cancelled reports whether Cancel was called on the event.
@@ -64,20 +56,38 @@ func (a entry) before(b entry) bool {
 // Engine owns the virtual clock and the pending event set.
 // The zero value is ready to use.
 type Engine struct {
-	now    Time
-	heap   []entry
-	free   []*Event
-	nexts  uint64
-	fired  uint64
-	live   int  // queued events not lazily cancelled
-	MaxDur Time // optional hard stop measured from time zero; 0 = none
+	now        Time
+	heap       []entry
+	wheel      *wheel // lazily allocated on the first wheel-eligible arm
+	free       []*Event
+	nexts      uint64
+	firedWheel uint64
+	firedHeap  uint64
+	live       int  // queued events not lazily cancelled
+	MaxDur     Time // optional hard stop measured from time zero; 0 = none
+
+	// noWheel forces every arm onto the min-heap. It exists for the
+	// wheel-vs-heap differential fuzzer, which drives a hybrid engine
+	// and a heap-only engine through the same operation stream and
+	// requires identical fire order; it is never set in production.
+	noWheel bool
 }
+
+// maxTime is the open-horizon dispatch limit.
+const maxTime = Time(^uint64(0))
 
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
 
 // Fired returns the total number of events dispatched so far.
-func (e *Engine) Fired() uint64 { return e.fired }
+func (e *Engine) Fired() uint64 { return e.firedWheel + e.firedHeap }
+
+// FiredWheel returns how many dispatched events took the timer-wheel
+// fast path.
+func (e *Engine) FiredWheel() uint64 { return e.firedWheel }
+
+// FiredHeap returns how many dispatched events took the min-heap path.
+func (e *Engine) FiredHeap() uint64 { return e.firedHeap }
 
 // Pending returns the number of events currently queued to fire
 // (lazily-cancelled events still in the heap do not count).
@@ -111,6 +121,15 @@ func (e *Engine) NewEvent(name string, fn func(now Time)) *Event {
 	return &Event{Name: name, Fn: fn, owned: true}
 }
 
+// NewPeriodicEvent is NewEvent for strictly-periodic or frequently
+// re-armed timers (per-CPU ticks, IPI/dispatch latencies, watchdog
+// sweeps): the hint makes the event wheel-eligible for any deadline
+// inside the wheel horizon, not just near ones, so a long-period timer
+// still avoids the heap.
+func (e *Engine) NewPeriodicEvent(name string, fn func(now Time)) *Event {
+	return &Event{Name: name, Fn: fn, owned: true, periodic: true}
+}
+
 // Schedule arms a caller-owned event at absolute time at. The event must
 // not be currently queued (a cancelled event stays queued until the heap
 // skips past it) and must have been built with NewEvent.
@@ -134,13 +153,19 @@ func (e *Engine) ScheduleAfter(ev *Event, d Cycles) {
 	e.Schedule(ev, e.now+Time(d))
 }
 
-// arm assigns the next sequence number and pushes the event.
+// arm assigns the next sequence number and queues the event, routing it
+// to the timer wheel when its deadline is in wheel range and to the heap
+// otherwise. Routing depends only on deterministic state (cursor, clock,
+// hint), so replays stay bit-identical.
 func (e *Engine) arm(ev *Event, at Time) {
 	ev.seq = e.nexts
 	e.nexts++
 	ev.queued = true
-	e.push(entry{at: at, seq: ev.seq, ev: ev})
 	e.live++
+	ev.inWheel = e.wheelInsert(ev, at)
+	if !ev.inWheel {
+		e.push(entry{at: at, seq: ev.seq, ev: ev})
+	}
 }
 
 // alloc takes an event from the freelist, or allocates when warm-up has
@@ -181,38 +206,66 @@ func (e *Engine) Cancel(ev *Event) {
 	}
 }
 
-// peek prunes lazily-cancelled events off the heap root and returns the
-// next live event, or nil when none remain.
-func (e *Engine) peek() *Event {
+// next returns the live event with the smallest (At, seq) at or before
+// limit, across the heap and the wheel, or nil. The heap root caps how
+// far the wheel cursor may advance, so a heap event firing first can
+// never strand the cursor past deadlines armed afterwards.
+func (e *Engine) next(limit Time) *Event {
+	var hev *Event
 	for len(e.heap) > 0 {
-		ev := e.heap[0].ev
-		if !ev.cancelled {
-			return ev
+		top := e.heap[0].ev
+		if !top.cancelled {
+			hev = top
+			break
 		}
 		e.pop()
-		e.release(ev)
+		e.release(top)
+	}
+	wlimit := limit
+	if hev != nil && hev.At < wlimit {
+		wlimit = hev.At
+	}
+	if wev := e.wheelEarliest(wlimit); wev != nil {
+		if hev == nil || wev.At < hev.At || (wev.At == hev.At && wev.seq < hev.seq) {
+			return wev
+		}
+	}
+	if hev != nil && hev.At <= limit {
+		return hev
 	}
 	return nil
+}
+
+// dispatch fires the next event at or before limit, reporting whether
+// one fired.
+func (e *Engine) dispatch(limit Time) bool {
+	ev := e.next(limit)
+	if ev == nil {
+		return false
+	}
+	if ev.inWheel {
+		e.popWheel(ev)
+		e.firedWheel++
+	} else {
+		e.pop()
+		e.firedHeap++
+	}
+	e.live--
+	e.now = ev.At
+	ev.Fn(e.now)
+	e.release(ev)
+	return true
 }
 
 // Step dispatches the next pending event, advancing the clock to its time.
 // It returns false when no events remain or the MaxDur horizon has been
 // reached.
 func (e *Engine) Step() bool {
-	ev := e.peek()
-	if ev == nil {
-		return false
+	limit := maxTime
+	if e.MaxDur != 0 {
+		limit = e.MaxDur
 	}
-	if e.MaxDur != 0 && ev.At > e.MaxDur {
-		return false
-	}
-	e.pop()
-	e.live--
-	e.now = ev.At
-	e.fired++
-	ev.Fn(e.now)
-	e.release(ev)
-	return true
+	return e.dispatch(limit)
 }
 
 // Run dispatches events until none remain, stop returns true, or the
@@ -234,11 +287,11 @@ func (e *Engine) Run(stop func() bool) {
 // no event reached it.
 func (e *Engine) RunFor(d Cycles) {
 	deadline := e.now + Time(d)
-	for {
-		ev := e.peek()
-		if ev == nil || ev.At > deadline || !e.Step() {
-			break
-		}
+	limit := deadline
+	if e.MaxDur != 0 && e.MaxDur < limit {
+		limit = e.MaxDur
+	}
+	for e.dispatch(limit) {
 	}
 	if e.MaxDur != 0 && deadline > e.MaxDur {
 		deadline = e.MaxDur
@@ -246,6 +299,29 @@ func (e *Engine) RunFor(d Cycles) {
 	if e.now < deadline {
 		e.now = deadline
 	}
+}
+
+// Reset returns the engine to its zero state while keeping every
+// allocation — heap array, freelist, wheel rings — so one engine can run
+// many simulations back to back without re-paying construction. Pending
+// engine-owned events are recycled; caller-owned events are detached
+// (their owners die with the simulation that armed them).
+func (e *Engine) Reset() {
+	for i := range e.heap {
+		ev := e.heap[i].ev
+		e.heap[i] = entry{}
+		ev.queued = false
+		ev.cancelled = false
+		e.release(ev)
+	}
+	e.heap = e.heap[:0]
+	e.wheelReset()
+	e.now = 0
+	e.nexts = 0
+	e.firedWheel = 0
+	e.firedHeap = 0
+	e.live = 0
+	e.MaxDur = 0
 }
 
 // push appends the entry and restores the heap property upward. The moved

@@ -1,6 +1,9 @@
 package sim
 
-import "testing"
+import (
+	"fmt"
+	"testing"
+)
 
 // FuzzEventHeap drives the engine with an arbitrary interleaving of
 // schedule / cancel / step operations and checks the invariants the whole
@@ -105,6 +108,136 @@ func FuzzEventHeap(f *testing.F) {
 				t.Fatalf("fire order violated: #%d@%d before #%d@%d",
 					a.order, a.at, b.order, b.at)
 			}
+		}
+	})
+}
+
+// FuzzWheelHeapDiff is the wheel-vs-heap differential fuzzer: the same
+// operation stream drives two engines — a hybrid one routing eligible
+// events through the timer wheel, and one with the wheel disabled so
+// every event takes the min-heap path — and every observable must
+// match: fire order, fire times, Pending counts, and final drain. The
+// wheel is a pure fast path; any divergence is an ordering bug.
+//
+// Each op consumes three bytes: an opcode and two arguments. The delta
+// encoding (a+1)<<(b%36) reaches every wheel level, the unhinted
+// one-shot cutoff, the periodic horizon, and the heap fallback beyond
+// it. Periodic-hinted owned events are re-armed through a fixed pool,
+// exercising slot reuse and lap wrap; cancels exercise lazy-cancel
+// pruning in both structures.
+func FuzzWheelHeapDiff(f *testing.F) {
+	// A tick-like periodic pattern, a multi-level burst, a cancel-heavy
+	// stream, and a horizon hopper.
+	f.Add([]byte{1, 3, 22, 3, 0, 0, 3, 0, 0, 1, 3, 22, 3, 0, 0})
+	f.Add([]byte{0, 10, 2, 0, 10, 12, 0, 10, 21, 0, 10, 32, 0, 10, 35, 3, 0, 0, 3, 0, 0, 3, 0, 0, 3, 0, 0, 3, 0, 0})
+	f.Add([]byte{0, 1, 4, 0, 2, 4, 0, 3, 4, 2, 1, 0, 2, 0, 0, 3, 0, 0, 3, 0, 0})
+	f.Add([]byte{1, 200, 33, 1, 100, 30, 3, 0, 0, 3, 0, 0, 1, 50, 35, 3, 0, 0})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		const ownedPool = 4
+		type handle struct {
+			id        int
+			a, b      *Event // the two engines' events for this logical op
+			fired     bool   // hybrid-side logical state; used to gate cancels
+			cancelled bool   //   (the Event objects recycle after firing)
+		}
+		var (
+			hybrid, heapOnly Engine
+			nextID           int
+			fireA, fireB     []string
+			oneShots         []*handle
+		)
+		heapOnly.noWheel = true
+		// Owned periodic events: a fixed pool per engine, re-armed by
+		// ops. The per-slot id is updated at arm time; both engines see
+		// identical arm sequences, so matching logs mean matching order.
+		var ownedID [ownedPool]int
+		var ownedA, ownedB [ownedPool]*Event
+		for k := 0; k < ownedPool; k++ {
+			k := k
+			ownedA[k] = hybrid.NewPeriodicEvent("p", func(now Time) {
+				fireA = append(fireA, fmt.Sprintf("o%d@%d", ownedID[k], now))
+			})
+			ownedB[k] = heapOnly.NewPeriodicEvent("p", func(now Time) {
+				fireB = append(fireB, fmt.Sprintf("o%d@%d", ownedID[k], now))
+			})
+		}
+		delta := func(a, b byte) Time {
+			return Time(uint64(a)+1) << (b % 36)
+		}
+		for i := 0; i+2 < len(ops); i += 3 {
+			op, a, b := ops[i]%4, ops[i+1], ops[i+2]
+			switch op {
+			case 0: // one-shot at now+delta on both engines
+				h := &handle{id: nextID}
+				nextID++
+				at := hybrid.Now() + delta(a, b)
+				h.a = hybrid.At(at, "f", func(now Time) {
+					h.fired = true
+					fireA = append(fireA, fmt.Sprintf("s%d@%d", h.id, now))
+				})
+				h.b = heapOnly.At(at, "f", func(now Time) {
+					fireB = append(fireB, fmt.Sprintf("s%d@%d", h.id, now))
+				})
+				oneShots = append(oneShots, h)
+			case 1: // (re-)arm an owned periodic event if free
+				k := int(a) % ownedPool
+				if ownedA[k].queued != ownedB[k].queued {
+					t.Fatalf("owned[%d] queued state diverged: hybrid=%v heap=%v",
+						k, ownedA[k].queued, ownedB[k].queued)
+				}
+				if ownedA[k].queued {
+					continue
+				}
+				ownedID[k] = nextID
+				nextID++
+				d := Cycles(delta(a, b))
+				hybrid.ScheduleAfter(ownedA[k], d)
+				heapOnly.ScheduleAfter(ownedB[k], d)
+			case 2: // cancel a live one-shot (same one in both engines).
+				// Gate on the handle's logical state, not the Event's:
+				// a fired one-shot's Event recycles through the freelist
+				// and may already carry a different logical event.
+				var cands []*handle
+				for _, h := range oneShots {
+					if !h.fired && !h.cancelled {
+						cands = append(cands, h)
+					}
+				}
+				if len(cands) == 0 {
+					continue
+				}
+				h := cands[int(a)%len(cands)]
+				h.cancelled = true
+				hybrid.Cancel(h.a)
+				heapOnly.Cancel(h.b)
+			case 3: // step both
+				sa := hybrid.Step()
+				sb := heapOnly.Step()
+				if sa != sb {
+					t.Fatalf("Step diverged: hybrid=%v heap=%v", sa, sb)
+				}
+			}
+			if hybrid.Pending() != heapOnly.Pending() {
+				t.Fatalf("Pending diverged after op %d: hybrid=%d heap=%d",
+					i/3, hybrid.Pending(), heapOnly.Pending())
+			}
+			if hybrid.Now() != heapOnly.Now() {
+				t.Fatalf("Now diverged after op %d: hybrid=%d heap=%d",
+					i/3, hybrid.Now(), heapOnly.Now())
+			}
+		}
+		hybrid.Run(nil)
+		heapOnly.Run(nil)
+		if len(fireA) != len(fireB) {
+			t.Fatalf("fire counts diverged: hybrid=%d heap=%d", len(fireA), len(fireB))
+		}
+		for i := range fireA {
+			if fireA[i] != fireB[i] {
+				t.Fatalf("fire order diverged at %d: hybrid=%s heap=%s", i, fireA[i], fireB[i])
+			}
+		}
+		if hybrid.Pending() != 0 || heapOnly.Pending() != 0 {
+			t.Fatalf("undrained: hybrid=%d heap=%d", hybrid.Pending(), heapOnly.Pending())
 		}
 	})
 }

@@ -10,6 +10,7 @@ package stats
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 	"strings"
 )
@@ -141,14 +142,10 @@ func (d *Dist) ApproxPercentile(q float64) uint64 {
 	return d.max
 }
 
-func bitLen(v uint64) int {
-	n := 0
-	for v != 0 {
-		v >>= 1
-		n++
-	}
-	return n
-}
+// bitLen is the bucket index: one power-of-two bucket per bit length.
+// bits.Len64 compiles to a single count-leading-zeros instruction, and
+// Dist.Add sits on the per-schedule hot path.
+func bitLen(v uint64) int { return bits.Len64(v) }
 
 // Registry is a named collection of metrics rendered /proc-style:
 // one "name value" line per metric, sorted by name.

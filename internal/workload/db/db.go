@@ -161,24 +161,31 @@ func New(m *kernel.Machine, cfg Config) *DB {
 	return d
 }
 
-// serialCall returns a page-read/WAL-style syscall: cost cycles of kernel
-// work gated through res for hold serialized cycles, like ipc.Queue's
-// serialized socket path.
-func serialCall(name string, cost uint64, res *kernel.SerialResource, hold uint64) kernel.Action {
-	reserved := false
-	return kernel.Syscall{
-		Name: name,
-		Cost: cost,
-		Fn: func(p *kernel.Proc, now sim.Time) kernel.Outcome {
-			if !reserved {
-				reserved = true
-				if wait := res.Reserve(now, hold); wait > 0 {
-					return kernel.DelayFor(wait)
-				}
-			}
-			return kernel.Done()
-		},
+// serialExec is the closure-free effect of a page-read/WAL-style
+// syscall: cost cycles of kernel work gated through the resource in Obj
+// for Args[0] serialized cycles, like ipc.Queue's serialized socket
+// path. The once-only gate rides in Reserved, which lives in the proc's
+// own copy of the syscall and so survives Delay retries.
+func serialExec(sc *kernel.Syscall, p *kernel.Proc, now sim.Time) kernel.Outcome {
+	if !sc.Reserved {
+		sc.Reserved = true
+		if wait := sc.Obj.(*kernel.SerialResource).Reserve(now, uint64(sc.Args[0])); wait > 0 {
+			return kernel.DelayFor(wait)
+		}
 	}
+	return kernel.Done()
+}
+
+// armSerial re-arms a program-owned scratch syscall for one serialized
+// call and returns it; the kernel copies it out on consumption, so the
+// same scratch serves every call the program makes.
+func armSerial(sc *kernel.Syscall, name string, cost uint64, res *kernel.SerialResource, hold uint64) kernel.Action {
+	sc.Name = name
+	sc.Cost = cost
+	sc.Obj = res
+	sc.Args[0] = int64(hold)
+	sc.Reserved = false
+	return sc
 }
 
 // newClient builds one connection worker: a state machine over the
@@ -203,6 +210,10 @@ func (d *DB) newClient() kernel.Program {
 	var gotLock, justTried bool
 	var stripe *ipc.YieldMutex
 	var txnStart sim.Time
+	serial := &kernel.Syscall{Exec: serialExec}
+	disk := &kernel.Sleep{}
+	var parse kernel.Action = kernel.Compute{Cycles: cfg.Costs.Parse}
+	var apply kernel.Action = kernel.Compute{Cycles: cfg.Costs.Apply}
 	return kernel.ProgramFunc(func(p *kernel.Proc) kernel.Action {
 		for {
 			switch phase {
@@ -215,7 +226,7 @@ func (d *DB) newClient() kernel.Program {
 				spins = 0
 				page = 0
 				phase = phLock
-				return kernel.Compute{Cycles: cfg.Costs.Parse}
+				return parse
 			case phLock:
 				if gotLock {
 					justTried = false
@@ -246,15 +257,16 @@ func (d *DB) newClient() kernel.Program {
 				if rng.Float64() < cfg.MissRate {
 					// Buffer-pool miss: the latch was released before
 					// the I/O was issued, so only the sleep remains.
-					return kernel.Sleep{Cycles: rng.Range(cfg.DiskLatency/2, cfg.DiskLatency*2)}
+					disk.Cycles = rng.Range(cfg.DiskLatency/2, cfg.DiskLatency*2)
+					return disk
 				}
-				return serialCall("buf.read", cfg.Costs.PageRead, d.bufpool, cfg.Costs.BufSerialHold)
+				return armSerial(serial, "buf.read", cfg.Costs.PageRead, d.bufpool, cfg.Costs.BufSerialHold)
 			case phApply:
 				phase = phCommit
-				return kernel.Compute{Cycles: cfg.Costs.Apply}
+				return apply
 			case phCommit:
 				phase = phUnlock
-				return serialCall("wal.append", cfg.Costs.WALWrite, d.wal, cfg.Costs.WALSerialHold)
+				return armSerial(serial, "wal.append", cfg.Costs.WALWrite, d.wal, cfg.Costs.WALSerialHold)
 			case phUnlock:
 				phase = phDone
 				return stripe.Unlock()
@@ -275,6 +287,9 @@ func (d *DB) newCheckpointer() kernel.Program {
 	cfg := d.cfg
 	rng := d.m.RNG().Fork()
 	phase := 0
+	serial := &kernel.Syscall{Exec: serialExec}
+	sleep := &kernel.Sleep{}
+	var scan kernel.Action = kernel.Compute{Cycles: cfg.Costs.CheckpointCPU}
 	return kernel.ProgramFunc(func(p *kernel.Proc) kernel.Action {
 		if d.finished {
 			return kernel.Exit{}
@@ -282,13 +297,14 @@ func (d *DB) newCheckpointer() kernel.Program {
 		switch phase {
 		case 0: // sleep between rounds
 			phase = 1
-			return kernel.Sleep{Cycles: rng.Range(cfg.CheckpointInterval/2, cfg.CheckpointInterval*3/2)}
+			sleep.Cycles = rng.Range(cfg.CheckpointInterval/2, cfg.CheckpointInterval*3/2)
+			return sleep
 		case 1: // scan for dirty pages
 			phase = 2
-			return kernel.Compute{Cycles: cfg.Costs.CheckpointCPU}
+			return scan
 		default: // flush through the WAL
 			phase = 0
-			return serialCall("wal.ckpt", cfg.Costs.WALWrite, d.wal, cfg.Costs.CheckpointWAL)
+			return armSerial(serial, "wal.ckpt", cfg.Costs.WALWrite, d.wal, cfg.Costs.CheckpointWAL)
 		}
 	})
 }

@@ -86,13 +86,18 @@ func New(m *kernel.Machine, cfg Config) *Probe {
 	return p
 }
 
+// hogBurst is the hogs' fixed burst, boxed once: a hog steps every
+// 150k cycles for the whole run, so a per-step Compute allocation is
+// the workload's dominant garbage.
+var hogBurst kernel.Action = kernel.Compute{Cycles: 150_000}
+
 // hogProgram burns CPU until the probes are done.
 func hogProgram(p *Probe) kernel.Program {
 	return kernel.ProgramFunc(func(proc *kernel.Proc) kernel.Action {
 		if p.Done() {
 			return kernel.Exit{}
 		}
-		return kernel.Compute{Cycles: 150_000}
+		return hogBurst
 	})
 }
 
@@ -103,6 +108,8 @@ func (p *Probe) probeProgram() kernel.Program {
 	wakes := 0
 	phase := 0
 	var due sim.Time
+	sleep := &kernel.Sleep{}
+	var burst kernel.Action = kernel.Compute{Cycles: p.cfg.ProbeWork}
 	return kernel.ProgramFunc(func(proc *kernel.Proc) kernel.Action {
 		switch phase {
 		case 0: // go to sleep
@@ -114,7 +121,8 @@ func (p *Probe) probeProgram() kernel.Program {
 			d := rng.Range(p.cfg.SleepMean/2, p.cfg.SleepMean*3/2)
 			due = p.m.Now() + sim.Time(d) + sim.Time(p.m.Env().Cost.SyscallBase)
 			phase = 1
-			return kernel.Sleep{Cycles: d}
+			sleep.Cycles = d
+			return sleep
 		default: // just dispatched after the wake
 			now := p.m.Now()
 			if now > due {
@@ -123,7 +131,7 @@ func (p *Probe) probeProgram() kernel.Program {
 				p.lat.Observe(0)
 			}
 			phase = 0
-			return kernel.Compute{Cycles: p.cfg.ProbeWork}
+			return burst
 		}
 	})
 }

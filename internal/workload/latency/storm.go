@@ -110,6 +110,34 @@ func (s *Storm) newWaiter() kernel.Program {
 	parked := false
 	wakes := 0
 	phase := 0
+	// The wait syscall and the post-wake burst are built once per waiter
+	// and re-armed every storm, so a waiter's steady state allocates
+	// nothing. The kernel copies the *Syscall out on consumption, so
+	// re-returning the same scratch value is safe.
+	wait := &kernel.Syscall{
+		Name: "storm.wait",
+		Cost: 4_000,
+		Fn: func(p *kernel.Proc, now sim.Time) kernel.Outcome {
+			if seen == s.gen {
+				if !parked {
+					parked = true
+					s.parked++
+					if s.parked == s.cfg.Waiters {
+						s.armStorm()
+					}
+				}
+				return kernel.BlockOn(s.wq)
+			}
+			// Woken by storm s.gen and finally running again:
+			// the interval since the wake_up_all is the
+			// wakeup-to-run latency.
+			seen = s.gen
+			parked = false
+			s.lat.Observe(uint64(now - s.stormAt))
+			return kernel.Done()
+		},
+	}
+	var burst kernel.Action = kernel.Compute{Cycles: s.cfg.WorkPerWake}
 	return kernel.ProgramFunc(func(p *kernel.Proc) kernel.Action {
 		switch phase {
 		case 0: // park until the next storm
@@ -117,33 +145,11 @@ func (s *Storm) newWaiter() kernel.Program {
 				return kernel.Exit{}
 			}
 			phase = 1
-			return kernel.Syscall{
-				Name: "storm.wait",
-				Cost: 4_000,
-				Fn: func(p *kernel.Proc, now sim.Time) kernel.Outcome {
-					if seen == s.gen {
-						if !parked {
-							parked = true
-							s.parked++
-							if s.parked == s.cfg.Waiters {
-								s.armStorm()
-							}
-						}
-						return kernel.BlockOn(s.wq)
-					}
-					// Woken by storm s.gen and finally running again:
-					// the interval since the wake_up_all is the
-					// wakeup-to-run latency.
-					seen = s.gen
-					parked = false
-					s.lat.Observe(uint64(now - s.stormAt))
-					return kernel.Done()
-				},
-			}
+			return wait
 		default: // post-wake burst
 			wakes++
 			phase = 0
-			return kernel.Compute{Cycles: s.cfg.WorkPerWake}
+			return burst
 		}
 	})
 }
@@ -155,7 +161,7 @@ func (s *Storm) newHog() kernel.Program {
 		if s.Done() {
 			return kernel.Exit{}
 		}
-		return kernel.Compute{Cycles: 150_000}
+		return hogBurst
 	})
 }
 

@@ -92,15 +92,25 @@ type Server struct {
 	latency   stats.Dist
 	rng       *sim.RNG
 	arrivalEv *sim.Event
+
+	// parseAct and respondAct are the fixed per-request bursts, boxed
+	// once and shared by every worker (the kernel copies the cycle count
+	// out on consumption), so the steady-state request loop allocates
+	// nothing.
+	parseAct   kernel.Action
+	respondAct kernel.Action
 }
 
 // New constructs the server and starts the arrival process.
 func New(m *kernel.Machine, cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{cfg: cfg, m: m, rng: m.RNG().Fork()}
+	s.parseAct = kernel.Compute{Cycles: cfg.ParseCost}
+	s.respondAct = kernel.Compute{Cycles: cfg.RespondCost}
 	s.accept = ipc.NewQueue("accept", cfg.AcceptQueueCap)
 	s.accept.Serial = m.NewSerialResource("netstack")
 	s.accept.SerialHold = cfg.NetSerialHold
+	s.arrivalEv = m.Engine().NewPeriodicEvent("request-arrival", s.onArrival)
 
 	mm := m.NewMM("httpd")
 	for w := 0; w < cfg.Workers; w++ {
@@ -110,24 +120,28 @@ func New(m *kernel.Machine, cfg Config) *Server {
 	return s
 }
 
-// scheduleArrival books the next request arrival; arrivals are
-// exponential-ish via a uniform period in [p/2, 3p/2].
+// scheduleArrival books the next request arrival on the re-armable
+// arrival event; arrivals are exponential-ish via a uniform period in
+// [p/2, 3p/2].
 func (s *Server) scheduleArrival() {
 	if s.arrived >= s.cfg.Requests {
 		return
 	}
 	gap := s.rng.Range(s.cfg.ArrivalPeriod/2, s.cfg.ArrivalPeriod*3/2)
-	s.arrivalEv = s.m.Engine().After(gap, "request-arrival", func(now sim.Time) {
-		s.arrived++
-		// Stamp the arrival time for latency measurement. If the
-		// backlog is full the request is dropped, as listen(2) would.
-		if s.accept.Len() < s.cfg.AcceptQueueCap {
-			s.injectRequest(now)
-		} else {
-			s.dropped++
-		}
-		s.scheduleArrival()
-	})
+	s.m.Engine().ScheduleAfter(s.arrivalEv, gap)
+}
+
+// onArrival delivers one request and books the next.
+func (s *Server) onArrival(now sim.Time) {
+	s.arrived++
+	// Stamp the arrival time for latency measurement. If the
+	// backlog is full the request is dropped, as listen(2) would.
+	if s.accept.Len() < s.cfg.AcceptQueueCap {
+		s.injectRequest(now)
+	} else {
+		s.dropped++
+	}
+	s.scheduleArrival()
 }
 
 // injectRequest places a request on the accept queue directly (the
@@ -141,6 +155,7 @@ func (s *Server) injectRequest(now sim.Time) {
 func (s *Server) newWorker() kernel.Program {
 	phase := 0
 	var req ipc.Msg
+	disk := &kernel.Sleep{}
 	return kernel.ProgramFunc(func(p *kernel.Proc) kernel.Action {
 		for {
 			switch phase {
@@ -152,16 +167,17 @@ func (s *Server) newWorker() kernel.Program {
 				return s.accept.Recv(8_000, &req)
 			case 1: // parse
 				phase = 2
-				return kernel.Compute{Cycles: s.cfg.ParseCost}
+				return s.parseAct
 			case 2: // file access
 				phase = 3
 				if s.rng.Float64() < s.cfg.CacheHitRate {
 					continue
 				}
-				return kernel.Sleep{Cycles: s.rng.Range(s.cfg.DiskLatency/2, s.cfg.DiskLatency*2)}
+				disk.Cycles = s.rng.Range(s.cfg.DiskLatency/2, s.cfg.DiskLatency*2)
+				return disk
 			case 3: // respond
 				phase = 4
-				return kernel.Compute{Cycles: s.cfg.RespondCost}
+				return s.respondAct
 			case 4: // account completion
 				phase = 0
 				s.served++
