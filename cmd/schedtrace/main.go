@@ -27,14 +27,13 @@ import (
 	"elsc/internal/kernel"
 	"elsc/internal/sched"
 	"elsc/internal/sched/elsc"
-	"elsc/internal/sched/o1"
 	"elsc/internal/sim"
 	"elsc/internal/stats"
 )
 
 func main() {
 	var (
-		schedName = flag.String("sched", "elsc", "scheduler: reg, elsc, heap, mq, o1")
+		schedName = flag.String("sched", "elsc", "scheduler: reg, elsc, heap, mq, o1, cfs")
 		cpus      = flag.Int("cpus", 1, "number of processors")
 		domains   = flag.Int("domains", 1, "cache domains (NUMA-style topology when > 1)")
 		tasks     = flag.Int("tasks", 6, "interactive tasks to simulate")
@@ -141,7 +140,7 @@ func main() {
 	// likewise for the interactivity estimator's bonus distribution.
 	if ps, ok := m.Scheduler().(perCPUStealer); ok && *cpus > 1 {
 		fmt.Println()
-		fmt.Print(stealTable(ps.PerCPUSteals(), m.Env().Topo).Render())
+		fmt.Print(stealTable(m.Scheduler().Name(), ps.PerCPUSteals(), m.Env().Topo).Render())
 	}
 	if bs, ok := m.Scheduler().(bonusStatser); ok {
 		fmt.Println()
@@ -170,9 +169,9 @@ func main() {
 }
 
 // perCPUStealer is implemented by policies whose balancer tracks per-CPU
-// steal counters (o1); policies without it get no steals section.
+// steal counters (o1, cfs); policies without it get no steals section.
 type perCPUStealer interface {
-	PerCPUSteals() []o1.CPUSteals
+	PerCPUSteals() []sched.CPUSteals
 }
 
 // bonusStatser is implemented by policies with an interactivity
@@ -182,12 +181,12 @@ type bonusStatser interface {
 	InteractiveRequeues() uint64
 }
 
-// stealTable renders the o1 balancer's per-CPU steal counters grouped by
-// cache domain: how many tasks each CPU's steal/pull paths moved onto it
-// from inside its own domain versus across the interconnect, with a
-// subtotal row per domain and a machine total.
-func stealTable(perCPU []o1.CPUSteals, topo *sched.Topology) *stats.Table {
-	t := stats.NewTable("o1 balancer steals (by stealing CPU)",
+// stealTable renders a domain-split balancer's per-CPU steal counters
+// grouped by cache domain: how many tasks each CPU's steal/pull paths
+// moved onto it from inside its own domain versus across the
+// interconnect, with a subtotal row per domain and a machine total.
+func stealTable(name string, perCPU []sched.CPUSteals, topo *sched.Topology) *stats.Table {
+	t := stats.NewTable(name+" balancer steals (by stealing CPU)",
 		"CPU", "domain", "in-domain", "cross-domain")
 	if topo == nil {
 		topo = sched.FlatTopology(len(perCPU))

@@ -248,6 +248,13 @@ func run() int {
 		failed := 0
 		for i := 0; i < *fuzzN; i++ {
 			s := experiments.GenScenario(*seed + int64(i))
+			if *policies != "" {
+				// A -policies filter pins each scenario's starting policy
+				// to the filtered set (round-robin), so CI can aim the
+				// fuzz budget at one policy; swap targets still draw
+				// from the whole registry.
+				s.Policy = matrixPolicies[i%len(matrixPolicies)]
+			}
 			if !*fuzzHot {
 				s.Hotplugs = nil
 			}
@@ -299,12 +306,13 @@ func run() int {
 	return 0
 }
 
-// splitList parses a comma-separated flag, defaulting to def and
+// resolveList parses a comma-separated flag, defaulting to def and
 // validating each entry against the registered set (which may be wider
-// than the default — retired baselines are valid but not default).
-func splitList(flagVal string, def, all []string) []string {
+// than the default — retired baselines are valid but not default). An
+// unknown entry returns an error naming the registered set.
+func resolveList(flagVal string, def, all []string) ([]string, error) {
 	if flagVal == "" {
-		return def
+		return def, nil
 	}
 	var out []string
 	for _, name := range strings.Split(flagVal, ",") {
@@ -320,13 +328,23 @@ func splitList(flagVal string, def, all []string) []string {
 			}
 		}
 		if !found {
-			fmt.Fprintf(os.Stderr, "unknown name %q (registered: %s)\n", name, strings.Join(all, " "))
-			os.Exit(2)
+			return nil, fmt.Errorf("unknown name %q (registered: %s)", name, strings.Join(all, " "))
 		}
 		out = append(out, name)
 	}
 	if len(out) == 0 {
-		return def
+		return def, nil
+	}
+	return out, nil
+}
+
+// splitList is resolveList with the command-line exit policy: an unknown
+// name is a usage error (exit 2), diagnosed on stderr.
+func splitList(flagVal string, def, all []string) []string {
+	out, err := resolveList(flagVal, def, all)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
 	}
 	return out
 }
@@ -352,19 +370,13 @@ func filterRuns(runs []experiments.WorkloadRun, specLabel, load string, policies
 	return out
 }
 
-// specList resolves a comma-separated machine-spec filter; SpecByLabel
-// panics on unknown labels, which is the validation.
+// specList resolves a comma-separated machine-spec filter, validating
+// each label against the registered specs with the same diagnostic (and
+// exit status) as splitList — a typo must fail loudly, not panic.
 func specList(flagVal string, def []string) []experiments.MachineSpec {
-	labels := def
-	if flagVal != "" {
-		labels = strings.Split(flagVal, ",")
-	}
+	labels := splitList(flagVal, def, experiments.SpecLabels())
 	var out []experiments.MachineSpec
 	for _, l := range labels {
-		l = strings.TrimSpace(l)
-		if l == "" {
-			continue
-		}
 		out = append(out, experiments.SpecByLabel(l))
 	}
 	return out

@@ -5,6 +5,7 @@ import (
 	"elsc/internal/sched"
 	"elsc/internal/sched/elsc"
 	"elsc/internal/sched/heapsched"
+	"elsc/internal/sched/cfs"
 	"elsc/internal/sched/mq"
 	"elsc/internal/sched/o1"
 	"elsc/internal/sched/vanilla"
@@ -34,6 +35,12 @@ const (
 	// find-first-set bitmap, quantum recharge on array swap, and
 	// pull-based load balancing.
 	O1 SchedulerKind = "o1"
+	// CFS is the design that replaced O(1) in Linux 2.6.23: a
+	// weighted-vruntime fair scheduler — static priority maps to a
+	// geometric weight table, per-CPU queues order tasks by virtual
+	// runtime, and sleepers get a bounded min_vruntime clamp instead of
+	// an estimator bonus.
+	CFS SchedulerKind = "cfs"
 )
 
 // CostModel re-exports the simulator's cycle-cost model for tuning.
@@ -156,6 +163,8 @@ func factoryFor(kind SchedulerKind, ecfg *ELSCConfig, ocfg *O1Config) kernel.Sch
 			}
 			return o1.New(env)
 		}
+	case CFS:
+		return func(env *sched.Env) sched.Scheduler { return cfs.New(env) }
 	default:
 		panic("elsc: unknown scheduler kind " + string(kind))
 	}

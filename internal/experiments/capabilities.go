@@ -37,6 +37,7 @@ var Caps = map[string]PolicyCap{
 	Heap: {LatencyBudgetQuanta: 0.01}, // static-goodness heap: tens of µs
 	MQ:   {LatencyBudgetQuanta: BaseLatencyBudgetQuanta, Baseline: true},
 	O1:   {LatencyBudgetQuanta: 0.005}, // interactivity-aware: the tightest bar
+	CFS:  {LatencyBudgetQuanta: 0.01},  // sleeper clamp + wake preemption: tens of µs
 }
 
 // LatencyBudget returns the policy's conformance latency budget in hog

@@ -11,6 +11,7 @@ import (
 
 	"elsc/internal/kernel"
 	"elsc/internal/sched"
+	"elsc/internal/sched/cfs"
 	"elsc/internal/sched/elsc"
 	"elsc/internal/sched/heapsched"
 	"elsc/internal/sched/mq"
@@ -29,15 +30,20 @@ const (
 	Heap = "heap"
 	MQ   = "mq"
 	O1   = "o1"
+	CFS  = "cfs"
 )
 
 // Policies lists every registered scheduling policy: the paper's two, the
-// §8 future-work designs, and the O(1) endpoint of that lineage. The
-// conformance, determinism, and cross-scheduler smoke suites all iterate
-// this list, so a new policy registered here (with a matching
-// SchedulerKind in the public API) is automatically held to the same
-// contract.
-var Policies = []string{Reg, ELSC, Heap, MQ, O1}
+// §8 future-work designs, the O(1) endpoint of that lineage, and the
+// weighted-vruntime fair scheduler that succeeded it. The conformance,
+// determinism, and cross-scheduler smoke suites all iterate this list, so
+// a new policy registered here (with a matching SchedulerKind in the
+// public API) is automatically held to the same contract. Note the fuzz
+// generator draws `Policies[rng.Intn(len(Policies))]`, so growing this
+// list re-rolls every seed's composition — any regression that depends on
+// a specific historical composition must pin the Scenario as a literal
+// (see the seed-586 pre-fix replay).
+var Policies = []string{Reg, ELSC, Heap, MQ, O1, CFS}
 
 // Factory returns the scheduler factory for a policy name.
 func Factory(name string) kernel.SchedulerFactory {
@@ -52,6 +58,8 @@ func Factory(name string) kernel.SchedulerFactory {
 		return func(env *sched.Env) sched.Scheduler { return mq.New(env) }
 	case O1:
 		return func(env *sched.Env) sched.Scheduler { return o1.New(env) }
+	case CFS:
+		return func(env *sched.Env) sched.Scheduler { return cfs.New(env) }
 	default:
 		panic("experiments: unknown scheduler " + name)
 	}
@@ -111,6 +119,16 @@ func SpecByLabel(label string) MachineSpec {
 		}
 	}
 	panic("experiments: unknown machine spec " + label)
+}
+
+// SpecLabels returns every registered spec label, in AllSpecs order —
+// the validation list command-line spec filters check against.
+func SpecLabels() []string {
+	labels := make([]string, len(AllSpecs))
+	for i, s := range AllSpecs {
+		labels[i] = s.Label
+	}
+	return labels
 }
 
 // PaperRooms is the room sweep of Figure 3.

@@ -112,6 +112,25 @@ func TestFuzzZeroInjectionMatchesPlainDigest(t *testing.T) {
 	}
 }
 
+// seed586Scenario is the composition GenScenario(586) produced when the
+// fuzzer caught the mq cross-queue recalc starvation, frozen as a
+// literal: the generator draws policies by Policies index, so growing
+// the registry (cfs was the sixth) re-rolls every seed — the regression
+// must not evaporate because the draw moved.
+var seed586Scenario = Scenario{
+	Seed:   586,
+	Spec:   "4P",
+	Load:   "latency",
+	Policy: Reg,
+	Swaps:  []SwapPoint{{At: 288, To: MQ}},
+	Churns: []ChurnPoint{
+		{At: 486, Victim: 12, Mask: 0x1},
+		{At: 330, Victim: 62, Mask: 0x0},
+		{At: 668, Victim: 22, Mask: 0x1},
+	},
+	Hotplugs: []HotplugPoint{{At: 195, BackAt: 375, CPU: 19}},
+}
+
 // TestWatchdogCatchesSeed586PreFix replays the pinned seed-586 scenario
 // against mq's pre-fix recalc semantics (recalculate whenever one
 // private queue is exhausted — the bug the fuzzer originally caught as
@@ -119,16 +138,7 @@ func TestFuzzZeroInjectionMatchesPlainDigest(t *testing.T) {
 // watchdog to flag the starvation at its first threshold crossing, a
 // small fraction of the horizon into the run.
 func TestWatchdogCatchesSeed586PreFix(t *testing.T) {
-	s := GenScenario(586)
-	usesMQ := s.Policy == MQ
-	for _, sw := range s.Swaps {
-		if sw.To == MQ {
-			usesMQ = true
-		}
-	}
-	if !usesMQ {
-		t.Fatal("seed 586 no longer involves mq; the pre-fix replay is meaningless")
-	}
+	s := seed586Scenario
 	var first *kernel.WatchdogViolation
 	_, err := RunScenarioOpts(s, ScenarioOpts{
 		FactoryFor: func(name string) kernel.SchedulerFactory {

@@ -23,11 +23,13 @@ func TestNumaTableListsAllPolicies(t *testing.T) {
 	if tab.NumRows() != len(Policies) {
 		t.Fatalf("numa table rows = %d, want %d", tab.NumRows(), len(Policies))
 	}
-	// The o1 row must carry real steal counters, not the "-" placeholder
-	// the steal-blind policies get.
+	// The steal-aware policies (o1 and cfs carry domain-split balancers)
+	// must report real steal counters; the steal-blind rows get the "-"
+	// placeholder.
+	stealAware := map[string]bool{O1: true, CFS: true}
 	for _, row := range tab.Rows() {
 		hasCounters := row[len(row)-1] != "-" && row[len(row)-2] != "-"
-		if (row[0] == O1) != hasCounters {
+		if stealAware[row[0]] != hasCounters {
 			t.Fatalf("steal counters misplaced in row %v", row)
 		}
 	}

@@ -1,0 +1,974 @@
+// Package cfs implements a weighted-vruntime fair scheduler — the modern
+// counter-argument to the paper's O(1) lineage, in the shape Linux took
+// from 2.6.23 on (CFS). It joins the registry as a drop-in policy so the
+// conformance, latency-invariant, and matrix machinery can stage a
+// genuine O(1)-vs-fair shootout.
+//
+// The design maps the task layer's static Priority (1..40, default 20)
+// onto the CFS weight table: Priority 20 is nice 0 and weight 1024, and
+// each priority step multiplies the weight by ~1.25, so a task with
+// double the weight of another receives double the CPU time. Every
+// processor owns a private queue (the kernel detects the PerCPU marker
+// and splits the run-queue lock) holding an indexed binary min-heap of
+// SCHED_OTHER tasks ordered by virtual runtime — no container/heap
+// boxing, zero allocations in steady state — plus a small priority
+// array for real-time tasks, which always outrank fair ones.
+//
+// A task's vruntime advances by executed-cycles x 1024/weight whenever
+// it comes back through Schedule, so heavier tasks age slower and
+// naturally earn proportionally more CPU. Each queue tracks a monotone
+// min_vruntime; a waking or newly forked task is clamped to
+// max(vruntime, min_vruntime - sleeperBonus), so sleepers get a bounded
+// boost ahead of the queue instead of the sleep_avg estimator's
+// heuristic credit, and a task returning from a policy swap cannot
+// carry a stale virtual clock into the queue. Timeslices are dynamic:
+// periodTicks of latency target split by weight share, floored at a
+// granularity, delivered through the task counter so the kernel's
+// ordinary quantum-expiry machinery ends the slice.
+//
+// Balancing reuses the topology-aware shape of the o1 policy: an idle
+// CPU steals the greatest-lag (minimum-vruntime) movable task, in-domain
+// victims first and cross-domain only from longer queues; a periodic
+// imbalance pull moves batches across domains. A migrating task's
+// vruntime is renormalized from the victim queue's min_vruntime to the
+// thief's, so cross-queue clock skew never turns into a fairness bug.
+package cfs
+
+import (
+	"math/bits"
+
+	"elsc/internal/klist"
+	"elsc/internal/sched"
+	"elsc/internal/task"
+)
+
+const (
+	// weightScale is the weight of a Priority-20 (nice-0) task; vruntime
+	// is measured in "nice-0 cycles": executed cycles x weightScale/weight.
+	weightScale = 1024
+
+	// periodTicks is the scheduling latency target in 10ms ticks: the
+	// horizon every queued fair task should run once within, split by
+	// weight share. minGranTicks floors the split so a crowded queue
+	// degrades to round-robin at a sane quantum instead of thrashing.
+	periodTicks  = 20
+	minGranTicks = 2
+
+	// rtLevels reserves one level per rt_priority value (0..99), best
+	// (highest rt_priority) at index 0 as in the o1 arrays.
+	rtLevels = task.MaxRTPriority + 1
+	rtWords  = (rtLevels + 63) / 64
+
+	// balanceEvery / balanceImbalance / crossStealMin mirror the o1
+	// balancer: periodic pulls every 32 schedules past a 2-task gap, and
+	// no cross-domain idle steal from a single-task victim.
+	balanceEvery     = 32
+	balanceImbalance = 2
+	crossStealMin    = 2
+)
+
+// weightOf maps a static priority onto the CFS prio_to_weight table:
+// Priority 20 = nice 0 = 1024, each step up multiplies by ~1.25 (so
+// Priority 23 has ~2x the weight of 20, and 28 ~6x). Index 0 is
+// Priority 40 (nice -20).
+var prioToWeight = [task.MaxPriority]uint64{
+	88761, 71755, 56483, 46273, 36291,
+	29154, 23254, 18705, 14949, 11916,
+	9548, 7620, 6100, 4904, 3906,
+	3121, 2501, 1991, 1586, 1277,
+	1024, 820, 655, 526, 423,
+	335, 272, 215, 172, 137,
+	110, 87, 70, 56, 45,
+	36, 29, 23, 18, 15,
+}
+
+// Weight returns the CFS weight for a static priority, clamping
+// out-of-range values to the table ends.
+func Weight(prio int) uint64 {
+	idx := task.MaxPriority - prio
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(prioToWeight) {
+		idx = len(prioToWeight) - 1
+	}
+	return prioToWeight[idx]
+}
+
+// Config tunes the fair scheduler. The zero value selects the defaults.
+type Config struct {
+	// TickCycles is one timer tick in simulated cycles (default 4M: 10ms
+	// at the 400 MHz machine every spec runs). It scales the vruntime-
+	// denominated constants — the sleeper clamp bonus and the wakeup
+	// preemption granularity.
+	TickCycles uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.TickCycles == 0 {
+		c.TickCycles = 4_000_000
+	}
+	return c
+}
+
+// fentry is one fair-heap element. The enqueue-time key is copied into
+// the entry so removal subtracts exactly the weight it added even if the
+// task's priority mutated while queued (the kernel always del/adds
+// around mutations, but the bookkeeping must not depend on it).
+type fentry struct {
+	t      *task.Task
+	vr     uint64
+	order  int64
+	weight uint64
+}
+
+// fheap is an indexed binary min-heap of fair tasks ordered by
+// (vruntime asc, order asc). The held task's QStamp stores its position;
+// swaps update it in place, so removal never searches.
+type fheap struct {
+	es []fentry
+}
+
+func (h *fheap) len() int { return len(h.es) }
+
+func (h *fheap) less(i, j int) bool {
+	if h.es[i].vr != h.es[j].vr {
+		return h.es[i].vr < h.es[j].vr
+	}
+	return h.es[i].order < h.es[j].order
+}
+
+func (h *fheap) swap(i, j int) {
+	h.es[i], h.es[j] = h.es[j], h.es[i]
+	h.es[i].t.QStamp = uint64(i)
+	h.es[j].t.QStamp = uint64(j)
+}
+
+func (h *fheap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *fheap) down(i int) {
+	n := len(h.es)
+	for {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < n && h.less(l, best) {
+			best = l
+		}
+		if r < n && h.less(r, best) {
+			best = r
+		}
+		if best == i {
+			return
+		}
+		h.swap(i, best)
+		i = best
+	}
+}
+
+func (h *fheap) push(e fentry) {
+	e.t.QStamp = uint64(len(h.es))
+	h.es = append(h.es, e)
+	h.up(len(h.es) - 1)
+}
+
+func (h *fheap) removeAt(i int) fentry {
+	n := len(h.es) - 1
+	if i < 0 || i > n {
+		panic("cfs: heap removeAt out of range")
+	}
+	h.swap(i, n)
+	e := h.es[n]
+	h.es[n] = fentry{}
+	h.es = h.es[:n]
+	if i < n {
+		h.down(i)
+		h.up(i)
+	}
+	return e
+}
+
+// rtArray is the real-time side of a queue: one FIFO list per
+// rt_priority level with a find-first-set bitmap, exactly the o1 idiom.
+// Level 0 is the best (rt_priority 99).
+type rtArray struct {
+	bitmap [rtWords]uint64
+	lists  [rtLevels]klist.Head
+	count  int
+}
+
+func (a *rtArray) init() {
+	for i := range a.lists {
+		a.lists[i].Init()
+	}
+}
+
+func (a *rtArray) firstSet() int {
+	for w := 0; w < rtWords; w++ {
+		if a.bitmap[w] != 0 {
+			return w*64 + bits.TrailingZeros64(a.bitmap[w])
+		}
+	}
+	return -1
+}
+
+func (a *rtArray) nextSet(from int) int {
+	if from >= rtLevels {
+		return -1
+	}
+	w := from / 64
+	word := a.bitmap[w] &^ (1<<uint(from%64) - 1)
+	for {
+		if word != 0 {
+			return w*64 + bits.TrailingZeros64(word)
+		}
+		w++
+		if w >= rtWords {
+			return -1
+		}
+		word = a.bitmap[w]
+	}
+}
+
+func (a *rtArray) setBit(lvl int)   { a.bitmap[lvl/64] |= 1 << uint(lvl%64) }
+func (a *rtArray) clearBit(lvl int) { a.bitmap[lvl/64] &^= 1 << uint(lvl%64) }
+
+func rtLevelOf(t *task.Task) int { return task.MaxRTPriority - t.RTPriority }
+
+// runqueue is one CPU's fair heap plus real-time array. minVR is the
+// monotone virtual clock the sleeper clamp and migration renorm anchor
+// to; maxVR is the high-watermark a yielding task is sent behind;
+// weight sums the queued fair entries' weights for slice computation.
+type runqueue struct {
+	fair  fheap
+	rt    rtArray
+	minVR uint64
+	maxVR uint64
+
+	weight       uint64
+	sinceBalance int
+
+	// order tie-break counters: MoveFirst hands out ever-smaller front
+	// orders, ordinary enqueues and MoveLast ever-larger back orders.
+	frontSeq int64
+	backSeq  int64
+
+	// curr is the fair task this queue last dispatched and currBase its
+	// executed-cycle odometer at dispatch; the next Schedule on this CPU
+	// settles the difference into the task's vruntime.
+	curr     *task.Task
+	currBase uint64
+}
+
+func (rq *runqueue) len() int { return rq.fair.len() + rq.rt.count }
+
+// CPUSteals is one CPU's balancer activity, split by cache domain —
+// the shared sched.CPUSteals shape schedtrace renders.
+type CPUSteals = sched.CPUSteals
+
+// Sched is the weighted-vruntime fair scheduler. Create with New.
+type Sched struct {
+	env   *sched.Env
+	cfg   Config
+	topo  *sched.Topology
+	rqs   []runqueue
+	total int
+
+	// vruntime-denominated tunables, derived from Config.TickCycles.
+	sleeperBonus uint64 // placement clamp: one latency period
+	wakeGran     uint64 // wakeup/tick preemption hysteresis: half a tick
+
+	steals []CPUSteals
+}
+
+// New returns a fair scheduler bound to env with the default config.
+func New(env *sched.Env) *Sched { return NewWithConfig(env, Config{}) }
+
+// NewWithConfig returns a fair scheduler with tuned knobs.
+func NewWithConfig(env *sched.Env, cfg Config) *Sched {
+	cfg = cfg.withDefaults()
+	s := &Sched{
+		env:          env,
+		cfg:          cfg,
+		rqs:          make([]runqueue, env.NCPU),
+		steals:       make([]CPUSteals, env.NCPU),
+		sleeperBonus: periodTicks * cfg.TickCycles,
+		wakeGran:     cfg.TickCycles / 8,
+	}
+	s.topo = env.Topo
+	if s.topo == nil {
+		s.topo = sched.FlatTopology(env.NCPU)
+	}
+	for i := range s.rqs {
+		s.rqs[i].rt.init()
+	}
+	return s
+}
+
+// Name implements sched.Scheduler.
+func (s *Sched) Name() string { return "cfs" }
+
+// PerCPU marks the policy as using per-CPU run-queue locks.
+func (s *Sched) PerCPU() bool { return true }
+
+// DomainSteals reports tasks the balancer moved within and across cache
+// domains, machine-wide — the numa experiment's per-policy columns.
+func (s *Sched) DomainSteals() (intra, cross uint64) {
+	for i := range s.steals {
+		intra += s.steals[i].Intra
+		cross += s.steals[i].Cross
+	}
+	return intra, cross
+}
+
+// PerCPUSteals returns a copy of the per-CPU steal counters, indexed by
+// the stealing CPU — the breakdown schedtrace renders per domain.
+func (s *Sched) PerCPUSteals() []CPUSteals {
+	return append([]CPUSteals(nil), s.steals...)
+}
+
+// MinVR exposes a queue's monotone min_vruntime, for tests.
+func (s *Sched) MinVR(cpu int) uint64 { return s.rqs[cpu].minVR }
+
+// QueueLen returns CPU q's queued tasks (fair + real-time), for tests.
+func (s *Sched) QueueLen(q int) int { return s.rqs[q].len() }
+
+// homeOf picks the queue for t: its last CPU when the affinity mask
+// allows it and the CPU is online, otherwise the least-loaded allowed
+// online queue, falling back to the first online queue.
+func (s *Sched) homeOf(t *task.Task) int {
+	if t.EverRan && t.Processor < len(s.rqs) && t.AllowedOn(t.Processor) && s.env.CPUOnline(t.Processor) {
+		return t.Processor
+	}
+	best := -1
+	for i := range s.rqs {
+		if !t.AllowedOn(i) || !s.env.CPUOnline(i) {
+			continue
+		}
+		if best < 0 || s.rqs[i].len() < s.rqs[best].len() {
+			best = i
+		}
+	}
+	if best < 0 {
+		for i := range s.rqs {
+			if s.env.CPUOnline(i) {
+				return i
+			}
+		}
+		best = 0
+	}
+	return best
+}
+
+// placeClamp applies the new-task/wake placement rule: a task whose
+// virtual clock lags the queue (a long sleeper, a fresh fork, a survivor
+// of a policy swap whose vruntime era is stale) is pulled up to
+// min_vruntime minus one latency period — a bounded boost, never an
+// unbounded head start — while a task ahead of the queue keeps its own
+// clock and waits its turn.
+func (s *Sched) placeClamp(t *task.Task, rq *runqueue) {
+	floor := uint64(0)
+	if rq.minVR > s.sleeperBonus {
+		floor = rq.minVR - s.sleeperBonus
+	}
+	if t.VRuntime < floor {
+		t.VRuntime = floor
+	}
+}
+
+// enqueueFair files a fair task on cpu's queue. front biases the order
+// tie-break ahead of every queued equal (MoveFirst semantics); ordinary
+// enqueues go behind their equals, preserving FIFO among exact ties.
+func (s *Sched) enqueueFair(t *task.Task, cpu int, front bool) {
+	rq := &s.rqs[cpu]
+	var order int64
+	if front {
+		rq.frontSeq--
+		order = rq.frontSeq
+	} else {
+		rq.backSeq++
+		order = rq.backSeq
+	}
+	w := Weight(t.Priority)
+	rq.fair.push(fentry{t: t, vr: t.VRuntime, order: order, weight: w})
+	rq.weight += w
+	if t.VRuntime > rq.maxVR {
+		rq.maxVR = t.VRuntime
+	}
+	t.QIndex = cpu
+	t.QZero = true
+	s.total++
+}
+
+// enqueueRT files a real-time task at its rt_priority level on cpu.
+func (s *Sched) enqueueRT(t *task.Task, cpu int, front bool) {
+	rq := &s.rqs[cpu]
+	lvl := rtLevelOf(t)
+	if front {
+		rq.rt.lists[lvl].PushFront(&t.RunList)
+	} else {
+		rq.rt.lists[lvl].PushBack(&t.RunList)
+	}
+	rq.rt.setBit(lvl)
+	rq.rt.count++
+	t.QIndex = cpu
+	t.QStamp = uint64(lvl)
+	t.QZero = true
+	s.total++
+}
+
+// AddToRunqueue files a newly runnable task on its home CPU's queue,
+// applying the sleeper clamp to fair tasks.
+func (s *Sched) AddToRunqueue(t *task.Task) {
+	if t.IsIdle {
+		panic("cfs: idle task on run queue")
+	}
+	if t.QZero {
+		return
+	}
+	cpu := s.homeOf(t)
+	if t.RealTime() {
+		s.enqueueRT(t, cpu, true)
+		return
+	}
+	s.placeClamp(t, &s.rqs[cpu])
+	s.enqueueFair(t, cpu, false)
+}
+
+// PlaceWake accepts the kernel's SD_WAKE_IDLE hint: file the woken task
+// directly on the given idle CPU's queue, inside the waker's cache
+// domain, instead of behind its home CPU's backlog.
+func (s *Sched) PlaceWake(t *task.Task, cpu int) bool {
+	if t.IsIdle || cpu < 0 || cpu >= len(s.rqs) || !t.AllowedOn(cpu) || !s.env.CPUOnline(cpu) {
+		return false
+	}
+	if t.QZero {
+		return false
+	}
+	if t.RealTime() {
+		s.enqueueRT(t, cpu, true)
+		return true
+	}
+	s.renorm(t, s.homeVR(t), &s.rqs[cpu])
+	s.placeClamp(t, &s.rqs[cpu])
+	s.enqueueFair(t, cpu, false)
+	return true
+}
+
+// homeVR returns the min_vruntime of the queue t's clock is relative to:
+// its last CPU's queue when valid, else zero (the clamp bounds the rest).
+func (s *Sched) homeVR(t *task.Task) uint64 {
+	if t.EverRan && t.Processor < len(s.rqs) {
+		return s.rqs[t.Processor].minVR
+	}
+	return 0
+}
+
+// renorm rebases a migrating task's vruntime from one queue's virtual
+// clock to another's, preserving its lag: per-queue clocks advance at
+// different rates, so raw vruntimes are not comparable across queues.
+func (s *Sched) renorm(t *task.Task, fromMin uint64, to *runqueue) {
+	lag := int64(t.VRuntime) - int64(fromMin)
+	nv := int64(to.minVR) + lag
+	if nv < 0 {
+		nv = 0
+	}
+	t.VRuntime = uint64(nv)
+}
+
+// DelFromRunqueue removes t from whichever structure holds it. A task in
+// an rt list is physically linked (RunList); a fair task lives in the
+// heap at index QStamp.
+func (s *Sched) DelFromRunqueue(t *task.Task) {
+	if !t.QZero {
+		return
+	}
+	rq := &s.rqs[t.QIndex]
+	if t.RunList.OnList() {
+		lvl := int(t.QStamp)
+		rq.rt.lists[lvl].Remove(&t.RunList)
+		rq.rt.count--
+		if rq.rt.lists[lvl].Empty() {
+			rq.rt.clearBit(lvl)
+		}
+	} else {
+		e := rq.fair.removeAt(int(t.QStamp))
+		rq.weight -= e.weight
+	}
+	t.QZero = false
+	s.total--
+}
+
+// MoveFirstRunqueue re-keys t ahead of its exact-vruntime equals.
+func (s *Sched) MoveFirstRunqueue(t *task.Task) {
+	if !t.QZero {
+		return
+	}
+	cpu := t.QIndex
+	if t.RunList.OnList() {
+		s.rqs[cpu].rt.lists[int(t.QStamp)].MoveFront(&t.RunList)
+		return
+	}
+	s.DelFromRunqueue(t)
+	s.enqueueFair(t, cpu, true)
+}
+
+// MoveLastRunqueue re-keys t behind its exact-vruntime equals.
+func (s *Sched) MoveLastRunqueue(t *task.Task) {
+	if !t.QZero {
+		return
+	}
+	cpu := t.QIndex
+	if t.RunList.OnList() {
+		s.rqs[cpu].rt.lists[int(t.QStamp)].MoveBack(&t.RunList)
+		return
+	}
+	s.DelFromRunqueue(t)
+	s.enqueueFair(t, cpu, false)
+}
+
+// Runnable returns the number of queued tasks; running tasks are
+// dequeued while they execute.
+func (s *Sched) Runnable() int { return s.total }
+
+// OnRunqueue reports whether the scheduler currently tracks t.
+func (s *Sched) OnRunqueue(t *task.Task) bool { return t.QZero }
+
+// sliceFor computes the dispatched task's timeslice in ticks: its weight
+// share of the latency period against the tasks still queued on rq,
+// floored at the granularity. A lone task gets the whole period.
+func (s *Sched) sliceFor(t *task.Task, rq *runqueue) int {
+	w := Weight(t.Priority)
+	total := rq.weight + w
+	slice := int(periodTicks * w / total)
+	if slice < minGranTicks {
+		slice = minGranTicks
+	}
+	return slice
+}
+
+// advance settles prev's executed cycles into its vruntime, if prev is
+// the fair task this queue dispatched: vruntime += executed x 1024/weight.
+func (rq *runqueue) advance(prev *task.Task) {
+	if rq.curr != prev || prev.IsIdle {
+		return
+	}
+	rq.curr = nil
+	exec := prev.UserCycles + prev.SystemCycles - rq.currBase
+	if exec == 0 {
+		return
+	}
+	prev.VRuntime += exec * weightScale / Weight(prev.Priority)
+}
+
+// logCost approximates the O(log n) sift cost of one heap operation on
+// cpu's fair heap.
+func (s *Sched) logCost(cpu int) uint64 {
+	cost := uint64(0)
+	for n := s.rqs[cpu].fair.len(); n > 1; n >>= 1 {
+		cost += 35
+	}
+	return cost
+}
+
+// Schedule implements the fair pick: settle the previous task's
+// vruntime, requeue it if still runnable, then run the lowest-vruntime
+// fair task — unless a real-time task is queued, which always wins.
+// Recalcs is always zero: there is no global recalculation in this
+// design, quantum refill happens per-dispatch via the slice.
+func (s *Sched) Schedule(cpu int, prev *task.Task) sched.Result {
+	env := s.env
+	res := sched.Result{Cycles: env.Cost.ScheduleBase}
+	rq := &s.rqs[cpu]
+	rq.advance(prev)
+
+	if !prev.IsIdle {
+		yielded := prev.Yielded
+		prev.Yielded = false
+		if prev.Policy == task.RR && prev.Counter(env.Epoch) == 0 {
+			prev.SetCounter(env.Epoch, prev.Priority)
+		}
+		if prev.Runnable() && !prev.QZero {
+			home := s.homeOf(prev)
+			hrq := &s.rqs[home]
+			switch {
+			case prev.RealTime():
+				// Preempted RT keeps the head of its level; a yielding
+				// or RR-rotated one goes behind its level peers.
+				s.enqueueRT(prev, home, !yielded)
+			case yielded:
+				// sched_yield: park behind the queue's vruntime
+				// high-watermark so every queued task runs first.
+				if hrq.maxVR > prev.VRuntime {
+					prev.VRuntime = hrq.maxVR
+				}
+				s.enqueueFair(prev, home, false)
+			default:
+				// Quantum expiry or preemption: the settled vruntime is
+				// the only ordering input; no recharge loop, no arrays.
+				if home != cpu {
+					s.renorm(prev, rq.minVR, hrq)
+				}
+				s.enqueueFair(prev, home, false)
+			}
+			res.Cycles += env.Cost.AddRunqueue + s.logCost(home)
+		}
+	}
+
+	if env.NCPU > 1 {
+		rq.sinceBalance++
+		if rq.sinceBalance >= balanceEvery {
+			rq.sinceBalance = 0
+			s.pullBalance(cpu, &res)
+		}
+	}
+
+	best := s.pickLocal(cpu, &res)
+	if best == nil {
+		best = s.steal(cpu, &res)
+	}
+	if best == nil {
+		return res
+	}
+	s.DelFromRunqueue(best)
+	res.Cycles += env.Cost.DelRunqueue + s.logCost(cpu)
+	if !best.RealTime() {
+		// The dispatched task is the queue minimum, so min_vruntime
+		// follows it — monotone by construction.
+		if best.VRuntime > rq.minVR {
+			rq.minVR = best.VRuntime
+		}
+		if best.VRuntime > rq.maxVR {
+			rq.maxVR = best.VRuntime
+		}
+		best.SetCounter(env.Epoch, s.sliceFor(best, rq))
+		rq.curr = best
+		rq.currBase = best.UserCycles + best.SystemCycles
+	} else {
+		rq.curr = nil
+	}
+	res.Next = best
+	return res
+}
+
+// pickable mirrors the kernel's can_schedule: not running elsewhere and
+// allowed here.
+func pickable(t *task.Task, cpu int) bool {
+	return (!t.HasCPU || t.Processor == cpu) && t.AllowedOn(cpu)
+}
+
+// pickLocal selects from cpu's own queue: best real-time level first,
+// then the fair heap root. When the root is unpickable (running
+// elsewhere mid-claim, or an affinity straggler homeOf's fallback filed
+// here) the heap array is scanned for the minimum pickable entry.
+func (s *Sched) pickLocal(cpu int, res *sched.Result) *task.Task {
+	if t := s.pickRT(&s.rqs[cpu], cpu, res); t != nil {
+		return t
+	}
+	return s.pickFair(&s.rqs[cpu], cpu, res)
+}
+
+func (s *Sched) pickRT(rq *runqueue, cpu int, res *sched.Result) *task.Task {
+	env := s.env
+	for lvl := rq.rt.firstSet(); lvl >= 0; lvl = rq.rt.nextSet(lvl + 1) {
+		res.Cycles += env.Cost.BitmapOp
+		var found *task.Task
+		rq.rt.lists[lvl].ForEach(func(n *klist.Node) bool {
+			t := task.FromNode(n)
+			res.Examined++
+			res.Cycles += env.Cost.Touch(env.NCPU)
+			if !pickable(t, cpu) {
+				return true
+			}
+			found = t
+			return false
+		})
+		if found != nil {
+			return found
+		}
+	}
+	return nil
+}
+
+func (s *Sched) pickFair(rq *runqueue, cpu int, res *sched.Result) *task.Task {
+	env := s.env
+	if rq.fair.len() == 0 {
+		return nil
+	}
+	root := rq.fair.es[0].t
+	res.Examined++
+	res.Cycles += env.Cost.Touch(env.NCPU)
+	if pickable(root, cpu) {
+		return root
+	}
+	// Rare path: the O(1) root is unpickable; find the least-vruntime
+	// pickable entry by scanning the backing array.
+	var best *task.Task
+	bi := -1
+	for i := 1; i < len(rq.fair.es); i++ {
+		res.Examined++
+		res.Cycles += env.Cost.Touch(env.NCPU)
+		t := rq.fair.es[i].t
+		if !pickable(t, cpu) {
+			continue
+		}
+		if bi < 0 || rq.fair.less(i, bi) {
+			best, bi = t, i
+		}
+	}
+	return best
+}
+
+// ExportRunnable implements sched.Scheduler. Drain order is CPU 0..n-1;
+// per CPU the real-time levels in ascending level order (FIFO within),
+// then the fair heap popped in ascending vruntime order.
+func (s *Sched) ExportRunnable() []*task.Task {
+	out := make([]*task.Task, 0, s.total)
+	for cpu := range s.rqs {
+		out = s.DrainCPU(cpu, out)
+	}
+	return out
+}
+
+// DrainCPU implements sched.Scheduler: empty the offlined CPU's private
+// structures so its tasks can be re-filed on surviving queues.
+func (s *Sched) DrainCPU(cpu int, out []*task.Task) []*task.Task {
+	rq := &s.rqs[cpu]
+	for {
+		lvl := rq.rt.firstSet()
+		if lvl < 0 {
+			break
+		}
+		t := task.FromNode(rq.rt.lists[lvl].First())
+		s.DelFromRunqueue(t)
+		sched.ResetQueueState(t)
+		out = append(out, t)
+	}
+	for rq.fair.len() > 0 {
+		t := rq.fair.es[0].t
+		s.DelFromRunqueue(t)
+		sched.ResetQueueState(t)
+		out = append(out, t)
+	}
+	rq.weight = 0
+	return out
+}
+
+// effectiveVR returns t's virtual clock including the cycles executed
+// since its current dispatch, which are not yet settled into VRuntime —
+// the number wake preemption must compare against, or a long-running
+// task looks perpetually fresh.
+func (s *Sched) effectiveVR(t *task.Task) uint64 {
+	vr := t.VRuntime
+	if t.HasCPU && t.Processor < len(s.rqs) {
+		rq := &s.rqs[t.Processor]
+		if rq.curr == t {
+			exec := t.UserCycles + t.SystemCycles - rq.currBase
+			vr += exec * weightScale / Weight(t.Priority)
+		}
+	}
+	return vr
+}
+
+// PreemptsCurr implements the kernel's wake-preemption comparison: a
+// real-time task preempts any fair one (and a lower rt_priority), and a
+// waking fair task preempts the running one when its clamped vruntime
+// lags the runner's effective clock by more than the wakeup granularity
+// — the sleeper boost reaching the wake path, where the 2.3.99 goodness
+// delta would see a tie.
+func (s *Sched) PreemptsCurr(t, curr *task.Task) bool {
+	if t.RealTime() {
+		return !curr.RealTime() || t.RTPriority > curr.RTPriority
+	}
+	if curr.RealTime() {
+		return false
+	}
+	return t.VRuntime+s.wakeGran < s.effectiveVR(curr)
+}
+
+// TickPreempt implements the kernel's tick-time preemption hook, called
+// while t runs on cpu with quantum remaining. The running task's
+// effective vruntime (settled clock plus cycles executed this stint) is
+// compared against the queue: a waiting real-time task preempts
+// unconditionally, and a fair task whose vruntime lags the runner by
+// more than the wakeup granularity preempts so the slice machinery's
+// tick quantization cannot hold the virtual clock hostage. Rotation is
+// never reported: cfs has no same-level round-robin distinct from the
+// vruntime order itself.
+func (s *Sched) TickPreempt(cpu int, t *task.Task) (preempt, rotation bool) {
+	rq := &s.rqs[cpu]
+	if rq.rt.count > 0 {
+		if lvl := rq.rt.firstSet(); lvl >= 0 {
+			head := task.FromNode(rq.rt.lists[lvl].First())
+			if pickable(head, cpu) {
+				return true, false
+			}
+		}
+	}
+	if t.RealTime() || rq.fair.len() == 0 {
+		return false, false
+	}
+	currVR := s.effectiveVR(t)
+	head := rq.fair.es[0].t
+	if pickable(head, cpu) && rq.fair.es[0].vr+s.wakeGran < currVR {
+		return true, false
+	}
+	return false, false
+}
+
+// steal takes the greatest-lag movable task from another queue — the
+// idle-balance path, hierarchical like o1's: victims inside the thief's
+// cache domain are exhausted before any cross-domain queue is touched,
+// and a cross-domain steal requires the victim to hold at least
+// crossStealMin tasks.
+func (s *Sched) steal(cpu int, res *sched.Result) *task.Task {
+	if t := s.stealTier(cpu, res, true); t != nil {
+		return t
+	}
+	if s.topo.NumDomains() == 1 {
+		return nil
+	}
+	return s.stealTier(cpu, res, false)
+}
+
+func (s *Sched) stealTier(cpu int, res *sched.Result, local bool) *task.Task {
+	minLen := 1
+	if !local {
+		minLen = crossStealMin
+	}
+	eligible := func(i int) bool {
+		return s.topo.SameDomain(i, cpu) == local && s.rqs[i].len() >= minLen
+	}
+	first := s.busiestWhere(cpu, 0, eligible)
+	if first < 0 {
+		return nil
+	}
+	if t := s.stealFrom(first, cpu, res); t != nil {
+		return t
+	}
+	for i := range s.rqs {
+		if i == cpu || i == first || !eligible(i) {
+			continue
+		}
+		if t := s.stealFrom(i, cpu, res); t != nil {
+			return t
+		}
+	}
+	return nil
+}
+
+// stealFrom scans one victim queue for a movable task: its best pickable
+// real-time task first, then its minimum-vruntime (greatest-lag) fair
+// task — the one the victim owes the most CPU, so moving it helps
+// fairness machine-wide, not just throughput. The task is left queued on
+// the victim; Schedule dequeues it after the renorm.
+func (s *Sched) stealFrom(victim, cpu int, res *sched.Result) *task.Task {
+	res.Cycles += s.env.Cost.LockOp
+	vrq := &s.rqs[victim]
+	t := s.pickRT(vrq, cpu, res)
+	if t == nil {
+		t = s.pickFair(vrq, cpu, res)
+	}
+	if t == nil {
+		return nil
+	}
+	if !t.RealTime() {
+		s.renorm(t, vrq.minVR, &s.rqs[cpu])
+	}
+	s.noteMove(cpu, victim)
+	// Re-home the stolen task so the post-dispatch bookkeeping (minVR,
+	// curr) lands on the thief's queue: move it across now.
+	s.DelFromRunqueue(t)
+	if t.RealTime() {
+		s.enqueueRT(t, cpu, true)
+	} else {
+		s.enqueueFair(t, cpu, true)
+	}
+	res.Cycles += s.env.Cost.MoveRunqueue + s.logCost(cpu)
+	return t
+}
+
+func (s *Sched) noteMove(cpu, victim int) {
+	if s.topo.SameDomain(cpu, victim) {
+		s.steals[cpu].Intra++
+	} else {
+		s.steals[cpu].Cross++
+	}
+}
+
+func (s *Sched) busiestWhere(cpu, floor int, ok func(i int) bool) int {
+	victim := -1
+	most := floor
+	for i := range s.rqs {
+		if i == cpu || !ok(i) {
+			continue
+		}
+		if n := s.rqs[i].len(); n > most {
+			most = n
+			victim = i
+		}
+	}
+	return victim
+}
+
+// pullBalance is the periodic balancer: an in-domain victim past the
+// balanceImbalance gap loses one task; with no in-domain imbalance a
+// cross-domain victim is considered past the larger CrossImbalance gap
+// and then a batch moves at once, amortizing the interconnect refill.
+func (s *Sched) pullBalance(cpu int, res *sched.Result) {
+	rq := &s.rqs[cpu]
+	inDomain := func(i int) bool { return s.topo.SameDomain(i, cpu) }
+	if victim := s.busiestWhere(cpu, rq.len()+balanceImbalance-1, inDomain); victim >= 0 {
+		s.pullFrom(victim, cpu, 1, res)
+		return
+	}
+	if s.topo.NumDomains() == 1 {
+		return
+	}
+	outDomain := func(i int) bool { return !s.topo.SameDomain(i, cpu) }
+	victim := s.busiestWhere(cpu, rq.len()+2*balanceImbalance-1, outDomain)
+	if victim < 0 {
+		return
+	}
+	batch := (s.rqs[victim].len() - rq.len()) / 2
+	if batch > 4 {
+		batch = 4
+	}
+	if batch < 1 {
+		batch = 1
+	}
+	s.pullFrom(victim, cpu, batch, res)
+}
+
+// pullFrom moves up to max movable tasks from victim's queue to cpu,
+// greatest-lag first, renormalizing each one's virtual clock.
+func (s *Sched) pullFrom(victim, cpu, max int, res *sched.Result) {
+	res.Cycles += s.env.Cost.LockOp
+	vrq := &s.rqs[victim]
+	for moved := 0; moved < max; moved++ {
+		t := s.pickRT(vrq, cpu, res)
+		if t == nil {
+			t = s.pickFair(vrq, cpu, res)
+		}
+		if t == nil {
+			return
+		}
+		s.DelFromRunqueue(t)
+		if t.RealTime() {
+			s.enqueueRT(t, cpu, false)
+		} else {
+			s.renorm(t, vrq.minVR, &s.rqs[cpu])
+			s.enqueueFair(t, cpu, false)
+		}
+		res.Cycles += s.env.Cost.MoveRunqueue + s.logCost(cpu)
+		s.noteMove(cpu, victim)
+	}
+}

@@ -125,6 +125,110 @@ func churn(h *harness, ncpu, rounds int, blocked *[]*task.Task) {
 	}
 }
 
+// TestBlockedUnderCFSWakesCleanAfterSwap is the stale-tag audit for the
+// vruntime policy (the heapsched silent-drop class from the policy-switch
+// work): a task that blocks under cfs keeps a heap-index QStamp and a
+// home-CPU QIndex that mean nothing to any successor, plus a VRuntime
+// denominated in its old queue's virtual clock. The swap path must
+// normalize the queue tags (sched.ResetQueueState) so the wake under
+// every successor — including cfs itself, whose placement clamp bounds
+// the stale virtual clock — files and eventually schedules the task.
+func TestBlockedUnderCFSWakesCleanAfterSwap(t *testing.T) {
+	for _, to := range experiments.Policies {
+		to := to
+		t.Run("cfs-to-"+to, func(t *testing.T) {
+			t.Parallel()
+			const ncpu = 8
+			n := 3 * ncpu
+			env := sched.NewEnv(ncpu, true, func() int { return n })
+			s := experiments.Factory("cfs")(env)
+
+			tasks := make([]*task.Task, 0, n)
+			for i := 0; i < n; i++ {
+				tk := mkTask(env, i+1, 1+(i*3)%40, 2+i%12)
+				tasks = append(tasks, tk)
+				s.AddToRunqueue(tk)
+			}
+
+			// Churn so queued tasks acquire nonzero heap positions and
+			// advanced vruntimes, then block whatever is running.
+			h := newHarness(s, ncpu)
+			var blocked []*task.Task
+			churn(h, ncpu, 6, &blocked)
+			for cpu := 0; cpu < ncpu; cpu++ {
+				if h.current[cpu] != nil {
+					tk := h.current[cpu]
+					h.block(cpu)
+					h.schedule(cpu) // retire the blocked task from current
+					blocked = append(blocked, tk)
+				}
+			}
+			// A task blocked in churn's last round can still be current
+			// when the loop above re-blocks it — dedupe before waking,
+			// or the second wake sees the first wake's successor tags.
+			seen := map[*task.Task]bool{}
+			uniq := blocked[:0]
+			for _, tk := range blocked {
+				if !seen[tk] {
+					seen[tk] = true
+					uniq = append(uniq, tk)
+				}
+			}
+			blocked = uniq
+			if len(blocked) == 0 {
+				t.Fatal("churn left no blocked tasks to audit")
+			}
+
+			succ := experiments.Factory(to)(env)
+			kernelSwap(t, h, succ, blocked)
+
+			for _, tk := range blocked {
+				if tk.QIndex != 0 || tk.QZero || tk.QStamp != 0 {
+					t.Fatalf("blocked task %v carries stale queue tags across the swap: QIndex=%d QZero=%v QStamp=%d",
+						tk, tk.QIndex, tk.QZero, tk.QStamp)
+				}
+				tk.State = task.Running
+				succ.AddToRunqueue(tk)
+				if !succ.OnRunqueue(tk) {
+					t.Fatalf("%s dropped task %v woken from a cfs-era block", to, tk)
+				}
+			}
+
+			// Every woken task must actually be schedulable under the
+			// successor, not just counted.
+			picked := map[*task.Task]bool{}
+			blockedLeft := func() bool {
+				for _, tk := range blocked {
+					if !picked[tk] {
+						return true
+					}
+				}
+				return false
+			}
+			for left := 0; left < 20*n && blockedLeft(); left++ {
+				for cpu := 0; cpu < ncpu; cpu++ {
+					if next := h.schedule(cpu); next != nil {
+						picked[next] = true
+						h.block(cpu)
+						h.schedule(cpu)
+					}
+				}
+				for _, tk := range tasks {
+					if !tk.Runnable() && !picked[tk] {
+						tk.State = task.Running
+						succ.AddToRunqueue(tk)
+					}
+				}
+			}
+			for _, tk := range blocked {
+				if !picked[tk] {
+					t.Fatalf("task %v woken after cfs swap never scheduled by %s", tk, to)
+				}
+			}
+		})
+	}
+}
+
 func TestSwapPreservesQueuedMultisetAllPairs(t *testing.T) {
 	for _, spec := range swapSpecs {
 		for _, from := range experiments.Policies {

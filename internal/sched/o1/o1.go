@@ -251,11 +251,9 @@ func (rq *runqueue) len() int            { return rq.arrays[0].count + rq.arrays
 
 // CPUSteals is one CPU's balancer activity: tasks its steal and pull
 // paths moved onto it from queues in the same cache domain (Intra) and
-// from queues across a domain boundary (Cross).
-type CPUSteals struct {
-	Intra uint64
-	Cross uint64
-}
+// from queues across a domain boundary (Cross). The type lives in sched
+// so every domain-split balancer reports through the same shape.
+type CPUSteals = sched.CPUSteals
 
 // Sched is the O(1) scheduler. Create with New.
 type Sched struct {

@@ -72,6 +72,16 @@ type Result struct {
 	Recalcs int
 }
 
+// CPUSteals is one CPU's balancer activity: tasks its steal and pull
+// paths moved onto it from queues in the same cache domain (Intra) and
+// from queues across a domain boundary (Cross). Policies with a
+// domain-split balancer (o1, cfs) expose `PerCPUSteals() []CPUSteals`,
+// which schedtrace renders as a per-domain table.
+type CPUSteals struct {
+	Intra uint64
+	Cross uint64
+}
+
 // Scheduler is a pluggable scheduling policy. Implementations are not
 // thread safe; the simulated global run-queue spinlock serializes access,
 // and the simulation itself is single-threaded.

@@ -175,6 +175,14 @@ type Task struct {
 	QZero  bool
 	QStamp uint64
 
+	// VRuntime is the weighted virtual runtime maintained by the fair
+	// (cfs) policy: executed cycles scaled by 1024/weight, so heavier
+	// tasks age slower. Like sleepAvg it is time accounting, not queue
+	// state — sched.ResetQueueState leaves it alone, and the fair
+	// policy's placement clamp bounds any staleness a task picks up
+	// while blocked or parked under another policy.
+	VRuntime uint64
+
 	// Accounting, maintained by the kernel.
 	UserCycles   uint64 // cycles spent in task (user) work
 	SystemCycles uint64 // cycles charged for syscalls on its behalf
