@@ -426,7 +426,11 @@ func (s *Sched) enqueueRT(t *task.Task, cpu int, front bool) {
 }
 
 // AddToRunqueue files a newly runnable task on its home CPU's queue,
-// applying the sleeper clamp to fair tasks.
+// applying the sleeper clamp to fair tasks. A task homeOf re-homes away
+// from its last CPU (offline, affinity change) is renormalized to the
+// new queue's clock first — placeClamp only bounds the lagging side, so
+// without the rebase a vruntime earned on a fast-clock queue would park
+// the task far ahead of the new queue.
 func (s *Sched) AddToRunqueue(t *task.Task) {
 	if t.IsIdle {
 		panic("cfs: idle task on run queue")
@@ -438,6 +442,9 @@ func (s *Sched) AddToRunqueue(t *task.Task) {
 	if t.RealTime() {
 		s.enqueueRT(t, cpu, true)
 		return
+	}
+	if t.EverRan && t.Processor < len(s.rqs) && cpu != t.Processor {
+		s.renorm(t, s.homeVR(t), &s.rqs[cpu])
 	}
 	s.placeClamp(t, &s.rqs[cpu])
 	s.enqueueFair(t, cpu, false)
@@ -593,8 +600,10 @@ func (s *Sched) Schedule(cpu int, prev *task.Task) sched.Result {
 	if !prev.IsIdle {
 		yielded := prev.Yielded
 		prev.Yielded = false
+		rrExpired := false
 		if prev.Policy == task.RR && prev.Counter(env.Epoch) == 0 {
 			prev.SetCounter(env.Epoch, prev.Priority)
+			rrExpired = true
 		}
 		if prev.Runnable() && !prev.QZero {
 			home := s.homeOf(prev)
@@ -603,10 +612,13 @@ func (s *Sched) Schedule(cpu int, prev *task.Task) sched.Result {
 			case prev.RealTime():
 				// Preempted RT keeps the head of its level; a yielding
 				// or RR-rotated one goes behind its level peers.
-				s.enqueueRT(prev, home, !yielded)
+				s.enqueueRT(prev, home, !(yielded || rrExpired))
 			case yielded:
 				// sched_yield: park behind the queue's vruntime
 				// high-watermark so every queued task runs first.
+				if home != cpu {
+					s.renorm(prev, rq.minVR, hrq)
+				}
 				if hrq.maxVR > prev.VRuntime {
 					prev.VRuntime = hrq.maxVR
 				}
@@ -797,18 +809,20 @@ func (s *Sched) PreemptsCurr(t, curr *task.Task) bool {
 // TickPreempt implements the kernel's tick-time preemption hook, called
 // while t runs on cpu with quantum remaining. The running task's
 // effective vruntime (settled clock plus cycles executed this stint) is
-// compared against the queue: a waiting real-time task preempts
-// unconditionally, and a fair task whose vruntime lags the runner by
-// more than the wakeup granularity preempts so the slice machinery's
-// tick quantization cannot hold the virtual clock hostage. Rotation is
-// never reported: cfs has no same-level round-robin distinct from the
-// vruntime order itself.
+// compared against the queue: a waiting real-time task preempts a fair
+// runner unconditionally and a real-time runner only from a strictly
+// better level (an equal-level RR peer waits for quantum expiry, a worse
+// one for the runner to block — no per-tick resched churn), and a fair
+// task whose vruntime lags the runner by more than the wakeup
+// granularity preempts so the slice machinery's tick quantization cannot
+// hold the virtual clock hostage. Rotation is never reported: cfs has no
+// same-level round-robin distinct from the vruntime order itself.
 func (s *Sched) TickPreempt(cpu int, t *task.Task) (preempt, rotation bool) {
 	rq := &s.rqs[cpu]
 	if rq.rt.count > 0 {
 		if lvl := rq.rt.firstSet(); lvl >= 0 {
 			head := task.FromNode(rq.rt.lists[lvl].First())
-			if pickable(head, cpu) {
+			if pickable(head, cpu) && (!t.RealTime() || lvl < rtLevelOf(t)) {
 				return true, false
 			}
 		}
@@ -921,8 +935,8 @@ func (s *Sched) busiestWhere(cpu, floor int, ok func(i int) bool) int {
 
 // pullBalance is the periodic balancer: an in-domain victim past the
 // balanceImbalance gap loses one task; with no in-domain imbalance a
-// cross-domain victim is considered past the larger CrossImbalance gap
-// and then a batch moves at once, amortizing the interconnect refill.
+// cross-domain victim is considered past a doubled 2*balanceImbalance
+// gap and then a batch moves at once, amortizing the interconnect refill.
 func (s *Sched) pullBalance(cpu int, res *sched.Result) {
 	rq := &s.rqs[cpu]
 	inDomain := func(i int) bool { return s.topo.SameDomain(i, cpu) }

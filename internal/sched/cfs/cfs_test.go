@@ -237,6 +237,124 @@ func TestSleeperClampBound(t *testing.T) {
 	}
 }
 
+// TestRRQuantumExpiryRotatesLevelPeers pins the SCHED_RR contract: a
+// runner whose quantum just expired re-enters the TAIL of its rt level,
+// so two equal-priority RR hogs strictly alternate instead of the
+// expired runner re-winning from the head of the list forever.
+func TestRRQuantumExpiryRotatesLevelPeers(t *testing.T) {
+	env := sched.NewEnv(1, false, func() int { return 2 })
+	s := New(env)
+	idle := mkIdle(0)
+	a := task.NewRT(1, "rrA", task.RR, 50, env.Epoch)
+	b := task.NewRT(2, "rrB", task.RR, 50, env.Epoch)
+	s.AddToRunqueue(a)
+	s.AddToRunqueue(b)
+
+	cur := schedule(s, 0, idle, nil)
+	for i := 0; i < 8; i++ {
+		cur.SetCounter(env.Epoch, 0) // burn the quantum
+		next := schedule(s, 0, idle, cur)
+		if next == cur {
+			t.Fatalf("round %d: expired RR task re-picked from the head; its level peer starves", i)
+		}
+		if next.Counter(env.Epoch) == 0 {
+			t.Fatalf("round %d: expired RR task re-picked without a quantum refill", i)
+		}
+		cur = next
+	}
+}
+
+// TestTickPreemptRTLevelComparison pins the tick-preemption rules for
+// real-time runners: a queued RT task preempts a fair runner
+// unconditionally but an RT runner only from a strictly better level —
+// an equal-level RR peer waits for quantum expiry and a worse one for
+// the runner to block, so neither forces a per-tick resched storm.
+func TestTickPreemptRTLevelComparison(t *testing.T) {
+	env := sched.NewEnv(1, false, func() int { return 4 })
+	s := New(env)
+	runner := task.NewRT(1, "runner", task.RR, 50, env.Epoch)
+	runner.HasCPU = true
+	runner.EverRan = true
+
+	s.AddToRunqueue(task.NewRT(2, "worse", task.FIFO, 10, env.Epoch))
+	if preempt, _ := s.TickPreempt(0, runner); preempt {
+		t.Fatal("queued rt_priority-10 task preempted an rt_priority-50 runner")
+	}
+	s.AddToRunqueue(task.NewRT(3, "peer", task.RR, 50, env.Epoch))
+	if preempt, _ := s.TickPreempt(0, runner); preempt {
+		t.Fatal("equal-level RR peer must wait for quantum expiry, not tick-preempt")
+	}
+	s.AddToRunqueue(task.NewRT(4, "better", task.FIFO, 70, env.Epoch))
+	preempt, rotation := s.TickPreempt(0, runner)
+	if !preempt || rotation {
+		t.Fatalf("strictly better queued level: got preempt=%v rotation=%v, want true/false", preempt, rotation)
+	}
+	fair := mkTask(env, 5, 20, 4)
+	fair.HasCPU = true
+	if preempt, _ := s.TickPreempt(0, fair); !preempt {
+		t.Fatal("any queued RT task must preempt a fair runner")
+	}
+}
+
+// TestAddToRunqueueRenormsOnRehome: a task homeOf re-homes away from its
+// last CPU (offlined here) carries a vruntime relative to that queue's
+// fast clock; AddToRunqueue must rebase it to the new queue's clock
+// preserving the lag, exactly as PlaceWake does — placeClamp alone only
+// bounds the lagging side and would park the task far in the new
+// queue's future.
+func TestAddToRunqueueRenormsOnRehome(t *testing.T) {
+	env := sched.NewEnv(2, true, func() int { return 4 })
+	s := New(env)
+	s.rqs[1].minVR = 50 * s.sleeperBonus // queue 1's clock ran far ahead
+	s.rqs[0].minVR = 3 * s.sleeperBonus
+
+	tk := mkTask(env, 1, 20, 4)
+	tk.EverRan = true
+	tk.Processor = 1
+	tk.VRuntime = s.rqs[1].minVR + 1000 // slightly ahead of its old queue
+
+	env.SetCPUOnline(1, false) // re-home: the task's last CPU is gone
+	s.AddToRunqueue(tk)
+	if s.QueueLen(0) != 1 {
+		t.Fatalf("re-homed task not filed on queue 0 (len %d)", s.QueueLen(0))
+	}
+	if want := s.rqs[0].minVR + 1000; tk.VRuntime != want {
+		t.Fatalf("re-homed vruntime = %d, want lag-preserving rebase to %d", tk.VRuntime, want)
+	}
+}
+
+// TestYieldRehomeRenormsBeforeWatermark: when sched_yield coincides with
+// a re-home (affinity narrowed mid-run), the yielding task's vruntime is
+// rebased to the new queue's clock before the maxVR watermark
+// comparison — raw clocks from different queues are not comparable, and
+// an unrenormed fast-queue value would skip the park entirely.
+func TestYieldRehomeRenormsBeforeWatermark(t *testing.T) {
+	env := sched.NewEnv(2, true, func() int { return 4 })
+	s := New(env)
+	s.rqs[0].minVR = 40 * s.sleeperBonus // fast clock where the task ran
+	s.rqs[1].minVR = 2 * s.sleeperBonus
+	s.rqs[1].maxVR = 2*s.sleeperBonus + 500
+
+	prev := mkTask(env, 1, 20, 4)
+	prev.EverRan = true
+	prev.HasCPU = true
+	prev.Processor = 0
+	prev.VRuntime = s.rqs[0].minVR + 100
+	prev.Yielded = true
+	prev.CPUsAllowed = 1 << 1 // narrowed mid-run: home is now CPU 1
+
+	s.Schedule(0, prev)
+	if !prev.QZero || prev.QIndex != 1 {
+		t.Fatalf("yielding task filed on queue %d (queued=%v), want queue 1", prev.QIndex, prev.QZero)
+	}
+	// The renormed clock (min_vruntime+100) loses to the watermark park:
+	// the task lands at maxVR in queue-1 units, behind every queued task,
+	// not at its raw queue-0 clock far past it.
+	if prev.VRuntime != 2*s.sleeperBonus+500 {
+		t.Fatalf("yielded vruntime = %d, want the home queue watermark %d", prev.VRuntime, 2*s.sleeperBonus+500)
+	}
+}
+
 // TestZeroAllocSteadyState pins the indexed-heap promise: once the
 // backing array has grown, the schedule→requeue→pick cycle allocates
 // nothing.
