@@ -12,8 +12,8 @@ import (
 // matrix cell, the wheel/heap split of each cell's event traffic, and —
 // when the scaling experiment ran — the measured parallel-speedup rungs.
 // The committed copy keeps the trajectory visible across PRs; CI
-// regenerates one with a -parallel 2 one-cell sweep and re-runs this
-// test against it.
+// regenerates one with its one-cell sweeps (worker-pool and tickless
+// digest checks) and re-runs this test against it.
 type benchWallclockSchema struct {
 	Experiment      string  `json:"experiment"`
 	Seed            int64   `json:"seed"`
@@ -29,13 +29,14 @@ type benchWallclockSchema struct {
 		NsPerEvent float64 `json:"ns_per_event"`
 	} `json:"scaling"`
 	Cells []struct {
-		Workload    string  `json:"workload"`
-		Policy      string  `json:"policy"`
-		Spec        string  `json:"spec"`
-		WallMS      float64 `json:"wall_ms"`
-		Events      *uint64 `json:"events"` // pointers so a stale file fails loudly
-		EventsWheel *uint64 `json:"events_wheel"`
-		EventsHeap  *uint64 `json:"events_heap"`
+		Workload     string  `json:"workload"`
+		Policy       string  `json:"policy"`
+		Spec         string  `json:"spec"`
+		WallMS       float64 `json:"wall_ms"`
+		Events       *uint64 `json:"events"` // pointers so a stale file fails loudly
+		EventsWheel  *uint64 `json:"events_wheel"`
+		EventsHeap   *uint64 `json:"events_heap"`
+		TicksSkipped *uint64 `json:"ticks_skipped"`
 	} `json:"cells"`
 }
 
@@ -60,7 +61,7 @@ func TestBenchWallclockJSONSchema(t *testing.T) {
 	if len(got.Cells) == 0 {
 		t.Fatal("BENCH_wallclock.json has no cells; run sweep with -exp matrix (or all) and -json")
 	}
-	anyWheel := false
+	anyWheel, anySkipped := false, false
 	for _, c := range got.Cells {
 		if c.Workload == "" || c.Policy == "" || c.Spec == "" {
 			t.Fatalf("cell missing identity fields: %+v", c)
@@ -82,9 +83,19 @@ func TestBenchWallclockJSONSchema(t *testing.T) {
 		if *c.EventsWheel > 0 {
 			anyWheel = true
 		}
+		if c.TicksSkipped == nil {
+			t.Fatalf("cell %s-%s-%s missing ticks_skipped; regenerate the file",
+				c.Workload, c.Policy, c.Spec)
+		}
+		if *c.TicksSkipped > 0 {
+			anySkipped = true
+		}
 	}
 	if !anyWheel {
 		t.Fatal("no cell dispatched any event from the timer wheel; the fast path is dead")
+	}
+	if !anySkipped {
+		t.Fatal("no cell skipped an idle tick; NO_HZ tickless idle is not engaging")
 	}
 
 	// The scaling block is present whenever the scaling experiment ran —

@@ -158,6 +158,16 @@ func main() {
 		fmt.Printf("\nwatchdog: %d starvations, %d lost wakeups, %d cpu stalls\n",
 			s.WatchdogStarvations, s.WatchdogLostWakeups, s.WatchdogCPUStalls)
 	}
+	// Tickless section, same conditional-section rule: renders only when
+	// some idle CPU actually parked its tick chain (ticks_skipped counts
+	// the firings the always-on chain would have paid for; a nonzero
+	// rescue count means the audited error path fired — see Stats).
+	if s.TicksSkipped > 0 || s.IdleTickRescues > 0 {
+		fmt.Printf("\ntickless: %d idle ticks skipped, %d rescues\n",
+			s.TicksSkipped, s.IdleTickRescues)
+		fmt.Println()
+		fmt.Print(ticklessTable(m.CPUStats()).Render())
+	}
 	if *showTable {
 		if es, ok := m.Scheduler().(*elsc.Sched); ok {
 			fmt.Println()
@@ -221,6 +231,21 @@ func hotplugTable(perCPU []kernel.CPUStat) *stats.Table {
 			state = "offline"
 		}
 		t.AddRow(c.CPU, state, c.Offlines, c.OfflineCycles)
+	}
+	return t
+}
+
+// ticklessTable renders the per-CPU NO_HZ residency: how much of each
+// processor's idle time passed with the tick chain parked.
+func ticklessTable(perCPU []kernel.CPUStat) *stats.Table {
+	t := stats.NewTable("tickless idle residency",
+		"CPU", "idle-cycles", "tickless-cycles", "tickless-%")
+	for _, c := range perCPU {
+		pct := 0.0
+		if c.IdleCycles > 0 {
+			pct = 100 * float64(c.TicklessCycles) / float64(c.IdleCycles)
+		}
+		t.AddRow(c.CPU, c.IdleCycles, c.TicklessCycles, fmt.Sprintf("%.1f%%", pct))
 	}
 	return t
 }

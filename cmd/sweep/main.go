@@ -58,6 +58,8 @@ func run() int {
 		policies   = flag.String("policies", "", "comma-separated policy filter for the matrix experiments (default: non-baseline policies; retired baselines like mq run only when named)")
 		loads      = flag.String("loads", "", "comma-separated workload filter for the matrix experiments (default all registered)")
 		specs      = flag.String("specs", "", "comma-separated machine specs for the matrix experiment (default 8P,32P-NUMA)")
+		tickless   = flag.String("tickless", "on", "tickless idle mode: on (NO_HZ, the default) or off (re-arm every idle tick; ablation)")
+		rungs      = flag.String("rungs", "", "comma-separated worker-pool widths for -exp scaling, e.g. 1,2,4 (default 1,2,4,GOMAXPROCS)")
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this file")
 		memprofile = flag.String("memprofile", "", "write a pprof heap profile at sweep end to this file")
 	)
@@ -104,6 +106,19 @@ func run() int {
 	}
 	sc.Seed = *seed
 	sc.Parallel = *parallel
+	switch *tickless {
+	case "on":
+	case "off":
+		sc.TicklessOff = true
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -tickless mode %q (want on or off)\n", *tickless)
+		return 2
+	}
+	scalingRungs, err := parseRungs(*rungs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
 
 	// The default matrix set excludes retired baselines (experiments.Caps);
 	// naming one in -policies still runs it.
@@ -217,9 +232,15 @@ func run() int {
 	}
 	var scalingLevels []experiments.ScalingLevel
 	if want("scaling") {
+		effectiveRungs := scalingRungs
+		if effectiveRungs == nil {
+			effectiveRungs = experiments.ScalingRungs()
+		} else {
+			effectiveRungs = experiments.NormalizeRungs(effectiveRungs)
+		}
 		fmt.Fprintf(os.Stderr, "running parallel-scaling sweep (rungs %v, %d cells/rung)...\n",
-			experiments.ScalingRungs(), len(matrixPolicies)*len(matrixLoads)*len(matrixSpecs))
-		levels, sruns, err := experiments.RunScalingSweep(matrixPolicies, matrixSpecs, matrixLoads, sc)
+			effectiveRungs, len(matrixPolicies)*len(matrixLoads)*len(matrixSpecs))
+		levels, sruns, err := experiments.RunScalingSweep(matrixPolicies, matrixSpecs, matrixLoads, sc, effectiveRungs)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 1
@@ -349,6 +370,31 @@ func splitList(flagVal string, def, all []string) []string {
 	return out
 }
 
+// parseRungs parses the -rungs flag: a comma-separated list of positive
+// worker-pool widths, or nil when unset (the ScalingRungs default).
+// Normalization (serial baseline, sort, dedup) happens downstream.
+func parseRungs(flagVal string) ([]int, error) {
+	if flagVal == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, s := range strings.Split(flagVal, ",") {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			continue
+		}
+		var n int
+		if _, err := fmt.Sscanf(s, "%d", &n); err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -rungs width %q (want a positive integer)", s)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, nil
+	}
+	return out, nil
+}
+
 // filterRuns returns the cells of runs matching one spec and workload,
 // covering exactly the given policies in order — or nil if any policy's
 // cell is missing.
@@ -440,15 +486,18 @@ const wallclockPath = "BENCH_wallclock.json"
 // wallclockCell is one matrix cell's harness cost. events splits into
 // events_wheel (dispatched from the timer wheel's O(1) fast path) and
 // events_heap (the min-heap fallback), so the wheel's hit rate is
-// visible per workload across PRs.
+// visible per workload across PRs. ticks_skipped counts idle tick
+// firings the NO_HZ parking elided — events the always-on chain would
+// have paid for.
 type wallclockCell struct {
-	Workload    string  `json:"workload"`
-	Policy      string  `json:"policy"`
-	Spec        string  `json:"spec"`
-	WallMS      float64 `json:"wall_ms"`
-	Events      uint64  `json:"events"` // engine events dispatched in the cell
-	EventsWheel uint64  `json:"events_wheel"`
-	EventsHeap  uint64  `json:"events_heap"`
+	Workload     string  `json:"workload"`
+	Policy       string  `json:"policy"`
+	Spec         string  `json:"spec"`
+	WallMS       float64 `json:"wall_ms"`
+	Events       uint64  `json:"events"` // engine events dispatched in the cell
+	EventsWheel  uint64  `json:"events_wheel"`
+	EventsHeap   uint64  `json:"events_heap"`
+	TicksSkipped uint64  `json:"ticks_skipped"`
 }
 
 // wallclockJSON is the BENCH_wallclock.json schema. Scaling and
@@ -471,13 +520,14 @@ func writeWallclockJSON(path, exp string, quick bool, sc experiments.Scale, tota
 	cells := make([]wallclockCell, 0, len(wruns))
 	for _, r := range wruns {
 		cells = append(cells, wallclockCell{
-			Workload:    r.Load,
-			Policy:      r.Policy,
-			Spec:        r.Spec.Label,
-			WallMS:      float64(r.WallNS) / 1e6,
-			Events:      r.Stats.EventsFired,
-			EventsWheel: r.Stats.EventsWheel,
-			EventsHeap:  r.Stats.EventsHeap,
+			Workload:     r.Load,
+			Policy:       r.Policy,
+			Spec:         r.Spec.Label,
+			WallMS:       float64(r.WallNS) / 1e6,
+			Events:       r.Stats.EventsFired,
+			EventsWheel:  r.Stats.EventsWheel,
+			EventsHeap:   r.Stats.EventsHeap,
+			TicksSkipped: r.Stats.TicksSkipped,
 		})
 	}
 	out, err := json.MarshalIndent(wallclockJSON{

@@ -3,9 +3,9 @@ package elsc
 import (
 	"elsc/internal/kernel"
 	"elsc/internal/sched"
+	"elsc/internal/sched/cfs"
 	"elsc/internal/sched/elsc"
 	"elsc/internal/sched/heapsched"
-	"elsc/internal/sched/cfs"
 	"elsc/internal/sched/mq"
 	"elsc/internal/sched/o1"
 	"elsc/internal/sched/vanilla"

@@ -149,6 +149,10 @@ type Scale struct {
 	// Quick selects each workload's reduced shape (fewer actors, same
 	// code paths) in the registry-driven runs.
 	Quick bool
+	// TicklessOff disables NO_HZ tickless idle on every machine built
+	// for this scale (see kernel.Config.TicklessOff) — the ablation the
+	// equivalence tests and `sweep -tickless=off` run under.
+	TicklessOff bool
 }
 
 // DefaultScale reproduces the paper's parameters.
@@ -207,6 +211,7 @@ func machineConfig(spec MachineSpec, factory kernel.SchedulerFactory, sc Scale) 
 		Seed:         sc.Seed,
 		NewScheduler: factory,
 		MaxCycles:    sc.HorizonSeconds * kernel.DefaultHz,
+		TicklessOff:  sc.TicklessOff,
 	}
 }
 

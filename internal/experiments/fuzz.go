@@ -203,6 +203,9 @@ type ScenarioOpts struct {
 	// Trace, when non-nil, is installed on the injected machine — the
 	// schedule()-decision firehose, for digging into a failing seed.
 	Trace func(kernel.TraceEvent)
+	// TicklessOff replays the scenario with NO_HZ idle disabled — the
+	// ablation arm of the tickless regression replays.
+	TicklessOff bool
 }
 
 // RunScenario executes one scenario and audits it. The returned error
@@ -216,6 +219,7 @@ func RunScenarioOpts(s Scenario, opts ScenarioOpts) (FuzzReport, error) {
 	rep := FuzzReport{Scenario: s}
 	spec := SpecByLabel(s.Spec)
 	sc := fuzzScale(s.Seed)
+	sc.TicklessOff = opts.TicklessOff
 	factoryFor := opts.FactoryFor
 	if factoryFor == nil {
 		factoryFor = Factory
@@ -503,6 +507,13 @@ func auditCensus(m *kernel.Machine) error {
 		return fmt.Errorf("census: scheduler reports %d runnable, task table holds %d queued: %s",
 			got, queued, strings.Join(names, " "))
 	}
+	// The tickless-idle liveness bar: an idle tick that had to rescue a
+	// queued task means some enqueue-to-idle path failed to deliver a
+	// kick — the machine survived only because the rescue safety net
+	// caught it. That is a lost-kick bug wherever it happens.
+	if n := m.Stats().IdleTickRescues; n != 0 {
+		return fmt.Errorf("census: %d idle-tick rescue(s): a queued task sat on an idle CPU with no kick in flight", n)
+	}
 	return nil
 }
 
@@ -557,6 +568,56 @@ func auditCensus(m *kernel.Machine) error {
 // timeslice — a priority-1 hog among twenty-five priority-20 hogs on two
 // CPUs legitimately waits ~150 of its own 2-tick slices. The yardstick is
 // now the largest runnable task's quantum.
+//
+// Seed 90622 (32P-NUMA/kbuild, elsc with churn) was the tickless rescue
+// audit's first fuzz catch: a compile task descheduled-while-runnable by
+// a wake preemption sat queued with quantum in hand while another CPU
+// idled — the requeue path kicked no one, and with the idle CPU's tick
+// chain parked nothing would ever notice it. 2.4's __schedule_tail runs
+// reschedule_idle(prev) for exactly this; reschedule now kicks an idle
+// allowed CPU for any still-selectable prev it did not re-choose.
+//
+// Seed 90140 (2P/kbuild, swap storm ending in heap) pinned the audit's
+// decline case: a task with quantum sat on an idle CPU's own heap,
+// buried under an exhausted top — the heap design's documented
+// structural blind spot — while a pinned top kept the recalc from
+// firing. schedule() refuses such a task by design, in both tickless
+// modes, so a rescue is only charged when the reschedule actually
+// dispatches something; a declined poll keeps the chain armed until the
+// refusal's own resolution (here the recalc, whose epoch bump delivers
+// the kick) and counts nothing.
+//
+// Seed 1197 (8P/latency, swap storm ending in heap, affinity churn)
+// caught the pop-exposure variant of the same blind spot: a task pinned
+// to one busy CPU topped the shared never-ran heap, hiding two dozen
+// charged tasks from every other CPU while all other heap tops sat
+// exhausted. When the pinned task's CPU finally dispatched it, the pop
+// exposed the backlog to the whole machine — but the one kick those
+// wake-ups had piggybacked on was long consumed, so the idle CPUs
+// learned nothing and their polling ticks drained the queue one rescue
+// at a time. reschedule now sweeps for stranded backlog (kickIdleBacklog)
+// after any decision that dispatched a task or bumped the epoch — the
+// two events that make previously undeliverable work deliverable.
+//
+// Seed 90093 (32P-NUMA/webserver, o1) caught a wake racing its home
+// CPU's transition to idle: the owner was not isIdle() yet, so
+// reschedule_idle kicked an idle CPU in a remote NUMA domain instead,
+// whose steal rightly declined the one-deep queue — and once the owner's
+// switch completed, nothing would ever look at its queue again. With
+// per-CPU queues the owner is now served first: kicked when idle,
+// flagged needResched when mid-transition to idle (the completion
+// re-runs schedule(), exactly like a kick landing in flight); the
+// global-queue path gained the equivalent almost-idle delivery before
+// falling back to preemption.
+//
+// Seed -351 (4P/latency, heap, pin churn plus a hotplug cycle) caught
+// the transition-race variant of the kickIdleBacklog sweep itself: a
+// CPU dispatching a pinned task off a shared heap top exposed charged
+// backlog just as another CPU was descheduling to idle — not isIdle()
+// yet, so the sweep skipped it, and its switch completed into a parked
+// tick with work visible on the queue. The sweep now treats a CPU
+// mid-transition to idle as almost-idle and flags needResched, the same
+// delivery rescheduleIdle uses for that window.
 var RegressionSeeds = []int64{
-	1, 2, 3, 5, 8, 13, 42, 586, 1001, 7700, 31337, 90210, 90875, -74, 90031, 91091,
+	1, 2, 3, 5, 8, 13, 42, 586, 1001, 7700, 31337, 90210, 90875, -74, 90031, 91091, 90622, 90140, 1197, 90093, -351,
 }

@@ -33,28 +33,39 @@ type ScalingLevel struct {
 	NsPerEvent float64 `json:"ns_per_event"`
 }
 
-// ScalingRungs returns the worker counts the sweep measures: 1, 2, 4,
-// and GOMAXPROCS, deduplicated and ascending (on a 4-core host that is
-// 1, 2, 4; on a 1-core host just 1, 2, 4 with the upper rungs measuring
-// scheduling overhead rather than speedup).
+// ScalingRungs returns the default worker counts the sweep measures: 1,
+// 2, 4, and GOMAXPROCS, deduplicated and ascending (on a 4-core host
+// that is 1, 2, 4; on a 1-core host just 1, 2, 4 with the upper rungs
+// measuring scheduling overhead rather than speedup). Real-host runs
+// pass custom widths via RunScalingSweep's rungs argument (`sweep
+// -rungs`).
 func ScalingRungs() []int {
-	rungs := []int{1, 2, 4}
-	n := runtime.GOMAXPROCS(0)
-	found := false
-	for _, r := range rungs {
-		if r == n {
-			found = true
+	return NormalizeRungs([]int{1, 2, 4, runtime.GOMAXPROCS(0)})
+}
+
+// NormalizeRungs sorts, deduplicates, and prepends the serial rung the
+// cross-rung determinism validation (and the speedup baseline) needs.
+// Non-positive widths panic: the flag parser validates user input, so a
+// bad width reaching here is a harness bug.
+func NormalizeRungs(rungs []int) []int {
+	out := append([]int{1}, rungs...)
+	for _, r := range out {
+		if r < 1 {
+			panic(fmt.Sprintf("experiments: scaling rung %d out of range", r))
 		}
 	}
-	if !found {
-		rungs = append(rungs, n)
-	}
-	for i := 1; i < len(rungs); i++ {
-		for j := i; j > 0 && rungs[j] < rungs[j-1]; j-- {
-			rungs[j], rungs[j-1] = rungs[j-1], rungs[j]
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
 		}
 	}
-	return rungs
+	dedup := out[:1]
+	for _, r := range out[1:] {
+		if r != dedup[len(dedup)-1] {
+			dedup = append(dedup, r)
+		}
+	}
+	return dedup
 }
 
 // stripHostTime zeroes the one host-dependent field so rungs can be
@@ -72,14 +83,21 @@ func stripHostTime(runs []WorkloadRun) []WorkloadRun {
 // serial rung's (modulo wall-clock), and returns the measured levels
 // plus the serial reference runs. A mismatch is returned as an error:
 // it means cell-level parallelism perturbed a simulation, which the
-// engine's determinism contract forbids.
-func RunScalingSweep(policies []string, specs []MachineSpec, loads []string, sc Scale) ([]ScalingLevel, []WorkloadRun, error) {
+// engine's determinism contract forbids. rungs gives the worker widths
+// to measure (normalized via NormalizeRungs, so the serial baseline is
+// always included); nil selects the ScalingRungs default.
+func RunScalingSweep(policies []string, specs []MachineSpec, loads []string, sc Scale, rungs []int) ([]ScalingLevel, []WorkloadRun, error) {
+	if rungs == nil {
+		rungs = ScalingRungs()
+	} else {
+		rungs = NormalizeRungs(rungs)
+	}
 	var (
 		levels    []ScalingLevel
 		reference []WorkloadRun // serial runs, WallNS stripped
 		serialRef []WorkloadRun // serial runs as measured
 	)
-	for _, rung := range ScalingRungs() {
+	for _, rung := range rungs {
 		rsc := sc
 		rsc.Parallel = rung
 		t0 := time.Now()

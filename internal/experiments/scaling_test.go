@@ -59,7 +59,7 @@ func TestScalingRungs(t *testing.T) {
 func TestRunScalingSweepDeterministic(t *testing.T) {
 	sc := QuickScale()
 	levels, runs, err := RunScalingSweep(
-		[]string{O1}, []MachineSpec{SpecByLabel("2P")}, []string{workload.DB}, sc)
+		[]string{O1}, []MachineSpec{SpecByLabel("2P")}, []string{workload.DB}, sc, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

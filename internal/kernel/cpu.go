@@ -34,6 +34,21 @@ type CPU struct {
 	// dead timer chain, so one stall is one violation, not one per sweep.
 	wdStallFlagged bool
 
+	// Tickless idle (NO_HZ): a fully idle CPU stops re-arming its timer
+	// chain at the next firing — parked lazily, exactly like hotplug parks
+	// the chain of an offline CPU — and the first reschedule that puts
+	// work here re-arms it on the original grid (ensureTick). tickParked
+	// marks the parked state; tickNext is the next instant the conceptual
+	// always-on chain would fire at, with 0 meaning the chain also died
+	// offline (OnlineCPU re-anchors it at online+period, matching what a
+	// non-tickless online would arm); ticklessFrom stamps the current
+	// parked stretch and ticklessAccum totals completed stretches for
+	// MPStat's tickless residency column.
+	tickParked    bool
+	tickNext      sim.Time
+	ticklessFrom  sim.Time
+	ticklessAccum uint64
+
 	runDone  *sim.Event
 	segStart sim.Time
 	idleFrom sim.Time
@@ -190,26 +205,63 @@ func (c *CPU) creditWork(p *Proc, cycles uint64) {
 }
 
 // tick is the 10 ms timer interrupt: account overhead, age the running
-// task's quantum, and force schedule() on expiry.
+// task's quantum, and force schedule() on expiry. A tick that finds the
+// CPU fully idle with nothing to rescue parks the chain (NO_HZ idle)
+// instead of re-arming; ensureTick restarts it when work returns.
 func (c *CPU) tick(now sim.Time) {
 	m := c.m
 	if !c.online {
 		// Hot-unplugged: park the timer chain by not re-arming it.
 		// OnlineCPU restarts the chain (or, if the CPU returns within
 		// one period, this firing never sees the offline state at all).
+		// tickNext 0 marks that the chain died offline, so OnlineCPU
+		// re-anchors the grid at online+period rather than resuming it.
+		c.tickParked = true
+		c.tickNext = 0
+		return
+	}
+	if c.current == nil && !c.transitioning {
+		// Fully idle at the tick. If a queued task is stranded here with
+		// no delivery in flight, that is a lost kick: every enqueue-to-
+		// idle path owes the CPU a real kick, and the old idle-loop
+		// need_resched poll that papered over missing ones is now an
+		// audited error path (IdleTickRescues, asserted zero by the
+		// conformance and fuzz census audits). The reschedule below is
+		// kept as a safety net so a rescue degrades gracefully rather
+		// than hanging the machine.
+		rescue := m.tickRescueNeeded(c)
+		if !rescue && !m.cfg.TicklessOff {
+			// NO_HZ: park the chain. This firing happened and is charged;
+			// the instants the chain now skips are exactly firings that
+			// would have found the CPU idle with nothing to do.
+			m.stats.TickCycles += m.env.Cost.TickCost
+			c.tickParked = true
+			c.tickNext = now + sim.Time(m.cfg.TickCycles)
+			c.ticklessFrom = now
+			return
+		}
+		m.eng.ScheduleAfter(c.tickEv, m.cfg.TickCycles)
+		m.stats.TickCycles += m.env.Cost.TickCost
+		if rescue {
+			m.reschedule(c, now)
+			if c.dispatchNext != nil {
+				// The policy picked the stranded task up: proof positive a
+				// selectable task was sitting here with no kick in flight.
+				// A reschedule that declines is different — the policy is
+				// refusing work it could structurally see (a heap's
+				// exhausted top hiding its second element, an epoch
+				// section awaiting merge); the chain keeps polling until
+				// the refusal's own resolution (recalc, re-prioritize,
+				// wake) delivers its kick, exactly as the always-on chain
+				// did, and no rescue is charged.
+				m.stats.IdleTickRescues++
+			}
+		}
 		return
 	}
 	m.eng.ScheduleAfter(c.tickEv, m.cfg.TickCycles)
 	m.stats.TickCycles += m.env.Cost.TickCost
 	if c.transitioning {
-		return
-	}
-	if c.current == nil {
-		// The idle loop polls need_resched: rescue any runnable work
-		// that arrived without a kick.
-		if m.sched.Runnable() > 0 {
-			m.reschedule(c, now)
-		}
 		return
 	}
 	p := c.current
@@ -241,6 +293,35 @@ func (c *CPU) tick(now sim.Time) {
 			m.reschedule(c, now)
 		}
 	}
+}
+
+// ensureTick re-arms a parked timer chain before the CPU does work. It
+// runs at the top of every reschedule, so quantum accounting under
+// tickless idle is exact: the chain resumes on its original grid — the
+// first conceptual firing strictly after now — and every elided instant
+// up to now counts as skipped. Instants at exactly now are skipped too:
+// the always-on chain's tick there was armed a full period earlier, so
+// it fired before whatever event woke this CPU and was an idle no-op.
+func (c *CPU) ensureTick(now sim.Time) {
+	if !c.tickParked {
+		return
+	}
+	// No grid anchor: the chain died at an offline firing, and only
+	// OnlineCPU revives it. An online CPU reaching here is someone
+	// resurrecting a processor behind OnlineCPU's back — the watchdog's
+	// cpu-stall case, which healing silently would hide.
+	if c.tickNext == 0 {
+		return
+	}
+	m := c.m
+	if c.tickNext <= now {
+		k := uint64(now-c.tickNext)/m.cfg.TickCycles + 1
+		m.stats.TicksSkipped += k
+		c.tickNext += sim.Time(k * m.cfg.TickCycles)
+	}
+	m.eng.Schedule(c.tickEv, c.tickNext)
+	c.tickParked = false
+	c.ticklessAccum += uint64(now - c.ticklessFrom)
 }
 
 // startSegment begins (or resumes) the proc's current work segment. A
@@ -451,6 +532,7 @@ func (m *Machine) reschedule(c *CPU, now sim.Time) {
 
 	lock := m.rqLockFor(c.id)
 	start, spin := lock.acquire(now)
+	epoch0 := m.env.Epoch.N()
 	res := m.sched.Schedule(c.id, prevTask)
 	hold := res.Cycles + m.env.Cost.LockOp
 	lock.release(start + sim.Time(hold))
@@ -477,6 +559,27 @@ func (m *Machine) reschedule(c *CPU, now sim.Time) {
 		}
 		prevTask.HasCPU = false
 		prev.workStamp = c.work
+		if prevTask != res.Next && prevTask.Runnable() && m.sched.OnRunqueue(prevTask) {
+			if !prevTask.AllowedOn(c.id) {
+				// Affinity moved under the running task (SetAffinity,
+				// cpuset restore at online): this CPU may never pick it
+				// again, and with per-CPU queues it just landed on a
+				// foreign queue. Full wake-path kick, preemption
+				// included — the task has nowhere else to go.
+				m.rescheduleIdle(prev)
+			} else if prevTask.RealTime() || prevTask.Counter(m.env.Epoch) > 0 {
+				// Still selectable but this CPU chose someone else (wake
+				// preemption, higher goodness): 2.4's __schedule_tail
+				// runs reschedule_idle(prev) here so another processor
+				// picks the loser up. Idle CPUs only — a task that just
+				// lost a goodness comparison has no claim on a busy CPU,
+				// and busy CPUs' armed ticks will age it in; but an idle
+				// CPU under NO_HZ has no tick left to notice queued
+				// work. Exhausted (zero-counter) tasks wait for the
+				// recalc, which delivers its own kicks.
+				m.kickIdleAllowed(prevTask)
+			}
+		}
 	}
 
 	next := res.Next
@@ -522,8 +625,34 @@ func (m *Machine) reschedule(c *CPU, now sim.Time) {
 		}
 	}
 
+	if next != nil {
+		// Work is arriving: restart a tick chain parked by tickless idle.
+		// An idle-to-idle schedule() (boot kicks, Run restarts, kicks that
+		// lost their race) leaves the chain parked — the tick only matters
+		// when something runs. Armed here, before the dispatch event
+		// below, so a tick landing at the same instant as the dispatch
+		// keeps the always-on firing order.
+		c.ensureTick(now)
+	}
 	c.dispatchNext = nextProc
 	m.eng.Schedule(c.dispatchEv, now+sim.Time(delay))
+
+	if next != nil || m.env.Epoch.N() != epoch0 {
+		// This decision changed what other CPUs can see: a recalculation
+		// made every exhausted task selectable at once, and a dispatch
+		// can uncover work that the chooser itself was hiding — popping a
+		// pinned task off a shared heap exposes the element beneath it to
+		// every CPU, and a kick that several wake-ups piggybacked on only
+		// dispatches one task, leaving the rest queued with nothing in
+		// flight. Either way schedule() takes a single task, so a CPU
+		// that idled earlier because it could not see (or use) the
+		// backlog is still idle — and under tickless idle its tick chain
+		// is parked, so no tick will come along to re-run schedule() for
+		// it. The always-on chain resolved this by polling every tick;
+		// that was seed behavior, not a guarantee. Deliver the kicks this
+		// decision owes.
+		m.kickIdleBacklog()
+	}
 }
 
 // dispatchArrive completes the context switch armed by reschedule. At most

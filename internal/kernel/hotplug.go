@@ -4,6 +4,7 @@ import (
 	"errors"
 
 	"elsc/internal/sched"
+	"elsc/internal/sim"
 )
 
 // Hotplug errors. Offline/Online refuse rather than panic on redundant or
@@ -47,6 +48,13 @@ func (m *Machine) OfflineCPU(id int) error {
 		d := uint64(now - c.idleFrom)
 		m.stats.IdleCycles += d
 		c.idleAccum += d
+	}
+	if c.tickParked {
+		// Likewise the tickless residency stretch: offline time is
+		// accounted separately. tickNext keeps its grid anchor so
+		// OnlineCPU can tell an idle-parked chain from one that died
+		// offline.
+		c.ticklessAccum += uint64(now - c.ticklessFrom)
 	}
 	c.online = false
 	m.env.SetCPUOnline(id, false)
@@ -99,7 +107,9 @@ func (m *Machine) OfflineCPU(id int) error {
 	return nil
 }
 
-// OnlineCPU hot-plugs processor id back in: its timer chain is re-armed,
+// OnlineCPU hot-plugs processor id back in: its timer chain is restarted
+// (under tickless idle it stays parked — the CPU returns idle, and the
+// first dispatch that puts work here re-arms the chain exactly once),
 // tasks the offline forced into cpuset fallback are re-pinned if their own
 // mask is satisfiable again, and the CPU rejoins placement and balancing
 // (the online mask bit is what the policies consult).
@@ -121,10 +131,38 @@ func (m *Machine) OnlineCPU(id int) error {
 	m.stats.OfflineCycles += d
 	c.idleFrom = now
 	if !c.tickEv.Pending() {
-		// The parked timer chain: restart it one period out. (If the CPU
-		// returned within one period the chain never parked and is still
-		// pending — re-arming a queued event would panic.)
-		m.eng.ScheduleAfter(c.tickEv, m.cfg.TickCycles)
+		// The parked timer chain. (If the CPU returned within one period
+		// the chain never parked and is still pending — re-arming a
+		// queued event would panic.)
+		if m.cfg.TicklessOff {
+			// Restart it one period out, as the pre-tickless kernel did.
+			m.eng.ScheduleAfter(c.tickEv, m.cfg.TickCycles)
+			c.tickParked = false
+			c.tickNext = 0
+		} else {
+			// Tickless: the CPU comes back idle, so the chain stays
+			// parked — it re-arms once, at the first reschedule that
+			// puts work here, not a second time at online. Bring the
+			// grid anchor forward first:
+			//   - a chain idle-parked before the offline skips the
+			//     instants it would have idled through up to the
+			//     unplug (its always-on twin fired no-ops there, then
+			//     died at its first offline firing);
+			//   - a chain that died offline (tickNext 0), or whose
+			//     anchor the offline stretch outran, re-anchors at
+			//     now+period — exactly what the always-on chain's
+			//     online re-arm would have made it.
+			if c.tickNext != 0 && c.tickNext <= c.offlineFrom {
+				k := uint64(c.offlineFrom-c.tickNext)/m.cfg.TickCycles + 1
+				m.stats.TicksSkipped += k
+				c.tickNext += sim.Time(k * m.cfg.TickCycles)
+			}
+			if c.tickNext == 0 || now >= c.tickNext {
+				c.tickNext = now + sim.Time(m.cfg.TickCycles)
+			}
+			c.tickParked = true
+			c.ticklessFrom = now
+		}
 	}
 	m.restoreAffinity()
 	if c.isIdle() && m.sched.Runnable() > 0 {

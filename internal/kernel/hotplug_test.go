@@ -114,8 +114,11 @@ func TestWakeRacingOfflineCPUIsNotLost(t *testing.T) {
 }
 
 // TestOfflineParksTickAndOnlineRearms: an offline CPU's timer chain dies
-// at its next firing (the preallocated event is parked, never cancelled)
-// and OnlineCPU restarts it.
+// at its next firing (the preallocated event is parked, never cancelled).
+// Under tickless idle OnlineCPU does not blindly restart it: with no work
+// pending the CPU comes back with the chain still parked on a fresh grid
+// anchor, and the first dispatch re-arms it. With -tickless=off OnlineCPU
+// re-arms immediately, the pre-NO_HZ behavior.
 func TestOfflineParksTickAndOnlineRearms(t *testing.T) {
 	m := newMachine(t, 2, elscFactory)
 	hog := m.Spawn("hog", nil, computeLoop(400, 100_000))
@@ -126,6 +129,46 @@ func TestOfflineParksTickAndOnlineRearms(t *testing.T) {
 	stop := func() bool { return m.Now() >= target }
 	target = m.Now() + sim.Time(3*DefaultTickCycles)
 	m.Run(stop)
+	c := m.cpus[1]
+	if c.tickEv.Pending() {
+		t.Fatal("tick chain still armed three periods after offline")
+	}
+	if !c.tickParked || c.tickNext != 0 {
+		t.Fatalf("offline chain parked=%v anchor=%d, want parked with no anchor",
+			c.tickParked, c.tickNext)
+	}
+	if err := m.OnlineCPU(1); err != nil {
+		t.Fatal(err)
+	}
+	// The hog is running on cpu0 and nothing is queued: the returning CPU
+	// is idle, so its chain stays parked — but healthy, with a grid
+	// anchor one period out for ensureTick to resume from.
+	onlineAt := m.Now()
+	if c.tickEv.Pending() {
+		t.Fatal("tick chain armed at online with no work pending")
+	}
+	if !c.tickParked || c.tickNext != onlineAt+sim.Time(DefaultTickCycles) {
+		t.Fatalf("online idle chain parked=%v anchor=%d, want parked at online+period=%d",
+			c.tickParked, c.tickNext, onlineAt+sim.Time(DefaultTickCycles))
+	}
+	m.Run(func() bool { return hog.Exited() })
+	if !hog.Exited() {
+		t.Fatal("workload did not survive the offline/online cycle")
+	}
+}
+
+// TestOfflineTicklessOffRearmsAtOnline pins the ablation contract: with
+// TicklessOff the online path restores the always-on chain immediately,
+// exactly as before NO_HZ.
+func TestOfflineTicklessOffRearmsAtOnline(t *testing.T) {
+	m := NewMachine(Config{CPUs: 2, SMP: true, Seed: 1, NewScheduler: elscFactory,
+		TicklessOff: true, MaxCycles: 600 * DefaultHz})
+	m.Spawn("hog", nil, computeLoop(400, 100_000))
+	if err := m.OfflineCPU(1); err != nil {
+		t.Fatal(err)
+	}
+	target := m.Now() + sim.Time(3*DefaultTickCycles)
+	m.Run(func() bool { return m.Now() >= target })
 	if m.cpus[1].tickEv.Pending() {
 		t.Fatal("tick chain still armed three periods after offline")
 	}
@@ -133,11 +176,88 @@ func TestOfflineParksTickAndOnlineRearms(t *testing.T) {
 		t.Fatal(err)
 	}
 	if !m.cpus[1].tickEv.Pending() {
-		t.Fatal("tick chain not re-armed at online")
+		t.Fatal("tick chain not re-armed at online with tickless off")
+	}
+}
+
+// TestOfflineIdleParkedCPU: hot-unplugging a CPU whose chain is already
+// parked by tickless idle (not by an offline firing) closes the tickless
+// stretch and keeps the park healthy across the offline window — online
+// with no work stays parked on a fresh anchor, and the first real
+// dispatch re-arms the chain.
+func TestOfflineIdleParkedCPU(t *testing.T) {
+	m := newMachine(t, 2, elscFactory)
+	hog := m.Spawn("hog", nil, computeLoop(2000, 100_000))
+	c := m.cpus[1]
+	// Let cpu1 idle long enough for its first tick to fire and park.
+	m.Run(func() bool { return c.tickParked })
+	if c.tickNext == 0 {
+		t.Fatal("idle park lost its grid anchor")
+	}
+	ticklessBefore := m.CPUStats()[1].TicklessCycles
+	if err := m.OfflineCPU(1); err != nil {
+		t.Fatal(err)
+	}
+	target := m.Now() + sim.Time(3*DefaultTickCycles)
+	m.Run(func() bool { return m.Now() >= target })
+	if got := m.CPUStats()[1].TicklessCycles; got < ticklessBefore {
+		t.Fatalf("tickless accounting went backwards across offline: %d -> %d",
+			ticklessBefore, got)
+	}
+	if err := m.OnlineCPU(1); err != nil {
+		t.Fatal(err)
+	}
+	if c.tickEv.Pending() {
+		t.Fatal("tick chain armed at online with the only task running elsewhere")
+	}
+	if !c.tickParked || c.tickNext == 0 {
+		t.Fatalf("online chain parked=%v anchor=%d, want a healthy park", c.tickParked, c.tickNext)
+	}
+	// New work wakes the machine; the returning CPU must be usable.
+	side := m.Spawn("side", nil, computeLoop(10, 100_000))
+	m.Run(func() bool { return side.Exited() })
+	if !side.Exited() {
+		t.Fatal("work spawned after the online never ran")
 	}
 	m.Run(func() bool { return hog.Exited() })
-	if !hog.Exited() {
-		t.Fatal("workload did not survive the offline/online cycle")
+}
+
+// TestOnlineIntoPendingWorkRearmsOnce: bringing a CPU back while tasks
+// are queued kicks it (one IPI), and the resulting dispatch re-arms the
+// parked chain exactly once — OnlineCPU itself must not also arm it, or
+// the engine would panic scheduling an already-queued event.
+func TestOnlineIntoPendingWorkRearmsOnce(t *testing.T) {
+	m := newMachine(t, 2, elscFactory)
+	var hogs []*Proc
+	for i := 0; i < 4; i++ {
+		hogs = append(hogs, m.Spawn("hog", nil, computeLoop(100, 100_000)))
+	}
+	if err := m.OfflineCPU(1); err != nil {
+		t.Fatal(err)
+	}
+	target := m.Now() + sim.Time(3*DefaultTickCycles)
+	m.Run(func() bool { return m.Now() >= target })
+	if err := m.OnlineCPU(1); err != nil {
+		t.Fatal(err)
+	}
+	c := m.cpus[1]
+	// The kick is an IPI in flight; the chain re-arms when it lands and
+	// the CPU dispatches, not at the online instant itself.
+	if c.tickEv.Pending() {
+		t.Fatal("tick chain armed at online; must wait for the dispatch")
+	}
+	if !c.ipiEv.Pending() && !c.reschedSent {
+		t.Fatal("online into pending work sent no kick")
+	}
+	m.Run(func() bool { return c.current != nil })
+	if !c.tickEv.Pending() {
+		t.Fatal("tick chain not re-armed by the post-online dispatch")
+	}
+	if c.tickParked {
+		t.Fatal("chain marked parked while armed")
+	}
+	for _, h := range hogs {
+		m.Run(func() bool { return h.Exited() })
 	}
 }
 

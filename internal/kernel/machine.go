@@ -73,6 +73,13 @@ type Config struct {
 	UniformSpawnCounter bool
 	// Trace, when non-nil, is invoked at every schedule() decision.
 	Trace func(ev TraceEvent)
+	// TicklessOff disables NO_HZ tickless idle: every CPU re-arms its
+	// timer tick forever, even while idle, as the pre-tickless kernel
+	// did. The ablation knob for proving behavior equivalence — tickless
+	// parking elides only ticks that would have been idle no-ops, so
+	// scheduling decisions (and workload Results) are identical in both
+	// modes while event counts and tick overhead differ.
+	TicklessOff bool
 	// Watchdog, when non-nil, arms the starvation/lockup watchdog at
 	// boot (see WatchdogConfig). Off by default: the watchdog adds
 	// periodic engine events, which perturbs event counts.
@@ -412,6 +419,15 @@ func (m *Machine) Run(stop func() bool) {
 			c.idleAccum += d
 			c.idleFrom = m.eng.Now()
 		}
+		// Flush skipped-tick accounting for chains still parked at the
+		// stop instant, advancing the grid anchor so a later Run (or
+		// ensureTick) never counts the same instants twice. Same ≤-now
+		// convention as ensureTick.
+		if c.online && c.tickParked && c.tickNext != 0 && c.tickNext <= m.eng.Now() {
+			k := uint64(m.eng.Now()-c.tickNext)/m.cfg.TickCycles + 1
+			m.stats.TicksSkipped += k
+			c.tickNext += sim.Time(k * m.cfg.TickCycles)
+		}
 	}
 }
 
@@ -521,6 +537,32 @@ func (m *Machine) idleIn(dom int, t *task.Task) int {
 // has the worst goodness, if the woken task beats it.
 func (m *Machine) rescheduleIdle(p *Proc) {
 	t := p.Task
+	// Per-CPU queues: the task waits on one specific queue, and only that
+	// queue owner's schedule() is guaranteed to find it — a remote CPU may
+	// steal, but balancing thresholds can (rightly) decline. Deliver to
+	// the owner first. An owner mid-transition to idle is the treacherous
+	// case: it is not isIdle() yet, so the generic scan below would kick
+	// some other CPU whose steal may refuse, and once the owner's switch
+	// completes nothing will ever look at its queue again (with its tick
+	// parked, not even the old polling chain). Flagging needResched makes
+	// the completion re-run schedule(), exactly like a kick landing
+	// mid-transition. An owner busy running falls through to the steal
+	// and preemption paths.
+	if len(m.rqLocks) > 1 {
+		owner := m.cpus[t.QIndex%len(m.cpus)]
+		if owner.online && t.AllowedOn(owner.id) {
+			if owner.isIdle() {
+				owner.kickIdle()
+				return
+			}
+			if owner.transitioning && owner.dispatchNext == nil {
+				if !owner.reschedSent {
+					owner.needResched = true
+				}
+				return
+			}
+		}
+	}
 	// Last CPU first: the affinity-preserving fast path. A CPU with a
 	// kick already in flight needs no second one: its schedule() will
 	// see this task on the run queue too.
@@ -548,6 +590,22 @@ func (m *Machine) rescheduleIdle(p *Proc) {
 	}
 	// No idle allowed CPU: consider preemption. With a global run queue
 	// any CPU can dispatch the woken task, so the weakest current task
+	// A global-queue CPU mid-transition to idle counts as almost-idle:
+	// its completion can re-run schedule() (needResched) and any CPU can
+	// dispatch from the shared queue, so deliver there before resorting
+	// to preemption. Without this, a wake racing the machine's last
+	// non-busy CPU into idleness strands the task until someone's
+	// quantum expires.
+	if len(m.rqLocks) == 1 {
+		for _, c := range m.cpus {
+			if c.online && c.transitioning && c.dispatchNext == nil && t.AllowedOn(c.id) {
+				if !c.reschedSent {
+					c.needResched = true
+				}
+				return
+			}
+		}
+	}
 	// machine-wide is the victim. With per-CPU queues only the queue
 	// owner's schedule() will find the task — preempting any other CPU
 	// just makes it re-pick its own backlog while the woken task waits
@@ -596,6 +654,138 @@ func (m *Machine) rescheduleIdle(p *Proc) {
 		if c.online && c.transitioning && t.AllowedOn(c.id) {
 			c.needResched = true
 			return
+		}
+	}
+}
+
+// tickRescueNeeded reports whether an idle CPU's timer tick found queued
+// work that nothing in flight is going to deliver — a lost kick. It must
+// stay false in every healthy state, so it rules out each benign way a
+// task can be queued while this CPU idles:
+//
+//   - a resched IPI is in flight somewhere (this CPU or another): the
+//     landing will run schedule() and the wakes that piggybacked on it
+//     name the queued tasks;
+//   - a CPU is mid context-switch: its dispatch path re-examines the
+//     queue (needResched) or the completed decision already claimed the
+//     task;
+//   - the task is affinity-barred from this CPU: not this CPU's to run;
+//   - under per-CPU queues, the task waits on another CPU's queue: its
+//     owner will reach it, and declining to steal it (e.g. a short
+//     remote-domain queue under the cross-domain steal threshold) is
+//     balancing policy, not a lost wake-up.
+//
+// What remains — an allowed, unclaimed task on a queue this CPU's
+// schedule() would pick from, with no delivery in flight anywhere — is a
+// bug in some enqueue-to-idle path. The tick rescues it (and the audited
+// IdleTickRescues counter records the bug) rather than hanging.
+func (m *Machine) tickRescueNeeded(c *CPU) bool {
+	if m.sched.Runnable() == 0 {
+		return false
+	}
+	for _, o := range m.cpus {
+		if o.reschedSent || (o.online && o.transitioning) {
+			return false
+		}
+	}
+	perCPU := len(m.rqLocks) > 1
+	for _, p := range m.procs {
+		if p.exited {
+			continue
+		}
+		t := p.Task
+		if !t.Runnable() || t.HasCPU || !t.AllowedOn(c.id) || !m.sched.OnRunqueue(t) {
+			continue
+		}
+		if perCPU && t.QIndex != c.id {
+			continue
+		}
+		if !t.RealTime() && t.Counter(m.env.Epoch) == 0 {
+			// Exhausted quantum: the task is waiting for the next global
+			// recalculation, not for a kick. The epoch policies park it in
+			// the zero-counter section and legitimately leave this CPU
+			// idle while any selectable task exists anywhere — schedule()
+			// here would return idle too, so a tick could not have
+			// rescued it. The recalc itself owes the kick when it
+			// finally runs (kickIdleBacklog). RT tasks are exempt:
+			// FIFO/RR selection ignores the counter.
+			continue
+		}
+		return true
+	}
+	return false
+}
+
+// kickIdleAllowed kicks one idle CPU the task may run on, preferring
+// the cache-warm last processor. Unlike the wake path (rescheduleIdle)
+// it never preempts. Used for a task that stayed runnable through a
+// schedule() that picked someone else.
+func (m *Machine) kickIdleAllowed(t *task.Task) {
+	if t.EverRan && t.AllowedOn(t.Processor) {
+		if c := m.cpus[t.Processor]; c.isIdle() && !c.reschedSent {
+			c.kickIdle()
+			return
+		}
+	}
+	for _, c := range m.cpus {
+		if t.AllowedOn(c.id) && c.isIdle() && !c.reschedSent {
+			c.kickIdle()
+			return
+		}
+	}
+}
+
+// kickIdleBacklog kicks every idle CPU that has allowed, charged, queued
+// work with no delivery in flight. Called after a schedule() decision
+// that dispatched a task or bumped the epoch — the two events that make
+// previously undeliverable work deliverable: a recalculation recharges
+// all queued tasks in bulk, and a dispatch both consumes the one kick
+// that several wake-ups may have piggybacked on and can uncover backlog
+// the chooser was hiding (popping a pinned task off a shared heap top
+// exposes the element beneath it to every CPU). Exactly one task leaves
+// with the deciding CPU; any other idle CPU with usable work is owed a
+// kick, or it sits stranded until its (possibly parked) tick polls.
+//
+// The filters mirror tickRescueNeeded: exhausted tasks wait for the next
+// recalculation, not a kick (RT selection ignores the counter), and under
+// per-CPU queues only the owning CPU's schedule() will find the task. A
+// kicked CPU whose policy still cannot see the work declines and goes
+// back to idle without re-arming anything, so the sweep cannot loop.
+//
+// A CPU mid-transition to idle is not isIdle() yet but will be the
+// moment its switch completes — and with its tick parked nothing will
+// look at the queue again. A decision racing that window (another CPU's
+// pop exposing backlog just as this one deschedules) must still deliver:
+// flagging needResched makes the to-idle completion re-run schedule(),
+// the same almost-idle handling rescheduleIdle uses.
+func (m *Machine) kickIdleBacklog() {
+	perCPU := len(m.rqLocks) > 1
+	for _, o := range m.cpus {
+		idle := o.isIdle()
+		almostIdle := o.online && o.transitioning && o.dispatchNext == nil
+		if (!idle && !almostIdle) || o.reschedSent {
+			continue
+		}
+		for _, p := range m.procs {
+			if p.exited {
+				continue
+			}
+			t := p.Task
+			if !t.Runnable() || t.HasCPU || !t.AllowedOn(o.id) || !m.sched.OnRunqueue(t) {
+				continue
+			}
+			if perCPU && t.QIndex != o.id {
+				continue
+			}
+			if !t.RealTime() && t.Counter(m.env.Epoch) == 0 {
+				continue
+			}
+			if idle {
+				o.kickIdle()
+			} else {
+				o.needResched = true
+			}
+			break
 		}
 	}
 }

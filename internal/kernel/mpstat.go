@@ -7,13 +7,14 @@ import (
 
 // CPUStat is one processor's time breakdown, mpstat-style.
 type CPUStat struct {
-	CPU           int
-	WorkCycles    uint64 // task work executed (user + syscall segments)
-	IdleCycles    uint64 // time with nothing to run
-	Dispatches    uint64 // context switches completed here
-	Online        bool   // currently hot-plugged in
-	Offlines      uint64 // hot-unplug transitions
-	OfflineCycles uint64 // time spent offline
+	CPU            int
+	WorkCycles     uint64 // task work executed (user + syscall segments)
+	IdleCycles     uint64 // time with nothing to run
+	Dispatches     uint64 // context switches completed here
+	Online         bool   // currently hot-plugged in
+	Offlines       uint64 // hot-unplug transitions
+	OfflineCycles  uint64 // time spent offline
+	TicklessCycles uint64 // idle time with the timer chain parked (NO_HZ)
 }
 
 // Utilization returns the busy fraction over the elapsed time.
@@ -37,50 +38,79 @@ func (m *Machine) CPUStats() []CPUStat {
 		if !c.online {
 			offline += uint64(m.eng.Now() - c.offlineFrom)
 		}
+		tickless := c.ticklessAccum
+		if c.online && c.tickParked {
+			tickless += uint64(m.eng.Now() - c.ticklessFrom)
+		}
 		out[i] = CPUStat{
-			CPU:           i,
-			WorkCycles:    c.work,
-			IdleCycles:    idle,
-			Dispatches:    c.dispatches,
-			Online:        c.online,
-			Offlines:      c.offlines,
-			OfflineCycles: offline,
+			CPU:            i,
+			WorkCycles:     c.work,
+			IdleCycles:     idle,
+			Dispatches:     c.dispatches,
+			Online:         c.online,
+			Offlines:       c.offlines,
+			OfflineCycles:  offline,
+			TicklessCycles: tickless,
 		}
 	}
 	return out
 }
 
-// MPStat renders the per-CPU table. The hotplug columns appear only when
-// some CPU actually went offline, so pre-hotplug output is unchanged.
+// MPStat renders the per-CPU table. The hotplug and tickless columns
+// appear only on runs that exercised them (some CPU went offline, some
+// chain parked), so prior output is unchanged.
 func (m *Machine) MPStat() string {
 	elapsed := uint64(m.eng.Now())
 	stats := m.CPUStats()
-	hotplug := false
+	hotplug, tickless := false, false
 	for _, s := range stats {
 		if s.Offlines > 0 {
 			hotplug = true
-			break
+		}
+		if s.TicklessCycles > 0 {
+			tickless = true
 		}
 	}
 	var b strings.Builder
-	if hotplug {
+	switch {
+	case hotplug && tickless:
+		fmt.Fprintf(&b, "%4s %14s %14s %10s %7s %6s %14s %14s\n",
+			"CPU", "WORK", "IDLE", "DISPATCH", "UTIL", "STATE", "OFFLINE", "TICKLESS")
+		for _, s := range stats {
+			fmt.Fprintf(&b, "%4d %14d %14d %10d %6.1f%% %6s %14d %14d\n",
+				s.CPU, s.WorkCycles, s.IdleCycles, s.Dispatches,
+				100*s.Utilization(elapsed), onOff(s.Online), s.OfflineCycles, s.TicklessCycles)
+		}
+	case hotplug:
 		fmt.Fprintf(&b, "%4s %14s %14s %10s %7s %6s %14s\n",
 			"CPU", "WORK", "IDLE", "DISPATCH", "UTIL", "STATE", "OFFLINE")
 		for _, s := range stats {
-			state := "on"
-			if !s.Online {
-				state = "off"
-			}
 			fmt.Fprintf(&b, "%4d %14d %14d %10d %6.1f%% %6s %14d\n",
 				s.CPU, s.WorkCycles, s.IdleCycles, s.Dispatches,
-				100*s.Utilization(elapsed), state, s.OfflineCycles)
+				100*s.Utilization(elapsed), onOff(s.Online), s.OfflineCycles)
 		}
-		return b.String()
-	}
-	fmt.Fprintf(&b, "%4s %14s %14s %10s %7s\n", "CPU", "WORK", "IDLE", "DISPATCH", "UTIL")
-	for _, s := range stats {
-		fmt.Fprintf(&b, "%4d %14d %14d %10d %6.1f%%\n",
-			s.CPU, s.WorkCycles, s.IdleCycles, s.Dispatches, 100*s.Utilization(elapsed))
+	case tickless:
+		fmt.Fprintf(&b, "%4s %14s %14s %10s %7s %14s\n",
+			"CPU", "WORK", "IDLE", "DISPATCH", "UTIL", "TICKLESS")
+		for _, s := range stats {
+			fmt.Fprintf(&b, "%4d %14d %14d %10d %6.1f%% %14d\n",
+				s.CPU, s.WorkCycles, s.IdleCycles, s.Dispatches,
+				100*s.Utilization(elapsed), s.TicklessCycles)
+		}
+	default:
+		fmt.Fprintf(&b, "%4s %14s %14s %10s %7s\n", "CPU", "WORK", "IDLE", "DISPATCH", "UTIL")
+		for _, s := range stats {
+			fmt.Fprintf(&b, "%4d %14d %14d %10d %6.1f%%\n",
+				s.CPU, s.WorkCycles, s.IdleCycles, s.Dispatches, 100*s.Utilization(elapsed))
+		}
 	}
 	return b.String()
+}
+
+// onOff renders a CPU's hotplug state.
+func onOff(online bool) string {
+	if online {
+		return "on"
+	}
+	return "off"
 }

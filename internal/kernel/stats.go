@@ -56,6 +56,16 @@ type Stats struct {
 	CPUOnlines    uint64
 	OfflineCycles uint64
 
+	// Tickless idle (NO_HZ). TicksSkipped counts timer-tick firings the
+	// parked chains elided — each one an event and a TickCost the
+	// pre-tickless kernel paid to find an idle CPU with nothing to do.
+	// IdleTickRescues counts ticks that found a queued task stranded on
+	// an idle CPU with no kick in flight: every enqueue-to-idle path owes
+	// a real kick, so this is an audited error counter, asserted zero by
+	// the conformance and fuzz census audits.
+	TicksSkipped    uint64
+	IdleTickRescues uint64
+
 	// Watchdog violation counts (see WatchdogConfig). WatchdogEnabled
 	// records whether the watchdog was armed, gating the registry lines
 	// so runs without it render byte-identically to before it existed.
@@ -143,6 +153,13 @@ func (s *Stats) Registry() *stats.Registry {
 		set("watchdog_starvations", s.WatchdogStarvations)
 		set("watchdog_lost_wakeups", s.WatchdogLostWakeups)
 		set("watchdog_cpu_stalls", s.WatchdogCPUStalls)
+	}
+	// Tickless counters follow the same conditional rule: a run where no
+	// chain ever parked (TicklessOff, or a machine never idle at a tick)
+	// renders byte-identically to before tickless existed.
+	if s.TicksSkipped != 0 || s.IdleTickRescues != 0 {
+		set("ticks_skipped", s.TicksSkipped)
+		set("idle_tick_rescues", s.IdleTickRescues)
 	}
 	set("events_fired", s.EventsFired)
 	set("events_wheel", s.EventsWheel)

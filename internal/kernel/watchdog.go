@@ -17,8 +17,11 @@ const (
 	// CPU — nothing will ever schedule it.
 	WatchdogLostWakeup
 	// WatchdogCPUStall: an online CPU's timer chain is dead — no tick is
-	// pending, so quantum expiry and the idle-rescue poll never fire
-	// there again.
+	// pending and the chain is not parked by tickless idle with a live
+	// grid anchor, so quantum expiry never fires there again. (An
+	// idle-parked chain is healthy: ensureTick re-arms it from tickNext at
+	// the next dispatch. A parked chain with no anchor died at an offline
+	// firing and only OnlineCPU can revive it.)
 	WatchdogCPUStall
 )
 
@@ -125,7 +128,13 @@ func (wd *watchdog) sweep(now sim.Time) {
 	m.eng.ScheduleAfter(wd.ev, wd.cfg.PeriodCycles)
 
 	for _, c := range m.cpus {
-		if c.online && !c.tickEv.Pending() && !c.wdStallFlagged {
+		// A healthy online CPU either has a tick pending or is parked by
+		// tickless idle with a grid anchor (tickNext > 0) for ensureTick to
+		// resume from. A chain that died at an offline firing (tickNext ==
+		// 0) on a CPU marked online means someone resurrected the CPU
+		// behind OnlineCPU's back — quantum expiry never fires there again.
+		dead := !c.tickEv.Pending() && (!c.tickParked || c.tickNext == 0)
+		if c.online && dead && !c.wdStallFlagged {
 			c.wdStallFlagged = true
 			m.stats.WatchdogCPUStalls++
 			if wd.cfg.OnViolation != nil {

@@ -472,7 +472,7 @@ func TestNUMAMachineSpecAllPolicies(t *testing.T) {
 			spec, name := spec, name
 			t.Run(fmt.Sprintf("%s/%s", spec.Label, name), func(t *testing.T) {
 				t.Parallel()
-				sc := experiments.Scale{Messages: messages, Seed: 5, HorizonSeconds: 600}
+				sc := experiments.Scale{Messages: messages, Seed: 5, HorizonSeconds: 600, TicklessOff: ticklessOff()}
 				m := experiments.NewMachine(spec, name, sc)
 				res := volano.Build(m, volano.Config{
 					Rooms: rooms, UsersPerRoom: users, MessagesPerUser: messages,
@@ -484,6 +484,9 @@ func TestNUMAMachineSpecAllPolicies(t *testing.T) {
 				if res.Throughput <= 0 {
 					t.Fatalf("throughput = %v, want > 0", res.Throughput)
 				}
+				if n := m.Stats().IdleTickRescues; n != 0 {
+					t.Fatalf("idle_tick_rescues = %d, want 0: a queued task sat on an idle CPU with no kick in flight", n)
+				}
 			})
 		}
 	}
@@ -494,7 +497,7 @@ func TestNUMAMachineSpecAllPolicies(t *testing.T) {
 // the deepest hierarchy must not lose a transaction or a wake-up.
 func TestNUMAMachineSpecRegistryWorkloads(t *testing.T) {
 	spec := experiments.SpecByLabel("64P-NUMA")
-	sc := experiments.Scale{Messages: 2, Seed: 5, HorizonSeconds: 600, Quick: true}
+	sc := experiments.Scale{Messages: 2, Seed: 5, HorizonSeconds: 600, Quick: true, TicklessOff: ticklessOff()}
 	for _, load := range []string{workload.DB, workload.WakeStorm} {
 		for _, name := range experiments.Policies {
 			load, name := load, name
@@ -506,6 +509,9 @@ func TestNUMAMachineSpecRegistryWorkloads(t *testing.T) {
 				}
 				if r.Result.Ops == 0 {
 					t.Fatalf("%s performed no operations", r.Key())
+				}
+				if n := r.Stats.IdleTickRescues; n != 0 {
+					t.Fatalf("%s: idle_tick_rescues = %d, want 0: a queued task sat on an idle CPU with no kick in flight", r.Key(), n)
 				}
 			})
 		}

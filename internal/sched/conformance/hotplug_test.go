@@ -76,7 +76,7 @@ func TestHotplugCycleConformance(t *testing.T) {
 				cfg := kernel.Config{
 					CPUs: spec.CPUs, SMP: spec.SMP, Topology: spec.Topology(),
 					Seed: 42, NewScheduler: experiments.Factory(policy),
-					MaxCycles: 600 * kernel.DefaultHz,
+					MaxCycles: 600 * kernel.DefaultHz, TicklessOff: ticklessOff(),
 					Trace: func(ev kernel.TraceEvent) {
 						if ev.Next == nil {
 							return
@@ -155,6 +155,7 @@ func TestHotplugPinnedFallbackConformance(t *testing.T) {
 				CPUs: 8, SMP: true, Seed: 42,
 				NewScheduler: experiments.Factory(policy),
 				MaxCycles:    600 * kernel.DefaultHz,
+				TicklessOff:  ticklessOff(),
 			})
 			pinned := m.Spawn("pinned", nil, hog(1200, 1_000_000)) // ~300 ticks of work
 			m.SetAffinity(pinned, 1<<2)
@@ -191,6 +192,12 @@ func TestHotplugPinnedFallbackConformance(t *testing.T) {
 			}
 			if pinned.Task.Processor != 2 {
 				t.Fatalf("re-pinned task finished on CPU %d, want 2", pinned.Task.Processor)
+			}
+			// The affinity restore must deliver a real kick to CPU 2 —
+			// under tickless idle there is no tick left to rescue a task
+			// stranded on a parked CPU's queue.
+			if n := m.Stats().IdleTickRescues; n != 0 {
+				t.Fatalf("idle_tick_rescues = %d, want 0", n)
 			}
 		})
 	}

@@ -25,7 +25,7 @@ var latencySpecs = []string{"8P", "32P-NUMA", "64P-NUMA"}
 // latencyScale fixes the invariant runs: quick shapes, seed 42, enough
 // wakes for a stable tail.
 func latencyScale() experiments.Scale {
-	return experiments.Scale{Messages: 10, Seed: 42, HorizonSeconds: 600, Quick: true}
+	return experiments.Scale{Messages: 10, Seed: 42, HorizonSeconds: 600, Quick: true, TicklessOff: ticklessOff()}
 }
 
 // hogQuantumUS is one full quantum of a default-priority hog in

@@ -1,0 +1,30 @@
+package conformance
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+)
+
+// -tickless selects the NO_HZ idle mode for every machine the suite
+// builds: "on" (the default, matching production) parks an idle CPU's
+// tick chain; "off" keeps the seed's always-on chain. CI runs the whole
+// package under each mode — tickless is an event-elision optimization,
+// so every invariant in this suite must hold identically both ways.
+var ticklessMode = flag.String("tickless", "on",
+	`NO_HZ idle mode for every machine the suite builds ("on" or "off")`)
+
+// ticklessOff reports whether the suite was asked to run the ablation
+// arm. Threaded into every kernel.Config and experiments.Scale the
+// tests construct.
+func ticklessOff() bool { return *ticklessMode == "off" }
+
+func TestMain(m *testing.M) {
+	flag.Parse()
+	if *ticklessMode != "on" && *ticklessMode != "off" {
+		fmt.Fprintf(os.Stderr, "conformance: -tickless=%q, want \"on\" or \"off\"\n", *ticklessMode)
+		os.Exit(2)
+	}
+	os.Exit(m.Run())
+}
